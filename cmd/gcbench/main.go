@@ -1,0 +1,195 @@
+// Command gcbench regenerates the paper's evaluation artifacts (DESIGN.md
+// §4): Figure 3 (The Query Journey), Figure 2(b) (The Workload Run),
+// Figure 2(c) (cache replacement across policies), the §3.1.I policy
+// competition, the §3.1.II speedup-versus-overhead study and the headline
+// speedup run.
+//
+// Usage:
+//
+//	gcbench -exp all
+//	gcbench -exp fig3 -seed 2018
+//	gcbench -exp policies -queries 2000
+//	gcbench -exp overhead
+//	gcbench -exp headline -dataset 1000 -queries 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphcache/internal/bench"
+	"graphcache/internal/stats"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | all")
+		seed    = flag.Int64("seed", 2018, "random seed (all experiments are deterministic per seed)")
+		queries = flag.Int("queries", 1000, "workload size for policies/overhead/headline")
+		dataset = flag.Int("dataset", 400, "dataset size for overhead/headline")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig3", func() error { return runFig3(*seed) })
+	run("workloadrun", func() error { return runWorkload(*seed) })
+	run("fig2c", func() error { return runFig2c(*seed) })
+	run("policies", func() error { return runPolicies(*seed, *queries) })
+	run("overhead", func() error { return runOverhead(*seed, *dataset, *queries) })
+	run("headline", func() error { return runHeadline(*seed, *dataset, *queries) })
+	run("sweeps", func() error { return runSweeps(*seed, *queries) })
+}
+
+func runSweeps(seed int64, queries int) error {
+	cap, err := bench.RunCapacitySweep(seed, queries, nil)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("SWEEP · cache capacity", "capacity", "test-speedup", "time-speedup", "hit-rate")
+	for _, p := range cap {
+		t.AddRow(p.Value, p.Speedups.Tests, p.Speedups.Time, p.HitRate)
+	}
+	t.Render(os.Stdout)
+
+	win, err := bench.RunWindowSweep(seed, queries, nil)
+	if err != nil {
+		return err
+	}
+	t2 := stats.NewTable("SWEEP · admission window", "window", "test-speedup", "time-speedup", "hit-rate")
+	for _, p := range win {
+		t2.AddRow(p.Value, p.Speedups.Tests, p.Speedups.Time, p.HitRate)
+	}
+	t2.Render(os.Stdout)
+
+	bud, err := bench.RunHitBudgetSweep(seed, queries, nil)
+	if err != nil {
+		return err
+	}
+	t3 := stats.NewTable("SWEEP · sub/super hit budget", "budget", "test-speedup", "time-speedup", "hit-rate")
+	for _, p := range bud {
+		t3.AddRow(p.Value, p.Speedups.Tests, p.Speedups.Time, p.HitRate)
+	}
+	t3.Render(os.Stdout)
+	return nil
+}
+
+func runFig3(seed int64) error {
+	res, err := bench.RunFig3(seed)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("EXP-F3 · The Query Journey (Figure 3)", "panel", "quantity", "value")
+	t.AddRow("3(a)/(e)", "cache hits H (sub) / H' (super)", fmt.Sprintf("%d / %d", res.SubHits, res.SuperHits))
+	t.AddRow("3(b)", "|C_M| Method M candidates", res.CM)
+	t.AddRow("3(c)", "|S| answers for sure", res.S)
+	t.AddRow("3(d)", "|S'| non-answers for sure", res.SPrime)
+	t.AddRow("3(f)", "|C| GC candidates", res.C)
+	t.AddRow("3(g)", "|R| sub-iso survivors", res.R)
+	t.AddRow("3(h)", "|A| final answers", res.A)
+	t.AddRow("—", "test speedup C_M/C (paper: 1.74)", fmt.Sprintf("%.2f", res.TestSpeedup))
+	t.AddRow("—", "S member ids", fmt.Sprintf("%v", res.SureIDs))
+	t.Render(os.Stdout)
+	return nil
+}
+
+func runWorkload(seed int64) error {
+	steps, c, err := bench.RunWorkload(seed, 10, "hd")
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("EXP-F2B · The Workload Run (Figure 2(b))", "query", "exact", "sub", "super", "hit%", "test-speedup")
+	for _, s := range steps {
+		t.AddRow(s.Index, s.ExactHit, s.SubHits, s.SuperHits, fmt.Sprintf("%.1f", s.HitPct), fmt.Sprintf("%.2f", s.TestSpeedup))
+	}
+	t.Render(os.Stdout)
+	snap := c.Stats()
+	fmt.Printf("cumulative: %d queries, %d tests executed, %d saved, speedup %.2f\n",
+		snap.Queries, snap.TestsExecuted, snap.TestsSaved, snap.TestSpeedup())
+	return nil
+}
+
+func runFig2c(seed int64) error {
+	rs, err := bench.RunReplacement(seed, nil)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("EXP-F2C · Cache replacement across policies (Figure 2(c))", "policy", "kept", "evicted entry ids")
+	for _, r := range rs {
+		t.AddRow(r.Policy, r.Kept, fmt.Sprintf("%v", r.Evicted))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func runPolicies(seed int64, queries int) error {
+	cells, err := bench.RunPolicyCompetition(seed, queries, nil)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("EXP-I · Policy competition (§3.1.I)", "workload", "policy", "test-speedup", "time-speedup", "hit-rate")
+	for _, c := range cells {
+		t.AddRow(c.Workload, c.Policy,
+			fmt.Sprintf("%.2f", c.Speedups.Tests),
+			fmt.Sprintf("%.2f", c.Speedups.Time),
+			fmt.Sprintf("%.2f", c.HitRate))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("take-away (paper): when in doubt, use HD — best or on par with the best alternative.")
+	return nil
+}
+
+func runOverhead(seed int64, dataset, queries int) error {
+	fs, err := bench.RunFeatureSize(seed, dataset, queries/2, 3)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("EXP-II-A · FTV feature size +1 (§3.1.II)", "metric", "L=3", "L=4", "ratio/delta")
+	t.AddRow("index bytes", stats.FormatBytes(fs.IndexBytesBase), stats.FormatBytes(fs.IndexBytesBigger),
+		fmt.Sprintf("×%.2f (paper ≈ ×2)", fs.SpaceRatio))
+	t.AddRow("avg query time", fs.AvgTimeBase, fs.AvgTimeBigger,
+		fmt.Sprintf("−%.1f%% (paper ≈ −10%%)", 100*fs.TimeReduction))
+	t.AddRow("avg |C_M|", fmt.Sprintf("%.1f", fs.AvgCandidatesBase), fmt.Sprintf("%.1f", fs.AvgCandidatesBigger), "")
+	t.Render(os.Stdout)
+
+	oh, err := bench.RunGCOverhead(seed, dataset, queries, 50)
+	if err != nil {
+		return err
+	}
+	t2 := stats.NewTable("EXP-II-B · GC speedup vs space overhead (§3.1.II)", "metric", "value", "paper")
+	t2.AddRow("FTV index bytes", stats.FormatBytes(oh.IndexBytes), "")
+	t2.AddRow("GC cache bytes", stats.FormatBytes(oh.CacheBytes), "")
+	t2.AddRow("memory ratio", fmt.Sprintf("%.3f", oh.MemoryRatio), "≈ 0.01")
+	t2.AddRow("test speedup", fmt.Sprintf("%.2f×", oh.Speedups.Tests), "up to 40×")
+	t2.AddRow("time speedup", fmt.Sprintf("%.2f×", oh.Speedups.Time), "up to 40×")
+	t2.AddRow("hit rate", fmt.Sprintf("%.2f", oh.HitRate), "")
+	t2.Render(os.Stdout)
+	return nil
+}
+
+func runHeadline(seed int64, dataset, queries int) error {
+	res, err := bench.RunHeadline(seed, dataset, queries)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("EXP-HL · Headline speedup run", "metric", "value")
+	t.AddRow("dataset graphs", res.DatasetSize)
+	t.AddRow("queries", res.Queries)
+	t.AddRow("aggregate test speedup", fmt.Sprintf("%.2f×", res.Speedups.Tests))
+	t.AddRow("aggregate time speedup", fmt.Sprintf("%.2f×", res.Speedups.Time))
+	t.AddRow("max per-query test speedup", fmt.Sprintf("%.2f× (paper: up to 40×)", res.MaxQuerySpeedup))
+	t.AddRow("hit rate", fmt.Sprintf("%.2f", res.HitRate))
+	t.AddRow("cache bytes / index bytes", fmt.Sprintf("%s / %s", stats.FormatBytes(res.CacheBytes), stats.FormatBytes(res.IndexBytes)))
+	t.Render(os.Stdout)
+	return nil
+}

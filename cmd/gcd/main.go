@@ -1,0 +1,86 @@
+// Command gcd serves GraphCache over HTTP — the stand-in for the demo
+// paper's cloud deployment with HTML dashboards. It loads (or generates) a
+// dataset, builds Method M and the cache, and exposes:
+//
+//	GET  /                      HTML status page
+//	GET  /api/stats             operational counters (Statistics Manager)
+//	GET  /api/entries           cached queries and their utilities
+//	POST /api/query             execute a query: {"graph": "<gSpan text>", "type": "subgraph"}
+//	GET  /api/dataset/{id}      dataset graph as text, ?format=dot / ascii
+//
+// Usage:
+//
+//	gcd -addr :8081 -dataset aids.txt
+//	gcd -addr :8081 -generate 1000 -policy hd -capacity 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+	"graphcache/internal/graph"
+	"graphcache/internal/server"
+
+	"math/rand"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8081", "listen address (the demo used :8081)")
+		dsPath   = flag.String("dataset", "", "dataset file in the text codec; empty generates molecules")
+		generate = flag.Int("generate", 100, "generated dataset size when -dataset is empty")
+		seed     = flag.Int64("seed", 2018, "generation seed")
+		policy   = flag.String("policy", "hd", "replacement policy")
+		capacity = flag.Int("capacity", 50, "cache capacity (entries)")
+		window   = flag.Int("window", 10, "admission window size")
+		ggsxLen  = flag.Int("ggsx", 4, "GGSX path-feature length")
+		workers  = flag.Int("workers", 1, "parallel verification workers")
+	)
+	flag.Parse()
+
+	var dataset []*graph.Graph
+	if *dsPath != "" {
+		f, err := os.Open(*dsPath)
+		if err != nil {
+			log.Fatalf("gcd: %v", err)
+		}
+		dataset, err = graph.ReadAll(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("gcd: %v", err)
+		}
+		dataset = gen.AssignIDs(dataset)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		dataset = gen.Molecules(rng, *generate, gen.DefaultMoleculeConfig())
+	}
+	if len(dataset) == 0 {
+		log.Fatal("gcd: empty dataset")
+	}
+
+	method := ftv.NewGGSXMethod(dataset, *ggsxLen)
+	p, err := core.NewPolicy(*policy)
+	if err != nil {
+		log.Fatalf("gcd: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Capacity = *capacity
+	cfg.Window = *window
+	cfg.Policy = p
+	cfg.VerifyWorkers = *workers
+	cache, err := core.New(method, cfg)
+	if err != nil {
+		log.Fatalf("gcd: %v", err)
+	}
+
+	fmt.Printf("gcd: %d dataset graphs, method %s, policy %s, cache %d/%d window\n",
+		len(dataset), method.Name(), p.Name(), *capacity, *window)
+	fmt.Printf("gcd: listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(cache, dataset)))
+}

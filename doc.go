@@ -1,0 +1,39 @@
+// Package graphcache is a caching system for subgraph/supergraph queries
+// over graph datasets — a from-scratch Go implementation of GC/GraphCache
+// (Wang, Liu, Ma, Ntarmos, Triantafillou; PVLDB 11(12), 2018 and EDBT
+// 2017).
+//
+// Subgraph queries return the dataset graphs containing a pattern;
+// supergraph queries return those contained in it. Both entail
+// NP-complete subgraph-isomorphism (sub-iso) tests. GraphCache caches
+// executed queries together with their answer sets and exploits three
+// kinds of cache hits to cut sub-iso work for new queries:
+//
+//   - exact-match hits: an isomorphic cached query answers directly;
+//   - sub-case hits (new query ⊑ cached query) and
+//   - super-case hits (cached query ⊑ new query), which by containment
+//     transitivity yield graphs that are answers for sure (skipped) or
+//     non-answers for sure (pruned).
+//
+// The cache wraps any "Method M" — a filter-then-verify (FTV) method or a
+// plain subgraph-isomorphism algorithm — and never changes its answers:
+// results are provably exact (extensively property-tested against the
+// uncached method).
+//
+// # Quick start
+//
+//	dataset := graphcache.GenerateMolecules(42, 1000)
+//	method := graphcache.NewGGSXMethod(dataset, 4) // GraphGrepSX + VF2
+//	cache, err := graphcache.NewCache(method, graphcache.DefaultConfig())
+//	if err != nil { ... }
+//	res, err := cache.Execute(pattern, graphcache.Subgraph)
+//	// res.Answers: exact answer set; res.TestSpeedup(): saved work.
+//
+// # Extending
+//
+// Replacement policies are pluggable (the Figure 2(d) developer interface):
+// implement Policy — UpdateCacheStaInfo, ReplacedContent, OnWindowTurn —
+// and pass it in Config.Policy. Bundled policies: LRU, POP, PIN, PINC, HD
+// (recommended default), FIFO and RAND. Filters implementing Filter can
+// replace GGSX inside Method M, and any VerifierFunc can replace VF2.
+package graphcache

@@ -1,0 +1,113 @@
+// Package bench implements the experiment runners that regenerate every
+// table and figure of the paper's evaluation (see DESIGN.md §4 for the
+// per-experiment index). The same runners back `go test -bench` targets in
+// the repository root and the cmd/gcbench harness, so numbers in
+// EXPERIMENTS.md are reproducible from either entry point.
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+	"graphcache/internal/graph"
+)
+
+// PassStats summarizes one execution pass (base method or GC) over a
+// workload.
+type PassStats struct {
+	Queries   int
+	Tests     int64
+	TotalTime time.Duration
+}
+
+// AvgTests returns mean sub-iso tests per query.
+func (p PassStats) AvgTests() float64 {
+	if p.Queries == 0 {
+		return 0
+	}
+	return float64(p.Tests) / float64(p.Queries)
+}
+
+// AvgTime returns mean processing time per query.
+func (p PassStats) AvgTime() time.Duration {
+	if p.Queries == 0 {
+		return 0
+	}
+	return p.TotalTime / time.Duration(p.Queries)
+}
+
+// Speedups compares a base pass against a GC pass using the paper's
+// definition: average base performance over average GC performance
+// (>1 means GC improves).
+type Speedups struct {
+	Tests float64
+	Time  float64
+}
+
+// ComputeSpeedups derives the two speedup series.
+func ComputeSpeedups(base, gcp PassStats) Speedups {
+	s := Speedups{Tests: 1, Time: 1}
+	if gcp.Tests > 0 {
+		s.Tests = float64(base.Tests) / float64(gcp.Tests)
+	} else if base.Tests > 0 {
+		s.Tests = float64(base.Tests)
+	}
+	if gcp.TotalTime > 0 {
+		s.Time = float64(base.TotalTime) / float64(gcp.TotalTime)
+	}
+	return s
+}
+
+// RunBasePass executes the workload on the bare Method M.
+func RunBasePass(method *ftv.Method, queries []gen.Query) PassStats {
+	var p PassStats
+	for _, q := range queries {
+		r := method.Run(q.G, q.Type)
+		p.Queries++
+		p.Tests += int64(r.Tests)
+		p.TotalTime += r.TotalTime()
+	}
+	return p
+}
+
+// RunGCPass executes the workload through a GraphCache instance.
+// The returned PassStats counts dataset sub-iso tests and total processing
+// time including cache overheads (filtering, hit detection, verification).
+func RunGCPass(c *core.Cache, queries []gen.Query) (PassStats, error) {
+	var p PassStats
+	for _, q := range queries {
+		res, err := c.Execute(q.G, q.Type)
+		if err != nil {
+			return p, err
+		}
+		p.Queries++
+		p.Tests += int64(res.Tests)
+		p.TotalTime += res.TotalTime()
+	}
+	return p, nil
+}
+
+// newRand returns a seeded generator (all bench randomness is explicit).
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// DemoDataset generates the demo deployment's dataset shape: 100 AIDS-like
+// molecules (the paper bundles 100 graphs of the AIDS dataset).
+func DemoDataset(seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.Molecules(rng, 100, gen.DefaultMoleculeConfig())
+}
+
+// MoleculeDataset generates count AIDS-like molecules.
+func MoleculeDataset(seed int64, count int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.Molecules(rng, count, gen.DefaultMoleculeConfig())
+}
+
+// SocialDataset generates count Barabási–Albert graphs of n vertices.
+func SocialDataset(seed int64, count, n int) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.BADataset(rng, count, n, 2, 8)
+}

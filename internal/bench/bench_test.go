@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestFig3Shape(t *testing.T) {
+	res, err := RunFig3(2018)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 3 shape: a warmed 50-entry cache, both hit kinds
+	// present, pruned candidates, test speedup > 1.
+	if res.CachedQueries == 0 {
+		t.Fatal("cache not warmed")
+	}
+	if res.SubHits == 0 {
+		t.Error("no sub-case hit (paper: 1)")
+	}
+	if res.SuperHits == 0 {
+		t.Error("no super-case hit (paper: 3)")
+	}
+	if res.C >= res.CM {
+		t.Errorf("no pruning: C=%d CM=%d", res.C, res.CM)
+	}
+	// R and S are disjoint (S is removed from C before verification), so
+	// A = R + S exactly (Figure 3(h): "A consists of R and S").
+	if res.A != res.R+res.S {
+		t.Errorf("A=%d != R+S=%d+%d", res.A, res.R, res.S)
+	}
+	if len(res.SureIDs) != res.S || len(res.AnswerIDs) != res.A {
+		t.Error("ID lists inconsistent with counts")
+	}
+	if res.TestSpeedup <= 1 {
+		t.Errorf("test speedup %.2f, want > 1 (paper: 1.74)", res.TestSpeedup)
+	}
+}
+
+func TestPolicyCompetitionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	cells, err := RunPolicyCompetition(7, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4*5 {
+		t.Fatalf("cells = %d, want 20", len(cells))
+	}
+	// Shape 1: every cell must show a speedup ≥ 1 in tests (the cache
+	// never adds dataset tests).
+	byWorkload := map[string]map[string]float64{}
+	for _, c := range cells {
+		if c.Speedups.Tests < 1 {
+			t.Errorf("%s/%s: test speedup %.2f < 1", c.Workload, c.Policy, c.Speedups.Tests)
+		}
+		if byWorkload[c.Workload] == nil {
+			byWorkload[c.Workload] = map[string]float64{}
+		}
+		byWorkload[c.Workload][c.Policy] = c.Speedups.Tests
+	}
+	// Shape 2 (the paper's take-away): HD best or on par — within 10% of
+	// the best policy on every workload class.
+	for w, ps := range byWorkload {
+		best := 0.0
+		for _, s := range ps {
+			if s > best {
+				best = s
+			}
+		}
+		if hd := ps["hd"]; hd < 0.9*best {
+			t.Errorf("workload %s: HD %.2f not within 10%% of best %.2f", w, hd, best)
+		}
+	}
+}
+
+func TestFeatureSizeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := RunFeatureSize(11, 300, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: bigger features → bigger index, fewer candidates.
+	if res.SpaceRatio <= 1 {
+		t.Errorf("space ratio %.2f, want > 1 (paper ≈ 2)", res.SpaceRatio)
+	}
+	if res.AvgCandidatesBigger > res.AvgCandidatesBase {
+		t.Errorf("L+1 candidates %.1f > L candidates %.1f", res.AvgCandidatesBigger, res.AvgCandidatesBase)
+	}
+}
+
+func TestGCOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := RunGCOverhead(13, 400, 600, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: cache memory a small fraction of the index, large
+	// test-count speedup on an affinity-heavy workload.
+	if res.MemoryRatio > 0.25 {
+		t.Errorf("memory ratio %.3f too large (paper ≈ 0.01)", res.MemoryRatio)
+	}
+	if res.Speedups.Tests < 1.5 {
+		t.Errorf("test speedup %.2f too small for an affinity workload", res.Speedups.Tests)
+	}
+	if res.HitRate <= 0 {
+		t.Error("no hits at all")
+	}
+}
+
+func TestReplacementDiffers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	rs, err := RunReplacement(17, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("policies = %d", len(rs))
+	}
+	// Figure 2(c) shape: each policy evicts (cache was full, a window
+	// arrived) and at least two policies differ in their victim sets.
+	distinct := map[string]bool{}
+	for _, r := range rs {
+		if len(r.Evicted) == 0 {
+			t.Errorf("%s evicted nothing", r.Policy)
+		}
+		key := ""
+		for _, id := range r.Evicted {
+			key += string(rune(id)) + ","
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all policies evicted identical sets")
+	}
+}
+
+func TestWorkloadRunSteps(t *testing.T) {
+	steps, c, err := RunWorkload(19, 10, "hd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 10 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if c.Len() == 0 {
+		t.Error("cache empty after run")
+	}
+	anyHit := false
+	for _, s := range steps {
+		if s.HitPct < 0 || s.HitPct > 100 {
+			t.Errorf("step %d: hit pct %.1f out of range", s.Index, s.HitPct)
+		}
+		if s.SubHits+s.SuperHits > 0 || s.ExactHit {
+			anyHit = true
+		}
+	}
+	if !anyHit {
+		t.Error("workload run produced no hits at all")
+	}
+}
+
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := RunHeadline(23, 200, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedups.Tests <= 1 {
+		t.Errorf("aggregate test speedup %.2f, want > 1", res.Speedups.Tests)
+	}
+	if res.MaxQuerySpeedup < res.Speedups.Tests {
+		t.Error("max per-query speedup below aggregate?")
+	}
+}
+
+func TestComputeSpeedupsEdgeCases(t *testing.T) {
+	s := ComputeSpeedups(PassStats{Tests: 100}, PassStats{Tests: 0})
+	if s.Tests != 100 {
+		t.Errorf("all-saved speedup = %v", s.Tests)
+	}
+	s = ComputeSpeedups(PassStats{}, PassStats{})
+	if s.Tests != 1 || s.Time != 1 {
+		t.Errorf("empty speedups = %+v", s)
+	}
+}

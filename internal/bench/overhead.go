@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// FeatureSizeResult is EXP-II-A: the speedup-versus-overhead trade of
+// growing the FTV index's feature size by one (§3.1.II). The paper reports
+// ≈ −10% query time for ≈ ×2 index space.
+type FeatureSizeResult struct {
+	BaseLen, BiggerLen int
+	// IndexBytesBase/Bigger are the two index footprints.
+	IndexBytesBase, IndexBytesBigger int
+	// SpaceRatio = bigger/base (paper: ≈ 2).
+	SpaceRatio float64
+	// AvgTimeBase/Bigger are mean per-query times.
+	AvgTimeBase, AvgTimeBigger time.Duration
+	// TimeReduction = 1 − bigger/base (paper: ≈ 0.10).
+	TimeReduction float64
+	// AvgCandidatesBase/Bigger are mean |C_M| per query.
+	AvgCandidatesBase, AvgCandidatesBigger float64
+}
+
+// RunFeatureSize measures GGSX with path length L versus L+1 over a
+// molecule dataset, no cache involved.
+func RunFeatureSize(seed int64, datasetSize, queries, baseLen int) (*FeatureSizeResult, error) {
+	dataset := MoleculeDataset(seed, datasetSize)
+	w, err := gen.NewWorkload(newRand(seed+7), dataset, gen.WorkloadConfig{
+		Size: queries, Type: ftv.Subgraph, PoolSize: queries,
+		ZipfS: 0, ChainFrac: 0, ChainLen: 2, MinEdges: 4, MaxEdges: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mBase := ftv.NewGGSXMethod(dataset, baseLen)
+	mBig := ftv.NewGGSXMethod(dataset, baseLen+1)
+
+	var statsBase, statsBig PassStats
+	var candBase, candBig int64
+	for _, q := range w.Queries {
+		rb := mBase.Run(q.G, q.Type)
+		statsBase.Queries++
+		statsBase.Tests += int64(rb.Tests)
+		statsBase.TotalTime += rb.TotalTime()
+		candBase += int64(rb.CandidateCount)
+
+		rg := mBig.Run(q.G, q.Type)
+		statsBig.Queries++
+		statsBig.Tests += int64(rg.Tests)
+		statsBig.TotalTime += rg.TotalTime()
+		candBig += int64(rg.CandidateCount)
+	}
+
+	out := &FeatureSizeResult{
+		BaseLen:             baseLen,
+		BiggerLen:           baseLen + 1,
+		IndexBytesBase:      mBase.Filter().IndexBytes(),
+		IndexBytesBigger:    mBig.Filter().IndexBytes(),
+		AvgTimeBase:         statsBase.AvgTime(),
+		AvgTimeBigger:       statsBig.AvgTime(),
+		AvgCandidatesBase:   float64(candBase) / float64(queries),
+		AvgCandidatesBigger: float64(candBig) / float64(queries),
+	}
+	if out.IndexBytesBase > 0 {
+		out.SpaceRatio = float64(out.IndexBytesBigger) / float64(out.IndexBytesBase)
+	}
+	if statsBase.TotalTime > 0 {
+		out.TimeReduction = 1 - float64(statsBig.TotalTime)/float64(statsBase.TotalTime)
+	}
+	return out, nil
+}
+
+// GCOverheadResult is EXP-II-B: GC's memory footprint relative to the FTV
+// index, against the speedup it buys (paper: ≈1% of index space, query
+// speedups up to 40×).
+type GCOverheadResult struct {
+	IndexBytes int
+	CacheBytes int
+	// MemoryRatio = cache/index (paper: ≈ 0.01 for AIDS).
+	MemoryRatio float64
+	Speedups    Speedups
+	HitRate     float64
+}
+
+// RunGCOverhead executes a repeat/containment-heavy workload over GGSX
+// with and without GC and reports the space-for-speed trade.
+func RunGCOverhead(seed int64, datasetSize, queries, cacheCap int) (*GCOverheadResult, error) {
+	dataset := MoleculeDataset(seed, datasetSize)
+	w, err := gen.NewWorkload(newRand(seed+13), dataset, gen.WorkloadConfig{
+		Size: queries, Type: ftv.Subgraph, PoolSize: cacheCap,
+		ZipfS: 1.4, ChainFrac: 0.6, ChainLen: 3, MinEdges: 3, MaxEdges: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	method := ftv.NewGGSXMethod(dataset, 4)
+	base := RunBasePass(method, w.Queries)
+
+	cfg := core.DefaultConfig()
+	cfg.Capacity = cacheCap
+	cfg.Window = 10
+	c, err := core.New(method, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gcp, err := RunGCPass(c, w.Queries)
+	if err != nil {
+		return nil, err
+	}
+	snap := c.Stats()
+	hitQueries := snap.ExactHits + snap.SubHitQueries + snap.SuperHitQueries
+	out := &GCOverheadResult{
+		IndexBytes: method.Filter().IndexBytes(),
+		CacheBytes: c.Bytes(),
+		Speedups:   ComputeSpeedups(base, gcp),
+		HitRate:    float64(hitQueries) / float64(snap.Queries),
+	}
+	if out.IndexBytes > 0 {
+		out.MemoryRatio = float64(out.CacheBytes) / float64(out.IndexBytes)
+	}
+	return out, nil
+}

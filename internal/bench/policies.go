@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+	"graphcache/internal/graph"
+)
+
+// PolicyCell is one cell of the EXP-I policy-competition grid: one
+// workload class crossed with one replacement policy.
+type PolicyCell struct {
+	Workload string
+	Policy   string
+	Speedups Speedups
+	// HitRate is (exact+sub+super hit queries)/queries.
+	HitRate float64
+}
+
+// PolicyWorkloads names the EXP-I workload classes. Each stresses a
+// different utility signal so no single policy can dominate:
+//
+//   - zipf-chain: skewed popularity + containment chains (PIN's home turf)
+//   - uniform-chain: containment without popularity skew (LRU suffers)
+//   - zipf-flat: repeats without containment (POP/LRU do fine)
+//   - costskew-chain: heterogeneous graph sizes so saved tests differ
+//     wildly in price (PINC's home turf)
+func PolicyWorkloads() []string {
+	return []string{"zipf-chain", "uniform-chain", "zipf-flat", "costskew-chain"}
+}
+
+// policyGridSpec builds dataset + workload for a named class.
+func policyGridSpec(name string, seed int64, queries int) ([]*graph.Graph, []gen.Query, error) {
+	var dataset []*graph.Graph
+	// Pool ≈ 3× the cache capacity used below, so replacement decisions
+	// actually matter (a pool that fits entirely in cache saturates every
+	// policy at the same hit rate).
+	cfg := gen.WorkloadConfig{
+		Size: queries, Type: ftv.Subgraph, PoolSize: 150,
+		ChainLen: 3, MinEdges: 3, MaxEdges: 14,
+	}
+	switch name {
+	case "zipf-chain":
+		dataset = MoleculeDataset(seed, 200)
+		cfg.ZipfS, cfg.ChainFrac = 1.2, 0.6
+	case "uniform-chain":
+		dataset = MoleculeDataset(seed+1, 200)
+		cfg.ZipfS, cfg.ChainFrac = 0, 0.7
+	case "zipf-flat":
+		dataset = MoleculeDataset(seed+2, 200)
+		cfg.ZipfS, cfg.ChainFrac = 1.4, 0
+	case "costskew-chain":
+		// Mix two molecule size classes: verification against the large
+		// ones costs an order of magnitude more, separating PIN from PINC.
+		rng := newRand(seed + 3)
+		small := gen.Molecules(rng, 120, gen.MoleculeConfig{MinV: 12, MaxV: 20, RingFrac: 0.08, MaxDegree: 4, Labels: 12})
+		large := gen.Molecules(rng, 80, gen.MoleculeConfig{MinV: 70, MaxV: 110, RingFrac: 0.08, MaxDegree: 4, Labels: 12})
+		dataset = gen.AssignIDs(append(small, large...))
+		cfg.ZipfS, cfg.ChainFrac = 1.2, 0.5
+		cfg.MaxEdges = 10
+	default:
+		dataset = MoleculeDataset(seed, 200)
+		cfg.ZipfS, cfg.ChainFrac = 1.2, 0.5
+	}
+	w, err := gen.NewWorkload(newRand(seed+100), dataset, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dataset, w.Queries, nil
+}
+
+// RunPolicyCompetition reproduces EXP-I (§3.1.I): for every workload class
+// and every policy, the speedup of GC over the base method. The take-away
+// shape to verify: different policies lead on different classes, while HD
+// is best or on par everywhere.
+func RunPolicyCompetition(seed int64, queries int, policies []string) ([]PolicyCell, error) {
+	if len(policies) == 0 {
+		policies = []string{"lru", "pop", "pin", "pinc", "hd"}
+	}
+	var cells []PolicyCell
+	for _, wname := range PolicyWorkloads() {
+		dataset, qs, err := policyGridSpec(wname, seed, queries)
+		if err != nil {
+			return nil, err
+		}
+		method := ftv.NewGGSXMethod(dataset, 3)
+		base := RunBasePass(method, qs)
+
+		for _, pname := range policies {
+			policy, err := core.NewPolicy(pname)
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.DefaultConfig()
+			cfg.Capacity = 50
+			cfg.Window = 10
+			cfg.Policy = policy
+			c, err := core.New(method, cfg)
+			if err != nil {
+				return nil, err
+			}
+			gcp, err := RunGCPass(c, qs)
+			if err != nil {
+				return nil, err
+			}
+			snap := c.Stats()
+			hitQueries := snap.ExactHits + snap.SubHitQueries + snap.SuperHitQueries
+			cells = append(cells, PolicyCell{
+				Workload: wname,
+				Policy:   pname,
+				Speedups: ComputeSpeedups(base, gcp),
+				HitRate:  float64(hitQueries) / float64(snap.Queries),
+			})
+		}
+	}
+	return cells, nil
+}

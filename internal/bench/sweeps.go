@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// SweepPoint is one cell of a parameter sweep: the knob value and the
+// speedups/hit-rate it produced.
+type SweepPoint struct {
+	Value    int
+	Speedups Speedups
+	HitRate  float64
+}
+
+// sweepWorkload builds the shared dataset/workload for the sweeps.
+func sweepWorkload(seed int64, queries int) (*ftv.Method, []gen.Query, error) {
+	dataset := MoleculeDataset(seed, 300)
+	method := ftv.NewGGSXMethod(dataset, 3)
+	w, err := gen.NewWorkload(newRand(seed+5), dataset, gen.WorkloadConfig{
+		Size: queries, Type: ftv.Subgraph, PoolSize: 120,
+		ZipfS: 1.2, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 12,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return method, w.Queries, nil
+}
+
+// RunCapacitySweep measures GC speedup as a function of cache capacity —
+// the classic hit-rate-versus-capacity cache curve of the full GraphCache
+// evaluation. Expected shape: monotone non-decreasing returns with
+// saturation once the working set fits.
+func RunCapacitySweep(seed int64, queries int, capacities []int) ([]SweepPoint, error) {
+	if len(capacities) == 0 {
+		capacities = []int{10, 25, 50, 100, 200}
+	}
+	method, qs, err := sweepWorkload(seed, queries)
+	if err != nil {
+		return nil, err
+	}
+	base := RunBasePass(method, qs)
+	var out []SweepPoint
+	for _, cap := range capacities {
+		cfg := core.DefaultConfig()
+		cfg.Capacity = cap
+		cfg.Window = 10
+		c, err := core.New(method, cfg)
+		if err != nil {
+			return nil, err
+		}
+		gcp, err := RunGCPass(c, qs)
+		if err != nil {
+			return nil, err
+		}
+		snap := c.Stats()
+		hitQ := snap.ExactHits + snap.SubHitQueries + snap.SuperHitQueries
+		out = append(out, SweepPoint{
+			Value:    cap,
+			Speedups: ComputeSpeedups(base, gcp),
+			HitRate:  float64(hitQ) / float64(snap.Queries),
+		})
+	}
+	return out, nil
+}
+
+// RunWindowSweep measures the admission-window size trade-off: small
+// windows admit (and start serving hits) sooner; large windows batch
+// management work but delay availability.
+func RunWindowSweep(seed int64, queries int, windows []int) ([]SweepPoint, error) {
+	if len(windows) == 0 {
+		windows = []int{1, 5, 10, 25}
+	}
+	method, qs, err := sweepWorkload(seed, queries)
+	if err != nil {
+		return nil, err
+	}
+	base := RunBasePass(method, qs)
+	var out []SweepPoint
+	for _, wsize := range windows {
+		cfg := core.DefaultConfig()
+		cfg.Capacity = 50
+		cfg.Window = wsize
+		c, err := core.New(method, cfg)
+		if err != nil {
+			return nil, err
+		}
+		gcp, err := RunGCPass(c, qs)
+		if err != nil {
+			return nil, err
+		}
+		snap := c.Stats()
+		hitQ := snap.ExactHits + snap.SubHitQueries + snap.SuperHitQueries
+		out = append(out, SweepPoint{
+			Value:    wsize,
+			Speedups: ComputeSpeedups(base, gcp),
+			HitRate:  float64(hitQ) / float64(snap.Queries),
+		})
+	}
+	return out, nil
+}
+
+// RunHitBudgetSweep measures the MaxSubHits/MaxSuperHits knob: more hits
+// exploited per query saves more tests but spends more hit-detection work.
+func RunHitBudgetSweep(seed int64, queries int, budgets []int) ([]SweepPoint, error) {
+	if len(budgets) == 0 {
+		budgets = []int{0, 1, 2, 4, 8}
+	}
+	method, qs, err := sweepWorkload(seed, queries)
+	if err != nil {
+		return nil, err
+	}
+	base := RunBasePass(method, qs)
+	var out []SweepPoint
+	for _, b := range budgets {
+		cfg := core.DefaultConfig()
+		cfg.Capacity = 50
+		cfg.Window = 10
+		cfg.MaxSubHits = b
+		cfg.MaxSuperHits = b
+		c, err := core.New(method, cfg)
+		if err != nil {
+			return nil, err
+		}
+		gcp, err := RunGCPass(c, qs)
+		if err != nil {
+			return nil, err
+		}
+		snap := c.Stats()
+		hitQ := snap.ExactHits + snap.SubHitQueries + snap.SuperHitQueries
+		out = append(out, SweepPoint{
+			Value:    b,
+			Speedups: ComputeSpeedups(base, gcp),
+			HitRate:  float64(hitQ) / float64(snap.Queries),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package bench
+
+import "testing"
+
+func TestCapacitySweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	pts, err := RunCapacitySweep(81, 400, []int{5, 50, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Larger caches must not do substantially worse; the largest should
+	// beat the smallest on test speedup.
+	if pts[2].Speedups.Tests < pts[0].Speedups.Tests*0.95 {
+		t.Errorf("capacity curve inverted: %v < %v", pts[2].Speedups.Tests, pts[0].Speedups.Tests)
+	}
+	for _, p := range pts {
+		if p.Speedups.Tests < 1 {
+			t.Errorf("capacity %d: speedup %v < 1", p.Value, p.Speedups.Tests)
+		}
+	}
+}
+
+func TestWindowSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	pts, err := RunWindowSweep(82, 300, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Speedups.Tests < 1 {
+			t.Errorf("window %d: speedup %v < 1", p.Value, p.Speedups.Tests)
+		}
+		if p.HitRate <= 0 {
+			t.Errorf("window %d: no hits", p.Value)
+		}
+	}
+}
+
+func TestHitBudgetSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	pts, err := RunHitBudgetSweep(83, 300, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Budget 0 disables sub/super savings; budget 4 must save at least as
+	// many tests.
+	if pts[1].Speedups.Tests < pts[0].Speedups.Tests*0.95 {
+		t.Errorf("hit budget curve inverted: %v vs %v",
+			pts[1].Speedups.Tests, pts[0].Speedups.Tests)
+	}
+}

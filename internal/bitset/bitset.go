@@ -1,0 +1,245 @@
+// Package bitset provides dense, fixed-capacity bitsets over uint64 words.
+//
+// GraphCache represents answer sets and candidate sets as bitsets indexed by
+// dataset-graph position, so the candidate-set algebra of the kernel
+// (C = (C_M ∩ ⋂ A(h')) \ S) runs word-parallel. The zero value of Set is an
+// empty bitset of capacity 0; use New for a sized one.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset with a fixed capacity chosen at construction.
+// Operations that combine two sets require equal capacity and panic
+// otherwise: mixing sets over different datasets is a programming error,
+// not a runtime condition.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set with capacity for n bits (bit indices 0..n-1).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// NewFull returns a set of capacity n with all n bits set.
+func NewFull(n int) *Set {
+	s := New(n)
+	s.SetAll()
+	return s
+}
+
+// FromIndices returns a set of capacity n with exactly the given bits set.
+func FromIndices(n int, idx []int) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear resets all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// SetAll sets every bit in [0, Len()).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trimTail()
+}
+
+// trimTail clears the unused high bits of the last word so Count and
+// iteration never observe bits beyond the capacity.
+func (s *Set) trimTail() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % wordBits)) - 1
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+func (s *Set) sameCap(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, o.n))
+	}
+}
+
+// And intersects s with o in place (s ∩= o).
+func (s *Set) And(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// AndNot removes o's bits from s in place (s \= o).
+func (s *Set) AndNot(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Or unions o into s in place (s ∪= o).
+func (s *Set) Or(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	s.sameCap(o)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// DifferenceCount returns |s \ o| without allocating.
+func (s *Set) DifferenceCount(o *Set) int {
+	s.sameCap(o)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] &^ o.words[i])
+	}
+	return c
+}
+
+// SubsetOf reports whether every bit of s is also set in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	s.sameCap(o)
+	for i := range s.words {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o have identical capacity and bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the set bits in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Bytes returns the approximate heap footprint of the set in bytes,
+// used by the cache's memory accounting.
+func (s *Set) Bytes() int {
+	return 8*len(s.words) + 24
+}
+
+// String renders the set as a compact index list, e.g. "{1, 4, 7}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

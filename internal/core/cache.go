@@ -1,0 +1,512 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"graphcache/internal/bitset"
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+	"graphcache/internal/stats"
+)
+
+// Cache is the GraphCache kernel deployed over a Method M. It is safe for
+// concurrent use; queries are serialized internally (verification inside a
+// query can still be parallel, see Config.VerifyWorkers).
+type Cache struct {
+	mu     sync.Mutex
+	method *ftv.Method
+	cfg    Config
+	policy Policy
+
+	entries []*Entry
+	byFP    map[graph.Fingerprint][]*Entry
+	window  []*Entry
+	nextID  int
+	tick    int64
+
+	// costEMA tracks per-dataset-graph verification cost (ns); globalCost
+	// backs graphs never verified. Both feed PINC's saved-cost estimates.
+	costEMA    []*stats.EMA
+	globalCost *stats.EMA
+
+	memBytes int
+	mon      Monitor
+}
+
+// defaultCostNs seeds cost estimates before any verification ran.
+const defaultCostNs = 50_000
+
+// New builds a Cache over the method. The config is validated; a nil
+// Policy defaults to a fresh HD instance.
+func New(method *ftv.Method, cfg Config) (*Cache, error) {
+	if err := cfg.validate(method); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewHD()
+	}
+	c := &Cache{
+		method:     method,
+		cfg:        cfg,
+		policy:     cfg.Policy,
+		byFP:       make(map[graph.Fingerprint][]*Entry),
+		costEMA:    make([]*stats.EMA, method.DatasetSize()),
+		globalCost: stats.NewEMA(0.05),
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error, for tests and examples with
+// constant configs.
+func MustNew(method *ftv.Method, cfg Config) *Cache {
+	c, err := New(method, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Method returns the underlying Method M.
+func (c *Cache) Method() *ftv.Method { return c.method }
+
+// PolicyName returns the active replacement policy's name.
+func (c *Cache) PolicyName() string { return c.policy.Name() }
+
+// Len returns the number of admitted entries (excluding the window).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// WindowLen returns the number of entries pending admission.
+func (c *Cache) WindowLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.window)
+}
+
+// Bytes returns the estimated resident size of admitted entries.
+func (c *Cache) Bytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memBytes
+}
+
+// Stats returns a snapshot of the operational counters.
+func (c *Cache) Stats() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.Snapshot()
+}
+
+// Entries returns a copy of the admitted entries slice (the Entry pointers
+// are shared; treat them as read-only). Intended for demonstrators and
+// tests inspecting cache contents.
+func (c *Cache) Entries() []*Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// Execute processes one query through the cache. The returned Result owns
+// its bitsets; callers may mutate them freely.
+func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: nil query graph")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.tick++
+	c.mon.queries++
+	n := c.method.DatasetSize()
+	sig := c.signatureOf(q)
+
+	// Stage 1: exact-match fast path — zero dataset tests.
+	t0 := time.Now()
+	if e := c.findExact(q, qt, sig); e != nil {
+		hitTime := time.Since(t0)
+		saved := e.BaseCandidates
+		ev := &HitEvent{
+			Entry:       e,
+			Kind:        ExactHit,
+			SavedTests:  saved,
+			SavedCostNs: float64(saved) * c.estimatedMeanCost(),
+			Tick:        c.tick,
+		}
+		c.policy.UpdateCacheStaInfo(ev)
+		c.mon.exactHits++
+		c.mon.testsSaved += int64(saved)
+		c.mon.hitNs += hitTime.Nanoseconds()
+		res := &Result{
+			Answers:        e.Answers.Clone(),
+			BaseCandidates: saved,
+			Candidates:     0,
+			Tests:          0,
+			Sure:           e.Answers.Clone(),
+			Excluded:       bitset.New(n),
+			Survivors:      bitset.New(n),
+			Hits:           []HitRef{{EntryID: e.ID, Kind: ExactHit, SavedTests: saved}},
+			ExactHit:       true,
+			HitTime:        hitTime,
+		}
+		c.selfCheck(q, qt, res)
+		return res, nil
+	}
+	hitTime := time.Since(t0)
+
+	// Stage 2: Method M filtering.
+	tf := time.Now()
+	cm := c.method.Candidates(q, qt)
+	filterTime := time.Since(tf)
+
+	// Stage 3: sub/super hit detection over the cache.
+	th := time.Now()
+	hs := c.detectHits(q, qt, sig)
+	hitTime += time.Since(th)
+	c.mon.hitDetectIso += int64(hs.isoTests)
+
+	// Stage 4: candidate algebra. Which direction delivers guaranteed
+	// answers (S) versus pruning (S′) depends on the query type; see the
+	// package comment for the containment proofs.
+	answerHits, pruneHits := hs.sub, hs.super
+	answerKind, pruneKind := SubHit, SuperHit
+	if qt == ftv.Supergraph {
+		answerHits, pruneHits = hs.super, hs.sub
+		answerKind, pruneKind = SuperHit, SubHit
+	}
+
+	sure := bitset.New(n)
+	var hits []HitRef
+	for _, h := range answerHits {
+		saved := h.Answers.IntersectionCount(cm)
+		c.creditHit(h, answerKind, saved, c.costOfSet(h.Answers, cm, true), &hits)
+		sure.Or(h.Answers)
+	}
+	candPruned := cm.Clone()
+	for _, h := range pruneHits {
+		saved := cm.DifferenceCount(h.Answers)
+		c.creditHit(h, pruneKind, saved, c.costOfSet(h.Answers, cm, false), &hits)
+		candPruned.And(h.Answers)
+	}
+	excluded := cm.Clone()
+	excluded.AndNot(candPruned)
+
+	// C = (C_M ∩ ⋂ A(h')) \ S.
+	cand := candPruned.Clone()
+	cand.AndNot(sure)
+
+	if len(hs.sub) > 0 {
+		c.mon.subHitQueries++
+		c.mon.subHits += int64(len(hs.sub))
+	}
+	if len(hs.super) > 0 {
+		c.mon.superHitQuerys++
+		c.mon.superHits += int64(len(hs.super))
+	}
+
+	// Stage 5: verification of the reduced candidate set.
+	tv := time.Now()
+	survivors := c.verify(q, qt, cand)
+	verifyTime := time.Since(tv)
+
+	answers := survivors.Clone()
+	answers.Or(sure)
+
+	tests := cand.Count()
+	c.mon.testsExecuted += int64(tests)
+	c.mon.testsSaved += int64(cm.Count() - tests)
+	c.mon.filterNs += filterTime.Nanoseconds()
+	c.mon.hitNs += hitTime.Nanoseconds()
+	c.mon.verifyNs += verifyTime.Nanoseconds()
+
+	res := &Result{
+		Answers:        answers,
+		BaseCandidates: cm.Count(),
+		Candidates:     tests,
+		Tests:          tests,
+		Sure:           sure,
+		Excluded:       excluded,
+		Survivors:      survivors,
+		Hits:           hits,
+		FilterTime:     filterTime,
+		HitTime:        hitTime,
+		VerifyTime:     verifyTime,
+	}
+	c.selfCheck(q, qt, res)
+
+	// Stage 6: admission via the window manager.
+	c.admit(q, qt, answers.Clone(), cm.Count(), sig)
+	return res, nil
+}
+
+// creditHit updates policy utilities and the result's hit list.
+func (c *Cache) creditHit(h *Entry, kind HitKind, savedTests int, savedCost float64, hits *[]HitRef) {
+	ev := &HitEvent{
+		Entry:       h,
+		Kind:        kind,
+		SavedTests:  savedTests,
+		SavedCostNs: savedCost,
+		Tick:        c.tick,
+	}
+	c.policy.UpdateCacheStaInfo(ev)
+	*hits = append(*hits, HitRef{EntryID: h.ID, Kind: kind, SavedTests: savedTests})
+}
+
+// costOfSet estimates the verification cost (ns) of the tests a hit saved:
+// for answer-delivering hits the graphs in answers ∩ cm; for pruning hits
+// the graphs in cm \ answers.
+func (c *Cache) costOfSet(answers, cm *bitset.Set, intersect bool) float64 {
+	s := answers.Clone()
+	if intersect {
+		s.And(cm)
+	} else {
+		s2 := cm.Clone()
+		s2.AndNot(answers)
+		s = s2
+	}
+	total := 0.0
+	s.ForEach(func(gid int) bool {
+		total += c.estimatedCost(gid)
+		return true
+	})
+	return total
+}
+
+func (c *Cache) estimatedCost(gid int) float64 {
+	if e := c.costEMA[gid]; e != nil && e.Initialized() {
+		return e.Value()
+	}
+	return c.estimatedMeanCost()
+}
+
+func (c *Cache) estimatedMeanCost() float64 {
+	if c.globalCost.Initialized() {
+		return c.globalCost.Value()
+	}
+	return defaultCostNs
+}
+
+// verify runs the sub-iso tests over the candidate set, sequentially or
+// with a bounded worker pool, recording per-graph costs.
+func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) *bitset.Set {
+	n := c.method.DatasetSize()
+	out := bitset.New(n)
+	ids := cand.Indices()
+	if len(ids) == 0 {
+		return out
+	}
+	if c.cfg.VerifyWorkers < 2 || len(ids) < 4 {
+		for _, gid := range ids {
+			t0 := time.Now()
+			ok := c.method.VerifyCandidate(q, gid, qt)
+			c.recordCost(gid, time.Since(t0))
+			if ok {
+				out.Add(gid)
+			}
+		}
+		return out
+	}
+
+	type verdict struct {
+		gid int
+		ok  bool
+		dur time.Duration
+	}
+	workers := c.cfg.VerifyWorkers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	results := make([]verdict, len(ids))
+	var wg sync.WaitGroup
+	chunk := (len(ids) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				gid := ids[i]
+				t0 := time.Now()
+				ok := c.method.VerifyCandidate(q, gid, qt)
+				results[i] = verdict{gid, ok, time.Since(t0)}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, v := range results {
+		c.recordCost(v.gid, v.dur)
+		if v.ok {
+			out.Add(v.gid)
+		}
+	}
+	return out
+}
+
+func (c *Cache) recordCost(gid int, d time.Duration) {
+	if c.costEMA[gid] == nil {
+		c.costEMA[gid] = stats.NewEMA(0.3)
+	}
+	ns := float64(d.Nanoseconds())
+	c.costEMA[gid].Add(ns)
+	c.globalCost.Add(ns)
+}
+
+// admit stages the executed query in the admission window and turns the
+// window when full — the Window Manager.
+func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig) {
+	e := &Entry{
+		ID:             c.nextID,
+		Graph:          q,
+		Type:           qt,
+		Answers:        answers,
+		Fingerprint:    sig.fp,
+		LabelVec:       sig.labelVec,
+		Features:       sig.features,
+		BaseCandidates: baseCandidates,
+		InsertedAt:     c.tick,
+		LastUsed:       c.tick,
+	}
+	c.nextID++
+	c.window = append(c.window, e)
+	if len(c.window) >= c.cfg.Window {
+		c.turnWindow()
+	}
+}
+
+// turnWindow ages utilities, makes room and admits the pending window.
+// Victims are selected among the RESIDENT entries before admission — the
+// newly executed queries always get in, displacing the least-useful cached
+// graphs (Figure 2(c): "10 of which are replaced by the newly coming
+// queries"). Evicting after admission would instead throw away the
+// newcomers, whose utilities are necessarily still zero.
+func (c *Cache) turnWindow() {
+	c.mon.windowTurns++
+	c.policy.OnWindowTurn()
+	for _, e := range c.entries {
+		e.age(c.cfg.DecayFactor)
+	}
+	if excess := len(c.entries) + len(c.window) - c.cfg.Capacity; excess > 0 {
+		c.evict(excess)
+	}
+	for _, e := range c.window {
+		c.entries = append(c.entries, e)
+		c.byFP[e.Fingerprint] = append(c.byFP[e.Fingerprint], e)
+		c.memBytes += e.Bytes()
+		c.mon.admissions++
+	}
+	c.window = c.window[:0]
+
+	// A window larger than the whole capacity can still overflow.
+	if excess := len(c.entries) - c.cfg.Capacity; excess > 0 {
+		c.evict(excess)
+	}
+	for c.cfg.MemoryBudget > 0 && c.memBytes > c.cfg.MemoryBudget && len(c.entries) > 1 {
+		c.evict(1)
+	}
+}
+
+// evict removes x entries chosen by the policy, sanitizing the returned
+// positions defensively against buggy custom policies (duplicates or
+// out-of-range indices are dropped; a shortfall is filled FIFO).
+func (c *Cache) evict(x int) {
+	if x <= 0 || len(c.entries) == 0 {
+		return
+	}
+	if x > len(c.entries) {
+		x = len(c.entries)
+	}
+	pos := c.policy.ReplacedContent(c.entries, x)
+	seen := make(map[int]bool, len(pos))
+	var victims []int
+	for _, p := range pos {
+		if p >= 0 && p < len(c.entries) && !seen[p] {
+			seen[p] = true
+			victims = append(victims, p)
+			if len(victims) == x {
+				break
+			}
+		}
+	}
+	if len(victims) < x {
+		// Fill the shortfall oldest-first.
+		order := make([]int, len(c.entries))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return c.entries[order[a]].InsertedAt < c.entries[order[b]].InsertedAt
+		})
+		for _, p := range order {
+			if !seen[p] {
+				seen[p] = true
+				victims = append(victims, p)
+				if len(victims) == x {
+					break
+				}
+			}
+		}
+	}
+
+	evictSet := make(map[int]bool, len(victims))
+	for _, p := range victims {
+		evictSet[p] = true
+	}
+	kept := c.entries[:0]
+	for i, e := range c.entries {
+		if evictSet[i] {
+			c.removeFromFP(e)
+			c.memBytes -= e.Bytes()
+			c.mon.evictions++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Zero the tail so evicted entries are collectable.
+	for i := len(kept); i < len(c.entries); i++ {
+		c.entries[i] = nil
+	}
+	c.entries = kept
+}
+
+func (c *Cache) removeFromFP(e *Entry) {
+	list := c.byFP[e.Fingerprint]
+	for i, x := range list {
+		if x == e {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(c.byFP, e.Fingerprint)
+	} else {
+		c.byFP[e.Fingerprint] = list
+	}
+}
+
+// selfCheck cross-validates a result against the uncached method when
+// enabled; any mismatch is a kernel bug, hence the panic.
+func (c *Cache) selfCheck(q *graph.Graph, qt ftv.QueryType, res *Result) {
+	if !c.cfg.SelfCheck {
+		return
+	}
+	base := c.method.Run(q, qt)
+	if !base.Answers.Equal(res.Answers) {
+		panic(fmt.Sprintf("core: self-check failed for %s query %v: cache %v, base %v",
+			qt, q, res.Answers, base.Answers))
+	}
+}

@@ -1,0 +1,121 @@
+// Package core implements the GraphCache (GC) kernel: a semantic cache of
+// executed subgraph/supergraph queries that expedites future queries by
+// harnessing exact-match, subgraph ("sub case") and supergraph ("super
+// case") cache hits.
+//
+// # Semantics
+//
+// The cache sits on top of a Method M (package ftv): a filter producing a
+// candidate set C_M plus a sub-iso verifier. For a new query q the kernel:
+//
+//  1. looks for an exact-match hit (an isomorphic cached query of the same
+//     type) and, if found, serves the cached answer with zero dataset
+//     sub-iso tests;
+//  2. otherwise runs M's filter to obtain C_M, then detects
+//     - sub-case hits: cached queries h with q ⊑ h, and
+//     - super-case hits: cached queries h with h ⊑ q;
+//  3. turns hits into savings. For a subgraph query
+//     (A(q) = {G : q ⊑ G}):
+//     - a sub-case hit gives A(h) ⊆ A(q): every graph in A(h) is an
+//     answer for sure (set S, Figure 3(c)), skipping its test;
+//     - a super-case hit gives A(q) ⊆ A(h): graphs outside A(h) are
+//     non-answers for sure (set S', Figure 3(d)).
+//     For a supergraph query (A(q) = {G : G ⊑ q}) the roles flip:
+//     super-case hits deliver S, sub-case hits deliver S'.
+//  4. verifies only C = (C_M ∩ ⋂ pruning-hit answers) \ S and returns
+//     A = R ∪ S, where R are the verification survivors (Figure 3(f)–(h)).
+//
+// Correctness: members of S are answers by transitivity of subgraph
+// isomorphism; members of S' are non-answers by contraposition; everything
+// else is verified. Hence no false positives and no false negatives —
+// property-tested in this package against the uncached Method M.
+//
+// # Management
+//
+// Executed queries enter an admission window (Window Manager); at window
+// boundaries they are admitted into the cache and, if the cache exceeds
+// its capacity, a replacement Policy selects victims (LRU, POP, PIN, PINC,
+// HD, and pluggable custom policies per Figure 2(d)). A Statistics
+// Monitor/Manager tracks per-query and per-entry utilities, including the
+// number of sub-iso tests each cached entry saved (PIN) and their measured
+// cost (PINC).
+package core
+
+import (
+	"fmt"
+
+	"graphcache/internal/ftv"
+)
+
+// Config parameterizes a Cache. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// Capacity is the maximum number of cached queries (the demo uses 50).
+	Capacity int
+	// Window is the admission-window size W: executed queries are buffered
+	// and admitted in batches of Window (the demo workload size is 10).
+	Window int
+	// Policy is the replacement policy. Nil defaults to HD, the paper's
+	// "when in doubt" recommendation.
+	Policy Policy
+	// MaxSubHits and MaxSuperHits bound how many hits of each kind are
+	// exploited per query, so hit-detection cost cannot swamp its benefit.
+	MaxSubHits, MaxSuperHits int
+	// FeatureLen is the path-feature length of the cache's query index
+	// (the iGQ-style pre-filter applied before any q↔h iso test).
+	FeatureLen int
+	// HitIsoBudget caps VF2 recursions per q↔h containment test; 0 means
+	// unlimited. An aborted test is treated as "no hit" (sound: hits only
+	// ever shrink work, never correctness).
+	HitIsoBudget int64
+	// VerifyWorkers is the number of goroutines verifying candidates;
+	// values < 2 mean sequential verification.
+	VerifyWorkers int
+	// MemoryBudget, when positive, caps the estimated resident bytes of
+	// cached entries (graphs + answer sets); eviction triggers on overflow
+	// even below Capacity.
+	MemoryBudget int
+	// DecayFactor ages PIN/PINC utilities at every window turn, keeping
+	// policies workload-adaptive. Must be in (0, 1]; 1 disables aging.
+	DecayFactor float64
+	// SelfCheck re-executes every query on the base method and panics on
+	// any answer mismatch. For tests and demos only.
+	SelfCheck bool
+}
+
+// DefaultConfig mirrors the demo deployment: a 50-entry cache, a 10-query
+// admission window, HD replacement.
+func DefaultConfig() Config {
+	return Config{
+		Capacity:     50,
+		Window:       10,
+		Policy:       nil, // NewHD() at construction, avoiding shared state
+		MaxSubHits:   4,
+		MaxSuperHits: 4,
+		FeatureLen:   2,
+		HitIsoBudget: 20000,
+		DecayFactor:  0.8,
+	}
+}
+
+func (c *Config) validate(method *ftv.Method) error {
+	if method == nil {
+		return fmt.Errorf("core: nil method")
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("core: capacity must be positive, got %d", c.Capacity)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("core: window must be positive, got %d", c.Window)
+	}
+	if c.DecayFactor <= 0 || c.DecayFactor > 1 {
+		return fmt.Errorf("core: decay factor must be in (0,1], got %v", c.DecayFactor)
+	}
+	if c.MaxSubHits < 0 || c.MaxSuperHits < 0 {
+		return fmt.Errorf("core: hit budgets must be non-negative")
+	}
+	if c.FeatureLen < 0 {
+		return fmt.Errorf("core: feature length must be non-negative")
+	}
+	return nil
+}

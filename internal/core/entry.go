@@ -1,0 +1,78 @@
+package core
+
+import (
+	"graphcache/internal/bitset"
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+)
+
+// Entry is one cached query: the pattern graph, its exact answer set and
+// the metadata consulted by hit detection and replacement policies.
+// Entries are owned by the Cache; policies read them through the slices
+// handed to ReplacedContent.
+type Entry struct {
+	// ID is a cache-unique, monotonically assigned identifier.
+	ID int
+	// Graph is the query pattern.
+	Graph *graph.Graph
+	// Type is the query semantics the answers correspond to.
+	Type ftv.QueryType
+	// Answers is the exact answer set over dataset positions.
+	Answers *bitset.Set
+
+	// Fingerprint, LabelVec and Features index the entry for hit
+	// detection: fingerprint equality pre-filters exact-match candidates;
+	// label-vector and path-feature dominance pre-filter sub/super
+	// candidates before any iso test.
+	Fingerprint graph.Fingerprint
+	LabelVec    graph.LabelVector
+	Features    featureVec
+
+	// BaseCandidates is |C_M| when the query was originally executed —
+	// the number of sub-iso tests an exact-match hit on this entry saves.
+	BaseCandidates int
+
+	// InsertedAt and LastUsed are query ticks (LRU/FIFO state).
+	InsertedAt int64
+	LastUsed   int64
+	// Hits counts how many queries this entry contributed to (POP).
+	Hits int64
+	// SavedTests accumulates the number of dataset sub-iso tests this
+	// entry saved (PIN utility), aged by the window decay factor.
+	SavedTests float64
+	// SavedCostNs accumulates the estimated cost of those saved tests in
+	// nanoseconds (PINC utility), aged likewise.
+	SavedCostNs float64
+}
+
+// newEntry builds an Entry for an executed query.
+func newEntry(id int, q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, featureLen int, tick int64) *Entry {
+	return &Entry{
+		ID:             id,
+		Graph:          q,
+		Type:           qt,
+		Answers:        answers,
+		Fingerprint:    q.WLFingerprint(3),
+		LabelVec:       graph.LabelVectorOf(q),
+		Features:       pathFeatures(q, featureLen),
+		BaseCandidates: baseCandidates,
+		InsertedAt:     tick,
+		LastUsed:       tick,
+	}
+}
+
+// Bytes estimates the entry's resident size for the memory budget.
+func (e *Entry) Bytes() int {
+	b := 160 // struct + label vector + bookkeeping
+	b += e.Graph.Bytes()
+	b += e.Answers.Bytes()
+	b += 12 * len(e.Features)
+	b += 8 * len(e.LabelVec)
+	return b
+}
+
+// age decays the adaptive utilities by factor.
+func (e *Entry) age(factor float64) {
+	e.SavedTests *= factor
+	e.SavedCostNs *= factor
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+)
+
+func randomLabelled(rng *rand.Rand, n, labels int, p float64) *graph.Graph {
+	ls := make([]graph.Label, n)
+	for i := range ls {
+		ls[i] = graph.Label(rng.Intn(labels))
+	}
+	var es [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	return graph.MustNew(ls, es)
+}
+
+func TestPathFeaturesSingleEdge(t *testing.T) {
+	g := graph.MustNew([]graph.Label{1, 2}, [][2]int{{0, 1}})
+	fv := pathFeatures(g, 2)
+	// Features: label-1 vertex, label-2 vertex, path 1-2. Three distinct.
+	if len(fv) != 3 {
+		t.Fatalf("feature count = %d, want 3", len(fv))
+	}
+	for _, fc := range fv {
+		if fc.count != 1 {
+			t.Errorf("feature count = %d, want 1", fc.count)
+		}
+	}
+}
+
+func TestPathFeaturesTriangleCounts(t *testing.T) {
+	g := graph.MustNew([]graph.Label{0, 0, 0}, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	fv := pathFeatures(g, 1)
+	// Features: single vertex "0" ×3, edge "0-0" ×3 (each undirected edge
+	// once; palindromes counted twice → 6).
+	var vertexCount, edgeCount int32
+	for _, fc := range fv {
+		switch {
+		case fc.count == 3:
+			vertexCount = fc.count
+		case fc.count == 6:
+			edgeCount = fc.count
+		}
+	}
+	if vertexCount != 3 {
+		t.Errorf("vertex feature count = %d, want 3", vertexCount)
+	}
+	if edgeCount != 6 {
+		t.Errorf("palindromic edge count = %d, want 6 (both directions)", edgeCount)
+	}
+}
+
+func TestPathFeaturesZeroLen(t *testing.T) {
+	g := graph.MustNew([]graph.Label{1, 1, 2}, [][2]int{{0, 1}, {1, 2}})
+	fv := pathFeatures(g, 0)
+	// Only vertex labels: "1"×2, "2"×1.
+	if len(fv) != 2 {
+		t.Fatalf("feature count = %d, want 2", len(fv))
+	}
+}
+
+// Soundness: if p ⊑ g then features(p) must be dominated by features(g).
+func TestFeatureDominanceNecessary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		g := randomLabelled(rng, 8, 2, 0.4)
+		// Build p as a partial copy of g (subset of edges of an induced
+		// subgraph), guaranteeing p ⊑ g.
+		k := 3 + rng.Intn(4)
+		verts := rng.Perm(8)[:k]
+		ind, err := g.InducedSubgraph(verts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drop some edges.
+		var keep [][2]int
+		for _, e := range ind.Edges() {
+			if rng.Float64() < 0.7 {
+				keep = append(keep, e)
+			}
+		}
+		p := graph.MustNew(ind.Labels(), keep)
+		if !iso.SubIso(p, g) {
+			t.Fatal("test construction broken: p not ⊑ g")
+		}
+		for _, L := range []int{0, 1, 2, 3} {
+			fp := pathFeatures(p, L)
+			fg := pathFeatures(g, L)
+			if !fp.dominatedBy(fg) {
+				t.Fatalf("trial %d L=%d: features of subgraph not dominated", trial, L)
+			}
+		}
+	}
+}
+
+func TestFeatureDominanceRejects(t *testing.T) {
+	// A triangle has a feature (closed paths of its labels at length 2:
+	// 0-0-0 with higher count) that a single edge lacks.
+	tri := graph.MustNew([]graph.Label{0, 0, 0}, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	edge := graph.MustNew([]graph.Label{0, 0}, [][2]int{{0, 1}})
+	ftri := pathFeatures(tri, 2)
+	fedge := pathFeatures(edge, 2)
+	if ftri.dominatedBy(fedge) {
+		t.Error("triangle features should not be dominated by an edge's")
+	}
+	if !fedge.dominatedBy(ftri) {
+		t.Error("edge features should be dominated by triangle's")
+	}
+}
+
+func TestDominatedBySelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomLabelled(rng, 10, 3, 0.3)
+	fv := pathFeatures(g, 2)
+	if !fv.dominatedBy(fv) {
+		t.Error("feature vector must dominate itself")
+	}
+	var empty featureVec
+	if !empty.dominatedBy(fv) {
+		t.Error("empty vector dominated by anything")
+	}
+	if len(fv) > 0 && fv.dominatedBy(empty) {
+		t.Error("non-empty vector not dominated by empty")
+	}
+}
+
+func TestCanonicalDir(t *testing.T) {
+	cases := []struct {
+		seq  []graph.Label
+		want bool
+	}{
+		{[]graph.Label{1}, true},
+		{[]graph.Label{1, 2}, true},
+		{[]graph.Label{2, 1}, false},
+		{[]graph.Label{1, 1}, true},
+		{[]graph.Label{1, 2, 1}, true},
+		{[]graph.Label{2, 5, 1}, false},
+		{[]graph.Label{1, 5, 2}, true},
+	}
+	for _, c := range cases {
+		if got := canonicalDir(c.seq); got != c.want {
+			t.Errorf("canonicalDir(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestHashSeqLengthSensitive(t *testing.T) {
+	a := hashSeq([]graph.Label{1, 1})
+	b := hashSeq([]graph.Label{1, 1, 1})
+	if a == b {
+		t.Error("hash should distinguish path lengths")
+	}
+}

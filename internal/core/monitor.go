@@ -1,0 +1,79 @@
+package core
+
+import "time"
+
+// Monitor is the Statistics Monitor/Manager: cumulative operational
+// metrics over a cache's lifetime, powering the Demonstrator's Sub-Iso
+// Testing / Query Time / Cache Replacement panels.
+type Monitor struct {
+	queries        int64
+	exactHits      int64 // queries answered purely from cache
+	subHitQueries  int64 // queries with ≥1 sub-case hit
+	superHitQuerys int64
+	subHits        int64 // total hit contributions
+	superHits      int64
+	testsExecuted  int64
+	testsSaved     int64
+	hitDetectIso   int64 // iso tests against cached queries
+	admissions     int64
+	evictions      int64
+	windowTurns    int64
+	filterNs       int64
+	hitNs          int64
+	verifyNs       int64
+}
+
+// Snapshot is an immutable copy of the monitor's counters.
+type Snapshot struct {
+	// Queries is the number of executed queries.
+	Queries int64
+	// ExactHits counts queries served entirely from cache.
+	ExactHits int64
+	// SubHitQueries / SuperHitQueries count queries that had at least one
+	// hit of that kind; SubHits / SuperHits count total contributions.
+	SubHitQueries, SuperHitQueries int64
+	SubHits, SuperHits             int64
+	// TestsExecuted / TestsSaved count dataset sub-iso tests run vs
+	// avoided thanks to the cache (savings vs the base Method M's C_M).
+	TestsExecuted, TestsSaved int64
+	// HitDetectionTests counts q↔h iso tests spent discovering hits —
+	// the overhead side of the cache's ledger.
+	HitDetectionTests int64
+	// Admissions / Evictions / WindowTurns are Cache-Manager counters.
+	Admissions, Evictions, WindowTurns int64
+	// FilterTime, HitTime and VerifyTime split where query time went.
+	FilterTime, HitTime, VerifyTime time.Duration
+}
+
+// Snapshot returns a copy of the current counters.
+func (m *Monitor) Snapshot() Snapshot {
+	return Snapshot{
+		Queries:           m.queries,
+		ExactHits:         m.exactHits,
+		SubHitQueries:     m.subHitQueries,
+		SuperHitQueries:   m.superHitQuerys,
+		SubHits:           m.subHits,
+		SuperHits:         m.superHits,
+		TestsExecuted:     m.testsExecuted,
+		TestsSaved:        m.testsSaved,
+		HitDetectionTests: m.hitDetectIso,
+		Admissions:        m.admissions,
+		Evictions:         m.evictions,
+		WindowTurns:       m.windowTurns,
+		FilterTime:        time.Duration(m.filterNs),
+		HitTime:           time.Duration(m.hitNs),
+		VerifyTime:        time.Duration(m.verifyNs),
+	}
+}
+
+// TestSpeedup returns the paper's speedup metric in sub-iso test numbers:
+// base tests (executed + saved) over executed tests; 1 when nothing ran.
+func (s Snapshot) TestSpeedup() float64 {
+	if s.TestsExecuted == 0 {
+		if s.TestsSaved > 0 {
+			return float64(s.TestsSaved + 1) // all tests avoided
+		}
+		return 1
+	}
+	return float64(s.TestsExecuted+s.TestsSaved) / float64(s.TestsExecuted)
+}

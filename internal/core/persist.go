@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"graphcache/internal/bitset"
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+)
+
+// Cache state persistence: a warm cache is the product of an expensive
+// query history, so a production deployment wants to survive restarts.
+// WriteState serializes the admitted entries (pending window entries are
+// deliberately excluded — they have not passed admission control);
+// ReadState restores them into a cache built over the SAME dataset, since
+// answer sets are stored as dataset positions.
+//
+// Format (line-oriented, versioned):
+//
+//	gcstate 1 <dataset-size>
+//	entry <type> <baseCandidates> <hits> <savedTests> <savedCostNs>
+//	answers <id> <id> ...
+//	<graph in the text codec>
+//	...
+//
+// Recency/insertion ticks are reset on load (the new process has its own
+// clock); utility counters survive.
+
+const stateVersion = 1
+
+// WriteState serializes the cache's admitted entries to w.
+func (c *Cache) WriteState(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "gcstate %d %d\n", stateVersion, c.method.DatasetSize())
+	for _, e := range c.entries {
+		fmt.Fprintf(bw, "entry %d %d %d %g %g\n",
+			e.Type, e.BaseCandidates, e.Hits, e.SavedTests, e.SavedCostNs)
+		ids := e.Answers.Indices()
+		fmt.Fprint(bw, "answers")
+		for _, id := range ids {
+			fmt.Fprintf(bw, " %d", id)
+		}
+		fmt.Fprintln(bw)
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := graph.WriteGraph(w, e.Graph); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadState restores entries serialized by WriteState into the cache,
+// replacing its current contents. The cache's dataset size must match the
+// recorded one; anything else indicates the state belongs to a different
+// deployment.
+func (c *Cache) ReadState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("core: reading state header: %w", err)
+	}
+	var version, dsSize int
+	if _, err := fmt.Sscanf(header, "gcstate %d %d", &version, &dsSize); err != nil {
+		return fmt.Errorf("core: bad state header %q", strings.TrimSpace(header))
+	}
+	if version != stateVersion {
+		return fmt.Errorf("core: unsupported state version %d", version)
+	}
+	if dsSize != c.method.DatasetSize() {
+		return fmt.Errorf("core: state is for a %d-graph dataset, cache has %d", dsSize, c.method.DatasetSize())
+	}
+
+	type pending struct {
+		qt             ftv.QueryType
+		baseCandidates int
+		hits           int64
+		savedTests     float64
+		savedCost      float64
+		answers        []int
+		graphText      strings.Builder
+	}
+	var items []*pending
+	var cur *pending
+	for {
+		line, err := br.ReadString('\n')
+		if line == "" && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+		trimmed := strings.TrimSpace(line)
+		fields := strings.Fields(trimmed)
+		switch {
+		case len(fields) > 0 && fields[0] == "entry":
+			if len(fields) != 6 {
+				return fmt.Errorf("core: bad entry line %q", trimmed)
+			}
+			cur = &pending{}
+			qt, err1 := strconv.Atoi(fields[1])
+			bc, err2 := strconv.Atoi(fields[2])
+			hits, err3 := strconv.ParseInt(fields[3], 10, 64)
+			st, err4 := strconv.ParseFloat(fields[4], 64)
+			sc, err5 := strconv.ParseFloat(fields[5], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+				return fmt.Errorf("core: bad entry line %q", trimmed)
+			}
+			cur.qt = ftv.QueryType(qt)
+			cur.baseCandidates = bc
+			cur.hits = hits
+			cur.savedTests = st
+			cur.savedCost = sc
+			items = append(items, cur)
+		case len(fields) > 0 && fields[0] == "answers":
+			if cur == nil {
+				return fmt.Errorf("core: answers line before entry line")
+			}
+			for _, f := range fields[1:] {
+				id, err := strconv.Atoi(f)
+				if err != nil || id < 0 || id >= dsSize {
+					return fmt.Errorf("core: bad answer id %q", f)
+				}
+				cur.answers = append(cur.answers, id)
+			}
+		default:
+			if cur == nil {
+				return fmt.Errorf("core: graph text before entry line: %q", trimmed)
+			}
+			cur.graphText.WriteString(line)
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+
+	entries := make([]*Entry, 0, len(items))
+	for i, it := range items {
+		gs, err := graph.ReadAll(strings.NewReader(it.graphText.String()))
+		if err != nil {
+			return fmt.Errorf("core: state entry %d: %w", i, err)
+		}
+		if len(gs) != 1 {
+			return fmt.Errorf("core: state entry %d: want one graph, got %d", i, len(gs))
+		}
+		answers := bitset.FromIndices(dsSize, it.answers)
+		e := newEntry(0, gs[0], it.qt, answers, it.baseCandidates, c.cfg.FeatureLen, 0)
+		e.Hits = it.hits
+		e.SavedTests = it.savedTests
+		e.SavedCostNs = it.savedCost
+		entries = append(entries, e)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = c.entries[:0]
+	c.byFP = make(map[graph.Fingerprint][]*Entry)
+	c.window = c.window[:0]
+	c.memBytes = 0
+	for _, e := range entries {
+		e.ID = c.nextID
+		c.nextID++
+		e.InsertedAt = c.tick
+		e.LastUsed = c.tick
+		c.entries = append(c.entries, e)
+		c.byFP[e.Fingerprint] = append(c.byFP[e.Fingerprint], e)
+		c.memBytes += e.Bytes()
+	}
+	if excess := len(c.entries) - c.cfg.Capacity; excess > 0 {
+		c.evict(excess)
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+func TestStateRoundTrip(t *testing.T) {
+	dataset := testDataset(71, 25)
+	method := ftv.NewGGSXMethod(dataset, 3)
+	cfg := DefaultConfig()
+	cfg.Window = 2
+	src, err := New(method, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	var queries []gen.Query
+	for i := 0; i < 12; i++ {
+		q := gen.ExtractConnectedSubgraph(rng, dataset[i%len(dataset)], 3+i%5)
+		queries = append(queries, gen.Query{G: q, Type: ftv.Subgraph})
+		if _, err := src.Execute(q, ftv.Subgraph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if src.Len() == 0 {
+		t.Fatal("no admitted entries to persist")
+	}
+
+	var buf bytes.Buffer
+	if err := src.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(method, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ReadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored %d entries, want %d", dst.Len(), src.Len())
+	}
+
+	// Every admitted query must now exact-hit on the restored cache with
+	// identical answers.
+	srcEntries := src.Entries()
+	for _, e := range srcEntries {
+		res, err := dst.Execute(e.Graph, e.Type)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.ExactHit {
+			t.Fatalf("restored cache missed entry %d", e.ID)
+		}
+		if !res.Answers.Equal(e.Answers) {
+			t.Fatalf("restored answers differ for entry %d", e.ID)
+		}
+	}
+	// Utility counters survive the round trip: every restored entry's hit
+	// count is at least its persisted value (the exact-hit loop above only
+	// adds).
+	for _, d := range dst.Entries() {
+		for _, s := range srcEntries {
+			if s.Fingerprint == d.Fingerprint && d.Hits < s.Hits {
+				t.Fatalf("entry hit counter shrank through persistence: %d < %d", d.Hits, s.Hits)
+			}
+		}
+	}
+}
+
+func TestStateRejectsMismatchedDataset(t *testing.T) {
+	datasetA := testDataset(73, 10)
+	datasetB := testDataset(74, 12)
+	a, err := New(ftv.NewGGSXMethod(datasetA, 2), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(ftv.NewGGSXMethod(datasetB, 2), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReadState(&buf); err == nil {
+		t.Error("mismatched dataset size should be rejected")
+	}
+}
+
+func TestStateRejectsGarbage(t *testing.T) {
+	dataset := testDataset(75, 5)
+	c, err := New(ftv.NewGGSXMethod(dataset, 2), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"",
+		"not a header\n",
+		"gcstate 99 5\n",
+		"gcstate 1 5\nanswers 1 2\n",
+		"gcstate 1 5\nentry 0 1 0 0 0\nanswers 900\n",
+		"gcstate 1 5\nentry 0 x 0 0 0\n",
+	}
+	for i, in := range cases {
+		if err := c.ReadState(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: garbage state accepted", i)
+		}
+	}
+}
+
+func TestStateCapacityEnforcedOnLoad(t *testing.T) {
+	dataset := testDataset(76, 20)
+	method := ftv.NewGGSXMethod(dataset, 3)
+	bigCfg := DefaultConfig()
+	bigCfg.Capacity = 50
+	bigCfg.Window = 1
+	big, err := New(method, bigCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 10; i++ {
+		q := gen.ExtractConnectedSubgraph(rng, dataset[i%len(dataset)], 3+i%4)
+		if _, err := big.Execute(q, ftv.Subgraph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := big.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	smallCfg := DefaultConfig()
+	smallCfg.Capacity = 3
+	small, err := New(method, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := small.ReadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if small.Len() > 3 {
+		t.Errorf("restored cache exceeds capacity: %d", small.Len())
+	}
+}
+
+func TestStateDirectedEntries(t *testing.T) {
+	dataset := circuitDataset(78, 15)
+	method := ftv.NewGGSXMethod(dataset, 2)
+	cfg := DefaultConfig()
+	cfg.Window = 1
+	c, err := New(method, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(79))
+	q := gen.ExtractConnectedSubgraph(rng, dataset[0], 4)
+	if _, err := c.Execute(q, ftv.Subgraph); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(method, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ReadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := restored.Execute(q, ftv.Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExactHit {
+		t.Error("directed entry lost through persistence")
+	}
+}

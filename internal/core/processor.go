@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sort"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+)
+
+// querySig bundles the per-query signatures computed once and reused by
+// exact-match detection and sub/super candidate pre-filtering.
+type querySig struct {
+	fp       graph.Fingerprint
+	labelVec graph.LabelVector
+	features featureVec
+}
+
+func (c *Cache) signatureOf(q *graph.Graph) querySig {
+	return querySig{
+		fp:       q.WLFingerprint(3),
+		labelVec: graph.LabelVectorOf(q),
+		features: pathFeatures(q, c.cfg.FeatureLen),
+	}
+}
+
+// findExact returns a cached (or window-pending) entry isomorphic to q
+// with the same query type, or nil. Fingerprint equality pre-filters;
+// VF2 confirms (fingerprints can collide, never the reverse).
+func (c *Cache) findExact(q *graph.Graph, qt ftv.QueryType, sig querySig) *Entry {
+	for _, e := range c.byFP[sig.fp] {
+		if e.Type == qt && iso.Isomorphic(q, e.Graph) {
+			return e
+		}
+	}
+	for _, e := range c.window {
+		if e.Type == qt && e.Fingerprint == sig.fp && iso.Isomorphic(q, e.Graph) {
+			return e
+		}
+	}
+	return nil
+}
+
+// hitSet is the outcome of sub/super hit detection.
+type hitSet struct {
+	// sub holds entries h with q ⊑ h (the paper's "sub case").
+	sub []*Entry
+	// super holds entries h with h ⊑ q (the "super case").
+	super []*Entry
+	// isoTests counts q↔h containment tests spent.
+	isoTests int
+}
+
+// detectHits scans the admitted entries of the query's type for sub/super
+// hits. Candidates are pre-filtered by size, label-vector and path-feature
+// dominance (the iGQ-style cache index), ranked by expected benefit, and
+// confirmed with budgeted VF2 runs: per direction at most 2× the hit
+// budget of attempts and at most the budget of accepted hits.
+func (c *Cache) detectHits(q *graph.Graph, qt ftv.QueryType, sig querySig) hitSet {
+	var hs hitSet
+	if c.cfg.MaxSubHits == 0 && c.cfg.MaxSuperHits == 0 {
+		return hs
+	}
+	var subCand, superCand []*Entry
+	for _, e := range c.entries {
+		if e.Type != qt {
+			continue
+		}
+		// Sub case q ⊑ h requires q to "fit inside" h.
+		if q.N() <= e.Graph.N() && q.M() <= e.Graph.M() &&
+			sig.labelVec.DominatedBy(e.LabelVec) && sig.features.dominatedBy(e.Features) {
+			subCand = append(subCand, e)
+			continue
+		}
+		// Super case h ⊑ q requires h to fit inside q.
+		if e.Graph.N() <= q.N() && e.Graph.M() <= q.M() &&
+			e.LabelVec.DominatedBy(sig.labelVec) && e.Features.dominatedBy(sig.features) {
+			superCand = append(superCand, e)
+		}
+	}
+
+	// Benefit ranking. Which direction delivers answers vs pruning depends
+	// on the query type, but the proxy is the same either way: for
+	// answer-delivering hits, larger answer sets save more tests; for
+	// pruning hits, smaller answer sets exclude more candidates.
+	answersDeliverIsSub := qt == ftv.Subgraph
+	sort.Slice(subCand, func(i, j int) bool {
+		ai, aj := subCand[i].Answers.Count(), subCand[j].Answers.Count()
+		if answersDeliverIsSub {
+			return ai > aj
+		}
+		return ai < aj
+	})
+	sort.Slice(superCand, func(i, j int) bool {
+		ai, aj := superCand[i].Answers.Count(), superCand[j].Answers.Count()
+		if answersDeliverIsSub {
+			return ai < aj
+		}
+		return ai > aj
+	})
+
+	opts := iso.Options{MaxRecursions: c.cfg.HitIsoBudget}
+	attempts := 0
+	for _, e := range subCand {
+		if len(hs.sub) >= c.cfg.MaxSubHits || attempts >= 2*c.cfg.MaxSubHits {
+			break
+		}
+		attempts++
+		hs.isoTests++
+		if ok, _ := iso.VF2(q, e.Graph, opts); ok {
+			hs.sub = append(hs.sub, e)
+		}
+	}
+	attempts = 0
+	for _, e := range superCand {
+		if len(hs.super) >= c.cfg.MaxSuperHits || attempts >= 2*c.cfg.MaxSuperHits {
+			break
+		}
+		attempts++
+		hs.isoTests++
+		if ok, _ := iso.VF2(e.Graph, q, opts); ok {
+			hs.super = append(hs.super, e)
+		}
+	}
+	return hs
+}

@@ -1,0 +1,276 @@
+package ftv
+
+import (
+	"sort"
+
+	"graphcache/internal/bitset"
+	"graphcache/internal/graph"
+)
+
+// GGSX is a GraphGrepSX-style FTV filter: a suffix trie over the
+// vertex-label sequences of simple paths with at most MaxLen edges,
+// annotated with per-graph occurrence counts.
+//
+// Soundness: an embedding of q into G maps every directed simple path of q
+// to a distinct directed simple path of G with the same label sequence, so
+// count_q(f) ≤ count_G(f) for every path feature f is necessary for
+// q ⊑ G (and dually for supergraph queries). Both dataset and query paths
+// are enumerated as directed traversals, so the counting convention
+// cancels out.
+//
+// The trie stores a node per distinct label-sequence prefix; postings are
+// (graph id, count) pairs sorted by id. A per-graph forward index of
+// (node id, count) pairs supports the supergraph direction.
+type GGSX struct {
+	maxLen  int
+	n       int
+	root    *trieNode
+	nodes   []*trieNode // by node id
+	forward [][]nodeCount
+	bytes   int
+}
+
+type trieNode struct {
+	id       int32
+	children map[trieKey]*trieNode
+	postings []posting // sorted by gid
+	minCount int32     // smallest per-graph count (supergraph fast reject helper)
+}
+
+// trieKey is one trie step: the edge label leading to the vertex (0 for
+// the path's first vertex and for unlabelled edges) plus the vertex label.
+// Edge labels participating in the key carry the paper's generalization to
+// edge-labelled graphs through the filter.
+type trieKey struct {
+	edge   graph.Label
+	vertex graph.Label
+}
+
+type posting struct {
+	gid   int32
+	count int32
+}
+
+type nodeCount struct {
+	node  int32
+	count int32
+}
+
+// NewGGSX builds the index over the dataset, indexing label paths with up
+// to maxLen edges (maxLen+1 vertices). maxLen is the "feature size" knob
+// of experiment EXP-II; GraphGrepSX's customary default is 4.
+func NewGGSX(dataset []*graph.Graph, maxLen int) *GGSX {
+	if maxLen < 0 {
+		maxLen = 0
+	}
+	x := &GGSX{
+		maxLen:  maxLen,
+		n:       len(dataset),
+		root:    &trieNode{id: -1, children: make(map[trieKey]*trieNode)},
+		forward: make([][]nodeCount, len(dataset)),
+	}
+	for gid, g := range dataset {
+		counts := x.countPaths(g)
+		fwd := make([]nodeCount, 0, len(counts))
+		for node, c := range counts {
+			x.nodes[node].postings = append(x.nodes[node].postings, posting{int32(gid), c})
+			fwd = append(fwd, nodeCount{node, c})
+		}
+		sort.Slice(fwd, func(i, j int) bool { return fwd[i].node < fwd[j].node })
+		x.forward[gid] = fwd
+	}
+	// Postings were appended in increasing gid order already (dataset loop),
+	// but sort defensively and compute summary stats.
+	for _, nd := range x.nodes {
+		sort.Slice(nd.postings, func(i, j int) bool { return nd.postings[i].gid < nd.postings[j].gid })
+		nd.minCount = 1 << 30
+		for _, p := range nd.postings {
+			if p.count < nd.minCount {
+				nd.minCount = p.count
+			}
+		}
+	}
+	x.bytes = x.computeBytes()
+	return x
+}
+
+// countPaths enumerates all directed simple paths of g with ≤ maxLen edges
+// (following out-edges, which covers both directions for undirected
+// graphs) and returns occurrence counts keyed by trie node id, creating
+// trie nodes on demand.
+func (x *GGSX) countPaths(g *graph.Graph) map[int32]int32 {
+	counts := make(map[int32]int32)
+	inPath := make([]bool, g.N())
+	// extend grows a path currently ending at v with `edges` edges.
+	var extend func(v int, node *trieNode, edges int)
+	extend = func(v int, node *trieNode, edges int) {
+		if edges == x.maxLen {
+			return
+		}
+		inPath[v] = true
+		for _, w := range g.OutNeighbors(v) {
+			if inPath[w] {
+				continue
+			}
+			child := x.child(node, trieKey{g.EdgeLabel(v, int(w)), g.Label(int(w))})
+			counts[child.id]++
+			extend(int(w), child, edges+1)
+		}
+		inPath[v] = false
+	}
+	for v := 0; v < g.N(); v++ {
+		child := x.child(x.root, trieKey{0, g.Label(v)})
+		counts[child.id]++
+		extend(v, child, 0)
+	}
+	return counts
+}
+
+// child returns the child of nd for the key, creating it if needed.
+func (x *GGSX) child(nd *trieNode, k trieKey) *trieNode {
+	if c, ok := nd.children[k]; ok {
+		return c
+	}
+	c := &trieNode{id: int32(len(x.nodes)), children: make(map[trieKey]*trieNode)}
+	nd.children[k] = c
+	x.nodes = append(x.nodes, c)
+	return c
+}
+
+// queryCounts enumerates the query's path features against the existing
+// trie. Paths absent from the trie are reported via the missing flag
+// (meaningful for subgraph queries: no dataset graph contains them).
+// Nodes are NOT created for unseen query paths.
+func (x *GGSX) queryCounts(q *graph.Graph) (counts map[int32]int32, missing bool) {
+	counts = make(map[int32]int32)
+	inPath := make([]bool, q.N())
+	var extend func(v int, node *trieNode, edges int)
+	extend = func(v int, node *trieNode, edges int) {
+		if edges == x.maxLen {
+			return
+		}
+		inPath[v] = true
+		for _, w := range q.OutNeighbors(v) {
+			if inPath[w] {
+				continue
+			}
+			child, ok := node.children[trieKey{q.EdgeLabel(v, int(w)), q.Label(int(w))}]
+			if !ok {
+				missing = true
+				continue
+			}
+			counts[child.id]++
+			extend(int(w), child, edges+1)
+		}
+		inPath[v] = false
+	}
+	for v := 0; v < q.N(); v++ {
+		child, ok := x.root.children[trieKey{0, q.Label(v)}]
+		if !ok {
+			missing = true
+			continue
+		}
+		counts[child.id]++
+		extend(v, child, 0)
+	}
+	return counts, missing
+}
+
+// Name implements Filter.
+func (x *GGSX) Name() string { return "ggsx" }
+
+// MaxLen returns the indexed feature size (path length in edges).
+func (x *GGSX) MaxLen() int { return x.maxLen }
+
+// NodeCount returns the number of trie nodes (distinct features).
+func (x *GGSX) NodeCount() int { return len(x.nodes) }
+
+// IndexBytes implements Filter.
+func (x *GGSX) IndexBytes() int { return x.bytes }
+
+func (x *GGSX) computeBytes() int {
+	b := 0
+	for _, nd := range x.nodes {
+		b += 64                    // node struct + map header
+		b += 16 * len(nd.children) // map entries
+		b += 8 * len(nd.postings)  // postings
+	}
+	for _, fwd := range x.forward {
+		b += 24 + 8*len(fwd)
+	}
+	return b
+}
+
+// Candidates implements Filter.
+func (x *GGSX) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
+	switch qt {
+	case Supergraph:
+		return x.supergraphCandidates(q)
+	default:
+		return x.subgraphCandidates(q)
+	}
+}
+
+// subgraphCandidates: G is a candidate iff count_G(f) ≥ count_q(f) for all
+// query features f. Implemented as intersection over posting lists,
+// cheapest feature first.
+func (x *GGSX) subgraphCandidates(q *graph.Graph) *bitset.Set {
+	qc, missing := x.queryCounts(q)
+	if missing {
+		return bitset.New(x.n) // some query path occurs in no dataset graph
+	}
+	if len(qc) == 0 {
+		return bitset.NewFull(x.n) // empty query matches everything
+	}
+	// Order features by posting-list length so the working set shrinks fast.
+	feats := make([]nodeCount, 0, len(qc))
+	for node, c := range qc {
+		feats = append(feats, nodeCount{node, c})
+	}
+	sort.Slice(feats, func(i, j int) bool {
+		return len(x.nodes[feats[i].node].postings) < len(x.nodes[feats[j].node].postings)
+	})
+
+	out := bitset.New(x.n)
+	first := x.nodes[feats[0].node].postings
+	for _, p := range first {
+		if p.count >= feats[0].count {
+			out.Add(int(p.gid))
+		}
+	}
+	scratch := bitset.New(x.n)
+	for _, f := range feats[1:] {
+		if out.Empty() {
+			return out
+		}
+		nd := x.nodes[f.node]
+		if nd.minCount >= f.count && len(nd.postings) == x.n {
+			continue // every graph qualifies; skip the intersection
+		}
+		scratch.Clear()
+		for _, p := range nd.postings {
+			if p.count >= f.count {
+				scratch.Add(int(p.gid))
+			}
+		}
+		out.And(scratch)
+	}
+	return out
+}
+
+// supergraphCandidates: G is a candidate iff count_G(f) ≤ count_q(f) for
+// all of G's features f, checked against the per-graph forward index.
+func (x *GGSX) supergraphCandidates(q *graph.Graph) *bitset.Set {
+	qc, _ := x.queryCounts(q) // missing paths are fine here
+	out := bitset.New(x.n)
+graphs:
+	for gid, fwd := range x.forward {
+		for _, nc := range fwd {
+			if qc[nc.node] < nc.count {
+				continue graphs
+			}
+		}
+		out.Add(gid)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package ftv
+
+import (
+	"fmt"
+	"time"
+
+	"graphcache/internal/bitset"
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+)
+
+// VerifierFunc decides whether pattern is subgraph-isomorphic to target.
+// The default is VF2; Ullmann or any custom engine can be plugged in
+// (the paper's "pluggable cache" extends down to Method M components).
+type VerifierFunc func(pattern, target *graph.Graph) bool
+
+// VF2Verifier is the default verifier.
+func VF2Verifier(pattern, target *graph.Graph) bool { return iso.SubIso(pattern, target) }
+
+// UllmannVerifier is the alternative baseline verifier.
+func UllmannVerifier(pattern, target *graph.Graph) bool {
+	ok, _ := iso.Ullmann(pattern, target, iso.Options{})
+	return ok
+}
+
+// Method is "Method M" of the paper: a dataset, a Filter and a Verifier.
+// It answers subgraph/supergraph queries exactly, and exposes its filter
+// and verifier so the GraphCache kernel can run the verification stage
+// over a pruned candidate set.
+type Method struct {
+	name    string
+	dataset []*graph.Graph
+	filter  Filter
+	verify  VerifierFunc
+}
+
+// NewMethod assembles a method. Dataset graphs are identified by slice
+// position throughout (graph ids are not consulted). verify may be nil,
+// defaulting to VF2.
+func NewMethod(name string, dataset []*graph.Graph, filter Filter, verify VerifierFunc) *Method {
+	if verify == nil {
+		verify = VF2Verifier
+	}
+	return &Method{name: name, dataset: dataset, filter: filter, verify: verify}
+}
+
+// Name returns the method's report name, e.g. "ggsx-L4/vf2".
+func (m *Method) Name() string { return m.name }
+
+// Dataset returns the underlying dataset slice. Callers must not modify it.
+func (m *Method) Dataset() []*graph.Graph { return m.dataset }
+
+// DatasetSize returns the number of dataset graphs.
+func (m *Method) DatasetSize() int { return len(m.dataset) }
+
+// Filter returns the method's filter.
+func (m *Method) Filter() Filter { return m.filter }
+
+// Candidates runs the filtering stage, returning the candidate set C_M.
+func (m *Method) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
+	return m.filter.Candidates(q, qt)
+}
+
+// VerifyCandidate runs one sub-iso test between the query and dataset
+// graph gid, oriented by query type: pattern=q for subgraph queries,
+// pattern=dataset graph for supergraph queries.
+func (m *Method) VerifyCandidate(q *graph.Graph, gid int, qt QueryType) bool {
+	if qt == Supergraph {
+		return m.verify(m.dataset[gid], q)
+	}
+	return m.verify(q, m.dataset[gid])
+}
+
+// Result reports one query execution.
+type Result struct {
+	// Answers is the exact answer set as a bitset over dataset positions.
+	Answers *bitset.Set
+	// CandidateCount is |C_M| after filtering.
+	CandidateCount int
+	// Tests is the number of sub-iso tests executed (== CandidateCount for
+	// a plain FTV run; smaller when the cache pruned the candidates).
+	Tests int
+	// FilterTime and VerifyTime split the processing cost.
+	FilterTime time.Duration
+	// VerifyTime is the total verification wall time.
+	VerifyTime time.Duration
+}
+
+// TotalTime returns filter plus verification time.
+func (r *Result) TotalTime() time.Duration { return r.FilterTime + r.VerifyTime }
+
+// Run executes the query with plain filter-then-verify (no cache).
+func (m *Method) Run(q *graph.Graph, qt QueryType) *Result {
+	t0 := time.Now()
+	cands := m.Candidates(q, qt)
+	filterTime := time.Since(t0)
+
+	answers := bitset.New(len(m.dataset))
+	tests := 0
+	t1 := time.Now()
+	cands.ForEach(func(gid int) bool {
+		tests++
+		if m.VerifyCandidate(q, gid, qt) {
+			answers.Add(gid)
+		}
+		return true
+	})
+	return &Result{
+		Answers:        answers,
+		CandidateCount: cands.Count(),
+		Tests:          tests,
+		FilterTime:     filterTime,
+		VerifyTime:     time.Since(t1),
+	}
+}
+
+// NewGGSXMethod is a convenience constructor for the demo deployment's
+// Method M: GGSX filtering with VF2 verification.
+func NewGGSXMethod(dataset []*graph.Graph, maxLen int) *Method {
+	return NewMethod(fmt.Sprintf("ggsx-L%d/vf2", maxLen), dataset, NewGGSX(dataset, maxLen), nil)
+}

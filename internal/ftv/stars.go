@@ -1,0 +1,196 @@
+package ftv
+
+import (
+	"sort"
+
+	"graphcache/internal/bitset"
+	"graphcache/internal/graph"
+)
+
+// StarFilter is a tree-feature FTV filter: it indexes star subtrees
+// (a center vertex plus a label multiset of up to MaxLeaves leaves) with
+// per-graph instance counts. Paths, trees and subgraphs are the classic
+// FTV feature families (§3.1.II); StarFilter is the tree member, pluggable
+// into Method M alongside GGSX.
+//
+// Soundness: an embedding maps every star instance of q (center vertex +
+// chosen leaf set) to a distinct star instance of G with identical center
+// and leaf labels, so per-feature counts dominate. Instance counts are
+// computed combinatorially from per-vertex neighbor-label counts — no
+// enumeration of actual leaf sets.
+type StarFilter struct {
+	n        int
+	maxLeafs int
+	inverted map[uint64][]posting // feature hash → (gid, count), sorted by gid
+	forward  [][]nodeCount64
+	bytes    int
+}
+
+type nodeCount64 struct {
+	hash  uint64
+	count int32
+}
+
+// NewStarFilter indexes stars with 1..maxLeaves leaves (2 is the classic
+// "cherry"; 3 adds most of the discriminative power on molecules).
+func NewStarFilter(dataset []*graph.Graph, maxLeaves int) *StarFilter {
+	if maxLeaves < 1 {
+		maxLeaves = 1
+	}
+	f := &StarFilter{
+		n:        len(dataset),
+		maxLeafs: maxLeaves,
+		inverted: make(map[uint64][]posting),
+		forward:  make([][]nodeCount64, len(dataset)),
+	}
+	for gid, g := range dataset {
+		counts := starCounts(g, maxLeaves)
+		fwd := make([]nodeCount64, 0, len(counts))
+		for h, c := range counts {
+			f.inverted[h] = append(f.inverted[h], posting{int32(gid), c})
+			fwd = append(fwd, nodeCount64{h, c})
+		}
+		sort.Slice(fwd, func(i, j int) bool { return fwd[i].hash < fwd[j].hash })
+		f.forward[gid] = fwd
+		f.bytes += 16 + 12*len(fwd)
+	}
+	for _, ps := range f.inverted {
+		f.bytes += 24 + 8*len(ps)
+	}
+	return f
+}
+
+// starCounts returns per-feature instance counts for all stars with
+// 1..maxLeaves leaves. The count for a star (center c, leaf multiset L) is
+// Σ over vertices v with label c of Π_l C(#neighbors of v with label l,
+// multiplicity of l in L) — pure combinatorics over the per-vertex
+// neighbor-label histogram.
+func starCounts(g *graph.Graph, maxLeaves int) map[uint64]int32 {
+	counts := make(map[uint64]int32)
+	for v := 0; v < g.N(); v++ {
+		// Neighbor-label histogram over out-neighbors: for undirected
+		// graphs that is all neighbors; for directed ones the out-star,
+		// which direction-respecting embeddings preserve.
+		hist := make(map[graph.Label]int, 8)
+		for _, w := range g.OutNeighbors(v) {
+			hist[g.Label(int(w))]++
+		}
+		if len(hist) == 0 {
+			continue
+		}
+		labels := make([]graph.Label, 0, len(hist))
+		for l := range hist {
+			labels = append(labels, l)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		var leaf []graph.Label
+		extendStar(0, 1, &leaf, labels, hist, maxLeaves, g.Label(v), counts)
+	}
+	return counts
+}
+
+// extendStar grows the current leaf multiset with copies of labels[idx:],
+// recording each non-empty multiset with its combinatorial instance count.
+// ways carries Π C(avail_l, k_l) for the labels already chosen.
+func extendStar(idx int, ways int64, leaf *[]graph.Label, labels []graph.Label, hist map[graph.Label]int, maxLeaves int, center graph.Label, counts map[uint64]int32) {
+	for i := idx; i < len(labels); i++ {
+		l := labels[i]
+		avail := hist[l]
+		w := ways
+		for k := 1; k <= avail && len(*leaf)+k <= maxLeaves; k++ {
+			w = w * int64(avail-k+1) / int64(k) // running C(avail, k)
+			for j := 0; j < k; j++ {
+				*leaf = append(*leaf, l)
+			}
+			counts[starHash(center, *leaf)] += int32(w)
+			if len(*leaf) < maxLeaves {
+				extendStar(i+1, w, leaf, labels, hist, maxLeaves, center, counts)
+			}
+			*leaf = (*leaf)[:len(*leaf)-k]
+		}
+	}
+}
+
+// starHash hashes (center label, sorted leaf multiset).
+func starHash(center graph.Label, leaves []graph.Label) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	h ^= uint64(center) | 1<<32
+	h *= prime64
+	for _, l := range leaves {
+		h ^= uint64(l)
+		h *= prime64
+	}
+	h ^= uint64(len(leaves)) << 48
+	h *= prime64
+	return h
+}
+
+// Name implements Filter.
+func (f *StarFilter) Name() string { return "stars" }
+
+// IndexBytes implements Filter.
+func (f *StarFilter) IndexBytes() int { return f.bytes }
+
+// Candidates implements Filter.
+func (f *StarFilter) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
+	qc := starCounts(q, f.maxLeafs)
+	switch qt {
+	case Supergraph:
+		out := bitset.New(f.n)
+	graphs:
+		for gid, fwd := range f.forward {
+			for _, nc := range fwd {
+				if qc[nc.hash] < nc.count {
+					continue graphs
+				}
+			}
+			out.Add(gid)
+		}
+		return out
+	default:
+		if len(qc) == 0 {
+			return bitset.NewFull(f.n)
+		}
+		// Intersect posting lists, rarest feature first.
+		type feat struct {
+			hash  uint64
+			count int32
+		}
+		feats := make([]feat, 0, len(qc))
+		for h, c := range qc {
+			feats = append(feats, feat{h, c})
+		}
+		sort.Slice(feats, func(i, j int) bool {
+			return len(f.inverted[feats[i].hash]) < len(f.inverted[feats[j].hash])
+		})
+		out := bitset.New(f.n)
+		first, ok := f.inverted[feats[0].hash]
+		if !ok {
+			return out // feature absent from every dataset graph
+		}
+		for _, p := range first {
+			if p.count >= feats[0].count {
+				out.Add(int(p.gid))
+			}
+		}
+		scratch := bitset.New(f.n)
+		for _, ft := range feats[1:] {
+			if out.Empty() {
+				return out
+			}
+			ps, ok := f.inverted[ft.hash]
+			if !ok {
+				return bitset.New(f.n)
+			}
+			scratch.Clear()
+			for _, p := range ps {
+				if p.count >= ft.count {
+					scratch.Add(int(p.gid))
+				}
+			}
+			out.And(scratch)
+		}
+		return out
+	}
+}

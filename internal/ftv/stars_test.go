@@ -1,0 +1,118 @@
+package ftv_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+	"graphcache/internal/graph"
+)
+
+func TestStarFilterSound(t *testing.T) {
+	dataset := molecules(31, 40)
+	rng := rand.New(rand.NewSource(32))
+	f := ftv.NewStarFilter(dataset, 3)
+	sampler := gen.NewAIDSLabelSampler(8)
+	for trial := 0; trial < 25; trial++ {
+		src := dataset[rng.Intn(len(dataset))]
+		sub := gen.ExtractConnectedSubgraph(rng, src, 3+rng.Intn(8))
+		super := gen.Augment(rng, src, 2, 1, sampler)
+
+		subTruth := exactAnswers(dataset, sub, ftv.Subgraph)
+		if !subTruth.SubsetOf(f.Candidates(sub, ftv.Subgraph)) {
+			t.Fatalf("trial %d: star filter drops subgraph answers", trial)
+		}
+		superTruth := exactAnswers(dataset, super, ftv.Supergraph)
+		if !superTruth.SubsetOf(f.Candidates(super, ftv.Supergraph)) {
+			t.Fatalf("trial %d: star filter drops supergraph answers", trial)
+		}
+	}
+}
+
+func TestStarFilterPrunes(t *testing.T) {
+	dataset := molecules(33, 60)
+	rng := rand.New(rand.NewSource(34))
+	f := ftv.NewStarFilter(dataset, 3)
+	total, full := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		q := gen.ExtractConnectedSubgraph(rng, dataset[rng.Intn(len(dataset))], 6)
+		total += f.Candidates(q, ftv.Subgraph).Count()
+		full += len(dataset)
+	}
+	if total >= full {
+		t.Errorf("star filter pruned nothing: %d of %d", total, full)
+	}
+	if f.IndexBytes() <= 0 {
+		t.Error("star filter should report positive index bytes")
+	}
+	if f.Name() != "stars" {
+		t.Error("name wrong")
+	}
+}
+
+func TestStarFilterStarCountsExact(t *testing.T) {
+	// A star K1,3 with center label 9 and leaves 1,1,2: the filter must
+	// require a center-9 vertex with ≥2 label-1 and ≥1 label-2 neighbors.
+	pattern := graph.MustNew([]graph.Label{9, 1, 1, 2}, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	yes := graph.MustNew([]graph.Label{9, 1, 1, 2, 5}, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	no := graph.MustNew([]graph.Label{9, 1, 2, 2}, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+
+	f := ftv.NewStarFilter([]*graph.Graph{yes.WithID(0), no.WithID(1)}, 3)
+	c := f.Candidates(pattern, ftv.Subgraph)
+	if !c.Contains(0) {
+		t.Error("true match filtered out")
+	}
+	if c.Contains(1) {
+		t.Error("star with wrong leaf multiset not filtered")
+	}
+}
+
+func TestStarFilterDirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	dataset := gen.Circuits(rng, 20, gen.DefaultCircuitConfig())
+	f := ftv.NewStarFilter(dataset, 2)
+	for trial := 0; trial < 15; trial++ {
+		q := gen.ExtractConnectedSubgraph(rng, dataset[rng.Intn(len(dataset))], 2+rng.Intn(4))
+		truth := exactAnswers(dataset, q, ftv.Subgraph)
+		if !truth.SubsetOf(f.Candidates(q, ftv.Subgraph)) {
+			t.Fatalf("trial %d: directed star filter drops answers", trial)
+		}
+	}
+}
+
+func TestStarMethodExact(t *testing.T) {
+	dataset := molecules(36, 25)
+	rng := rand.New(rand.NewSource(37))
+	m := ftv.NewMethod("stars/vf2", dataset, ftv.NewStarFilter(dataset, 3), nil)
+	ref := ftv.NewGGSXMethod(dataset, 3)
+	for trial := 0; trial < 10; trial++ {
+		q := gen.ExtractConnectedSubgraph(rng, dataset[rng.Intn(len(dataset))], 5)
+		if !m.Run(q, ftv.Subgraph).Answers.Equal(ref.Run(q, ftv.Subgraph).Answers) {
+			t.Fatal("star method disagrees with GGSX method")
+		}
+	}
+}
+
+func TestStarFilterEmptyQuery(t *testing.T) {
+	dataset := molecules(38, 5)
+	f := ftv.NewStarFilter(dataset, 3)
+	q := graph.MustNew(nil, nil)
+	if c := f.Candidates(q, ftv.Subgraph); c.Count() != 5 {
+		t.Errorf("empty query should match all graphs, got %d", c.Count())
+	}
+	// Single vertex has no star features either.
+	one := graph.MustNew([]graph.Label{0}, nil)
+	if c := f.Candidates(one, ftv.Subgraph); c.Count() != 5 {
+		t.Errorf("star-free query should match all graphs, got %d", c.Count())
+	}
+}
+
+func TestStarFilterUnseenFeature(t *testing.T) {
+	dataset := molecules(39, 10)
+	f := ftv.NewStarFilter(dataset, 3)
+	q := graph.MustNew([]graph.Label{200, 201}, [][2]int{{0, 1}})
+	if c := f.Candidates(q, ftv.Subgraph); !c.Empty() {
+		t.Errorf("unseen star feature should yield no candidates, got %d", c.Count())
+	}
+}

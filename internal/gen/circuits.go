@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"math/rand"
+
+	"graphcache/internal/graph"
+)
+
+// CircuitConfig parameterizes the directed, edge-labelled dataset
+// generator — the "computer-aided design of electronic circuits" use case
+// from the paper's introduction, and the test bed for the claimed
+// generalization to directed graphs with edge labels.
+type CircuitConfig struct {
+	// MinV and MaxV bound the gate count (inclusive).
+	MinV, MaxV int
+	// Layers is the number of topological layers; arcs run from earlier
+	// layers to later ones (a DAG, as in combinational circuits).
+	Layers int
+	// FanIn is the expected number of inputs per gate.
+	FanIn int
+	// GateTypes and WireTypes are the vertex and edge label alphabets.
+	GateTypes, WireTypes int
+}
+
+// DefaultCircuitConfig returns a small combinational-circuit shape.
+func DefaultCircuitConfig() CircuitConfig {
+	return CircuitConfig{MinV: 15, MaxV: 35, Layers: 5, FanIn: 2, GateTypes: 6, WireTypes: 3}
+}
+
+// Circuit generates one layered DAG with gate-type vertex labels and
+// wire-type edge labels. The result is weakly connected.
+func Circuit(rng *rand.Rand, cfg CircuitConfig) *graph.Graph {
+	if cfg.MaxV < cfg.MinV {
+		cfg.MaxV = cfg.MinV
+	}
+	if cfg.Layers < 2 {
+		cfg.Layers = 2
+	}
+	if cfg.FanIn < 1 {
+		cfg.FanIn = 1
+	}
+	n := cfg.MinV
+	if cfg.MaxV > cfg.MinV {
+		n += rng.Intn(cfg.MaxV - cfg.MinV + 1)
+	}
+	gates := NewUniformLabelSampler(cfg.GateTypes)
+	wires := NewUniformLabelSampler(cfg.WireTypes)
+
+	// Assign vertices to layers; every layer is non-empty.
+	layerOf := make([]int, n)
+	for v := 0; v < n; v++ {
+		if v < cfg.Layers {
+			layerOf[v] = v // seed each layer
+		} else {
+			layerOf[v] = rng.Intn(cfg.Layers)
+		}
+	}
+	byLayer := make([][]int, cfg.Layers)
+	for v, l := range layerOf {
+		byLayer[l] = append(byLayer[l], v)
+	}
+
+	b := graph.NewBuilder(n).Directed()
+	for v := 0; v < n; v++ {
+		b.SetLabel(v, gates.Sample(rng))
+	}
+	// Each non-input gate draws FanIn inputs from strictly earlier layers.
+	var earlier []int
+	for l := 1; l < cfg.Layers; l++ {
+		earlier = append(earlier, byLayer[l-1]...)
+		for _, v := range byLayer[l] {
+			for k := 0; k < cfg.FanIn; k++ {
+				src := earlier[rng.Intn(len(earlier))]
+				b.AddLabeledEdge(src, v, wires.Sample(rng))
+			}
+		}
+	}
+	g := b.MustBuild()
+	if g.IsConnected() {
+		return g
+	}
+	// Stitch stray components onto the main one (rare with FanIn ≥ 2).
+	comps := g.ConnectedComponents()
+	b2 := graph.NewBuilder(n).Directed()
+	for v := 0; v < n; v++ {
+		b2.SetLabel(v, g.Label(v))
+	}
+	for _, e := range g.Edges() {
+		b2.AddLabeledEdge(e[0], e[1], g.EdgeLabel(e[0], e[1]))
+	}
+	for i := 1; i < len(comps); i++ {
+		b2.AddLabeledEdge(comps[0][0], comps[i][0], wires.Sample(rng))
+	}
+	return b2.MustBuild()
+}
+
+// Circuits generates count circuits with slice positions as ids.
+func Circuits(rng *rand.Rand, count int, cfg CircuitConfig) []*graph.Graph {
+	out := make([]*graph.Graph, count)
+	for i := range out {
+		out[i] = Circuit(rng, cfg).WithID(i)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/graph"
+	"graphcache/internal/iso"
+)
+
+// builderFrom returns a fresh builder carrying g's vertex labels but no
+// edges, so tests can re-add edges with labels.
+func builderFrom(g *graph.Graph) *graph.Builder {
+	b := graph.NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		b.SetLabel(v, g.Label(v))
+	}
+	return b
+}
+
+func TestCircuitShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultCircuitConfig()
+	for i := 0; i < 30; i++ {
+		c := Circuit(rng, cfg)
+		if !c.Directed() {
+			t.Fatal("circuit must be directed")
+		}
+		if !c.HasEdgeLabels() {
+			t.Fatal("circuit must have wire labels")
+		}
+		if c.N() < cfg.MinV || c.N() > cfg.MaxV {
+			t.Fatalf("circuit size %d outside [%d,%d]", c.N(), cfg.MinV, cfg.MaxV)
+		}
+		if !c.IsConnected() {
+			t.Fatal("circuit should be weakly connected")
+		}
+		if c.M() == 0 {
+			t.Fatal("circuit has no wires")
+		}
+	}
+}
+
+func TestCircuitsIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cs := Circuits(rng, 5, DefaultCircuitConfig())
+	for i, c := range cs {
+		if c.ID() != i {
+			t.Fatalf("circuit %d has id %d", i, c.ID())
+		}
+	}
+}
+
+func TestDirectedExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultCircuitConfig()
+	for i := 0; i < 30; i++ {
+		c := Circuit(rng, cfg)
+		q := ExtractConnectedSubgraph(rng, c, 2+rng.Intn(5))
+		if !q.Directed() {
+			t.Fatal("extracted pattern lost directedness")
+		}
+		if q.M() > 0 && !q.HasEdgeLabels() {
+			t.Fatal("extracted pattern lost edge labels")
+		}
+		if !q.IsConnected() {
+			t.Fatal("extracted pattern not weakly connected")
+		}
+		if !iso.SubIso(q, c) {
+			t.Fatal("extracted pattern does not embed in source circuit")
+		}
+	}
+}
+
+func TestDirectedAugment(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultCircuitConfig()
+	cfg.MinV, cfg.MaxV = 8, 12
+	wires := NewUniformLabelSampler(3)
+	for i := 0; i < 20; i++ {
+		c := Circuit(rng, cfg)
+		a := Augment(rng, c, 2, 1, wires)
+		if !a.Directed() {
+			t.Fatal("augmented graph lost directedness")
+		}
+		if !iso.SubIso(c, a) {
+			t.Fatal("circuit does not embed in its augmentation")
+		}
+	}
+}
+
+func TestUndirectedEdgeLabelledExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Build an undirected edge-labelled graph by relabelling a molecule's
+	// edges.
+	m := Molecule(rng, DefaultMoleculeConfig())
+	b := NewUniformLabelSampler(4)
+	gb := builderFrom(m)
+	for _, e := range m.Edges() {
+		gb.AddLabeledEdge(e[0], e[1], b.Sample(rng))
+	}
+	g := gb.MustBuild()
+	for i := 0; i < 20; i++ {
+		q := ExtractConnectedSubgraph(rng, g, 3+rng.Intn(5))
+		if q.Directed() {
+			t.Fatal("undirected source produced directed pattern")
+		}
+		if !iso.SubIso(q, g) {
+			t.Fatal("edge-labelled pattern does not embed in source")
+		}
+	}
+}

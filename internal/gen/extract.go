@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+
+	"graphcache/internal/graph"
+)
+
+// ExtractConnectedSubgraph returns a connected (non-induced) subgraph of g
+// with up to targetEdges edges, grown by random edge expansion from a
+// random start vertex — the established query-generation principle in the
+// FTV literature: queries are connected substructures of dataset graphs,
+// so q ⊑ g holds by construction.
+//
+// Directedness and edge labels are preserved: directed sources yield
+// directed (weakly connected) patterns with original arc orientations, and
+// labelled edges keep their labels. If g has no edges, a single random
+// vertex is returned. The extracted graph's vertices are renumbered
+// 0..k-1; its id is -1.
+func ExtractConnectedSubgraph(rng *rand.Rand, g *graph.Graph, targetEdges int) *graph.Graph {
+	if g.N() == 0 {
+		return graph.MustNew(nil, nil)
+	}
+	single := func() *graph.Graph {
+		v := rng.Intn(g.N())
+		b := graph.NewBuilder(1).SetLabel(0, g.Label(v))
+		if g.Directed() {
+			b.Directed()
+		}
+		return b.MustBuild()
+	}
+	if g.M() == 0 || targetEdges <= 0 {
+		return single()
+	}
+	// Start from a vertex with at least one incident edge.
+	start := rng.Intn(g.N())
+	for g.OutDegree(start)+g.InDegree(start) == 0 {
+		start = rng.Intn(g.N())
+	}
+
+	// Edges are kept in true orientation: (u, v) means u→v for directed
+	// graphs and the normalized pair u < v for undirected ones.
+	orient := func(u, v int) [2]int {
+		if !g.Directed() && u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	inSet := map[int]bool{start: true}
+	chosen := make(map[[2]int]bool)
+	var frontier [][2]int
+	addFrontier := func(v int) {
+		for _, w := range g.OutNeighbors(v) {
+			if e := orient(v, int(w)); !chosen[e] {
+				frontier = append(frontier, e)
+			}
+		}
+		if g.Directed() {
+			for _, w := range g.InNeighbors(v) {
+				if e := orient(int(w), v); !chosen[e] {
+					frontier = append(frontier, e)
+				}
+			}
+		}
+	}
+	addFrontier(start)
+
+	for len(chosen) < targetEdges && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		e := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if chosen[e] {
+			continue
+		}
+		chosen[e] = true
+		for _, v := range []int{e[0], e[1]} {
+			if !inSet[v] {
+				inSet[v] = true
+				addFrontier(v)
+			}
+		}
+	}
+
+	// Renumber deterministically by original vertex id.
+	verts := make([]int, 0, len(inSet))
+	for v := range inSet {
+		verts = append(verts, v)
+	}
+	sort.Ints(verts)
+	remap := make(map[int]int, len(verts))
+	for i, v := range verts {
+		remap[v] = i
+	}
+	b := graph.NewBuilder(len(verts))
+	if g.Directed() {
+		b.Directed()
+	}
+	for i, v := range verts {
+		b.SetLabel(i, g.Label(v))
+	}
+	labelled := g.HasEdgeLabels()
+	for e := range chosen {
+		if labelled {
+			b.AddLabeledEdge(remap[e[0]], remap[e[1]], g.EdgeLabel(e[0], e[1]))
+		} else {
+			b.AddEdge(remap[e[0]], remap[e[1]])
+		}
+	}
+	return b.MustBuild()
+}
+
+// Augment returns a supergraph of g: a copy extended with extraV fresh
+// vertices (each attached to a random existing vertex) and up to extraE
+// extra edges between random non-adjacent vertex pairs. g ⊑ result holds
+// by construction (the identity embedding), which is how supergraph
+// queries with non-empty answers are generated. Directedness and edge
+// labels are preserved; added edges draw labels from the sampler when the
+// base graph is edge-labelled.
+func Augment(rng *rand.Rand, g *graph.Graph, extraV, extraE int, sampler *LabelSampler) *graph.Graph {
+	n := g.N() + extraV
+	b := graph.NewBuilder(n)
+	if g.Directed() {
+		b.Directed()
+	}
+	for v := 0; v < g.N(); v++ {
+		b.SetLabel(v, g.Label(v))
+	}
+	for v := g.N(); v < n; v++ {
+		b.SetLabel(v, sampler.Sample(rng))
+	}
+	labelled := g.HasEdgeLabels()
+	addEdge := func(u, v int, l graph.Label) {
+		if labelled {
+			b.AddLabeledEdge(u, v, l)
+		} else {
+			b.AddEdge(u, v)
+		}
+	}
+	for _, e := range g.Edges() {
+		addEdge(e[0], e[1], g.EdgeLabel(e[0], e[1]))
+	}
+	for i := g.N(); i < n; i++ {
+		t := rng.Intn(i)
+		if g.Directed() && rng.Intn(2) == 0 {
+			addEdge(t, i, sampler.Sample(rng))
+		} else {
+			addEdge(i, t, sampler.Sample(rng))
+		}
+	}
+	added := 0
+	for attempt := 0; added < extraE && attempt < 20*(extraE+1); attempt++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || u < g.N() && v < g.N() && g.HasEdge(u, v) {
+			continue
+		}
+		addEdge(u, v, sampler.Sample(rng))
+		added++
+	}
+	return b.MustBuild()
+}

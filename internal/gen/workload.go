@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+)
+
+// Query is one workload item: a pattern graph plus its query semantics.
+type Query struct {
+	G *graph.Graph
+	// Type is the query semantics (subgraph or supergraph).
+	Type ftv.QueryType
+	// PoolID is the index of the pattern-pool entry this query was drawn
+	// from, for workload analysis; -1 when unknown.
+	PoolID int
+}
+
+// Workload is an ordered sequence of queries plus the pattern pool it was
+// drawn from (the demo's "pattern pool" from which The Workload Run lets
+// users compose workloads).
+type Workload struct {
+	Queries []Query
+	Pool    []Query
+}
+
+// WorkloadConfig controls workload generation. The three knobs —
+// popularity skew, containment chains and resubmission (implied by skew) —
+// are exactly what differentiates the replacement policies in EXP-I.
+type WorkloadConfig struct {
+	// Size is the number of queries to emit.
+	Size int
+	// Type is the query semantics. When Mixed is set, each query's type is
+	// drawn uniformly instead.
+	Type  ftv.QueryType
+	Mixed bool
+	// PoolSize is the number of distinct patterns to draw from.
+	PoolSize int
+	// ZipfS is the Zipf exponent for pool popularity; values ≤ 1 mean
+	// uniform (math/rand's Zipf requires s > 1).
+	ZipfS float64
+	// ChainFrac is the fraction of the pool organized into containment
+	// chains q1 ⊑ q2 ⊑ … (the biochemical "simple molecules → complex
+	// proteins" pattern from the paper's introduction).
+	ChainFrac float64
+	// ChainLen is the length of each containment chain (≥ 2 to matter).
+	ChainLen int
+	// MinEdges and MaxEdges bound extracted pattern sizes.
+	MinEdges, MaxEdges int
+}
+
+// DefaultWorkloadConfig mirrors the demo deployment: 10-query workloads of
+// subgraph queries over molecule patterns.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		Size:      10,
+		Type:      ftv.Subgraph,
+		PoolSize:  40,
+		ZipfS:     1.1,
+		ChainFrac: 0.5,
+		ChainLen:  3,
+		MinEdges:  4,
+		MaxEdges:  16,
+	}
+}
+
+// NewWorkload generates a workload over the dataset. The dataset must be
+// non-empty. Generation is deterministic in rng.
+func NewWorkload(rng *rand.Rand, dataset []*graph.Graph, cfg WorkloadConfig) (*Workload, error) {
+	if len(dataset) == 0 {
+		return nil, fmt.Errorf("gen: empty dataset")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 1
+	}
+	if cfg.ChainLen < 2 {
+		cfg.ChainLen = 2
+	}
+	if cfg.MaxEdges < cfg.MinEdges {
+		cfg.MaxEdges = cfg.MinEdges
+	}
+	sampler := NewAIDSLabelSampler(8)
+
+	edgesIn := func(lo, hi int) int {
+		if hi <= lo {
+			return lo
+		}
+		return lo + rng.Intn(hi-lo+1)
+	}
+	qtype := func() ftv.QueryType {
+		if !cfg.Mixed {
+			return cfg.Type
+		}
+		if rng.Intn(2) == 0 {
+			return ftv.Subgraph
+		}
+		return ftv.Supergraph
+	}
+
+	pool := make([]Query, 0, cfg.PoolSize)
+	nChained := int(float64(cfg.PoolSize) * cfg.ChainFrac)
+
+	// Containment chains: for subgraph semantics, a chain is built by
+	// nesting extractions (each member a subgraph of the next); for
+	// supergraph semantics, by successive augmentation.
+	for len(pool) < nChained {
+		qt := qtype()
+		src := dataset[rng.Intn(len(dataset))]
+		switch qt {
+		case ftv.Subgraph:
+			big := ExtractConnectedSubgraph(rng, src, cfg.MaxEdges)
+			chain := []*graph.Graph{big}
+			for len(chain) < cfg.ChainLen {
+				prev := chain[len(chain)-1]
+				smaller := ExtractConnectedSubgraph(rng, prev, maxInt(cfg.MinEdges, prev.M()*2/3))
+				chain = append(chain, smaller)
+			}
+			// Emit smallest → largest so later queries are supergraphs of
+			// earlier ones (and vice versa on resubmission).
+			for i := len(chain) - 1; i >= 0; i-- {
+				pool = append(pool, Query{G: chain[i], Type: qt, PoolID: len(pool)})
+			}
+		case ftv.Supergraph:
+			base := Augment(rng, src, 1, 1, sampler)
+			chain := []*graph.Graph{base}
+			for len(chain) < cfg.ChainLen {
+				prev := chain[len(chain)-1]
+				chain = append(chain, Augment(rng, prev, 2, 1, sampler))
+			}
+			for _, g := range chain {
+				pool = append(pool, Query{G: g, Type: qt, PoolID: len(pool)})
+			}
+		}
+	}
+	// Independent patterns.
+	for len(pool) < cfg.PoolSize {
+		qt := qtype()
+		src := dataset[rng.Intn(len(dataset))]
+		var g *graph.Graph
+		switch qt {
+		case ftv.Subgraph:
+			g = ExtractConnectedSubgraph(rng, src, edgesIn(cfg.MinEdges, cfg.MaxEdges))
+		case ftv.Supergraph:
+			g = Augment(rng, src, 1+rng.Intn(3), rng.Intn(3), sampler)
+		}
+		pool = append(pool, Query{G: g, Type: qt, PoolID: len(pool)})
+	}
+
+	// Draw the query sequence from the pool with the configured skew.
+	var draw func() int
+	if cfg.ZipfS > 1 {
+		z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(pool)-1))
+		perm := rng.Perm(len(pool)) // decouple popularity rank from pool order
+		draw = func() int { return perm[int(z.Uint64())] }
+	} else {
+		draw = func() int { return rng.Intn(len(pool)) }
+	}
+	queries := make([]Query, cfg.Size)
+	for i := range queries {
+		queries[i] = pool[draw()]
+	}
+	return &Workload{Queries: queries, Pool: pool}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Fingerprint is an isomorphism-invariant 64-bit digest of a graph.
+// Isomorphic graphs always produce equal fingerprints; unequal fingerprints
+// therefore prove non-isomorphism. Equal fingerprints do NOT prove
+// isomorphism — the cache's exact-match detector uses the fingerprint only
+// as a pre-filter before a verifying iso test.
+type Fingerprint uint64
+
+// WLFingerprint computes a Weisfeiler–Lehman style fingerprint: vertex
+// colors start as labels and are iteratively refined with the sorted
+// multiset of neighbor colors for rounds iterations (3 is plenty for the
+// small query/molecule graphs GraphCache handles). The digest hashes the
+// sorted final color multiset together with |V| and |E|. Directedness and
+// edge labels participate in the refinement, so the invariance extends to
+// the generalized graph types.
+func (g *Graph) WLFingerprint(rounds int) Fingerprint {
+	n := g.N()
+	colors := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		colors[v] = uint64(g.labels[v]) + 1
+	}
+	next := make([]uint64, n)
+	neigh := make([]uint64, 0, 16)
+	const mix = 0x9E3779B97F4A7C15
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			neigh = neigh[:0]
+			for _, w := range g.adj[v] {
+				e := colors[w]*mix ^ uint64(g.EdgeLabel(v, int(w)))<<1
+				neigh = append(neigh, e)
+			}
+			if g.directed {
+				for _, w := range g.radj[v] {
+					e := colors[w]*mix ^ uint64(g.EdgeLabel(int(w), v))<<1 ^ 1<<63
+					neigh = append(neigh, e)
+				}
+			}
+			sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
+			h := fnv.New64a()
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], colors[v])
+			h.Write(buf[:])
+			for _, c := range neigh {
+				binary.LittleEndian.PutUint64(buf[:], c)
+				h.Write(buf[:])
+			}
+			next[v] = h.Sum64()
+		}
+		colors, next = next, colors
+	}
+	final := make([]uint64, n)
+	copy(final, colors)
+	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
+
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.m))
+	h.Write(buf[:])
+	for _, c := range final {
+		binary.LittleEndian.PutUint64(buf[:], c)
+		h.Write(buf[:])
+	}
+	return Fingerprint(h.Sum64())
+}
+
+// LabelVector is a sorted (label, count) run-length encoding of a graph's
+// label multiset, used for containment pre-filtering: if q's multiset is
+// not dominated by G's, then q cannot be a subgraph of G.
+type LabelVector []LabelCount
+
+// LabelCount is one run of a LabelVector.
+type LabelCount struct {
+	Label Label
+	Count int
+}
+
+// LabelVectorOf computes the graph's LabelVector.
+func LabelVectorOf(g *Graph) LabelVector {
+	counts := g.LabelCounts()
+	out := make(LabelVector, 0, len(counts))
+	for l, c := range counts {
+		out = append(out, LabelCount{l, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// DominatedBy reports whether every label occurs in o at least as many
+// times as in v — a necessary condition for the graph of v to be
+// subgraph-isomorphic to the graph of o.
+func (v LabelVector) DominatedBy(o LabelVector) bool {
+	j := 0
+	for _, lc := range v {
+		for j < len(o) && o[j].Label < lc.Label {
+			j++
+		}
+		if j >= len(o) || o[j].Label != lc.Label || o[j].Count < lc.Count {
+			return false
+		}
+	}
+	return true
+}

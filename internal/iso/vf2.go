@@ -1,0 +1,270 @@
+package iso
+
+import (
+	"graphcache/internal/graph"
+)
+
+// VF2 runs the VF2 subgraph-isomorphism search and reports whether p ⊑ t,
+// together with search statistics. opts bounds the search; on an aborted
+// search the boolean is false and Stats.Aborted is set.
+func VF2(p, t *graph.Graph, opts Options) (bool, Stats) {
+	var st Stats
+	if p.N() == 0 {
+		return true, st // the empty pattern embeds everywhere
+	}
+	if quickReject(p, t) {
+		return false, st
+	}
+	m := &vf2State{
+		p:     p,
+		t:     t,
+		order: matchOrder(p),
+		pCore: make([]int32, p.N()),
+		tCore: make([]int32, t.N()),
+		opts:  opts,
+	}
+	for i := range m.pCore {
+		m.pCore[i] = -1
+	}
+	for i := range m.tCore {
+		m.tCore[i] = -1
+	}
+	ok := m.match(0, &st)
+	st.Aborted = m.aborted
+	return ok && !m.aborted, st
+}
+
+// FindEmbedding returns one embedding of p into t as a mapping from pattern
+// vertex to target vertex, or nil if none exists.
+func FindEmbedding(p, t *graph.Graph) []int {
+	if p.N() == 0 {
+		return []int{}
+	}
+	if quickReject(p, t) {
+		return nil
+	}
+	m := &vf2State{
+		p:       p,
+		t:       t,
+		order:   matchOrder(p),
+		pCore:   make([]int32, p.N()),
+		tCore:   make([]int32, t.N()),
+		capture: true,
+	}
+	for i := range m.pCore {
+		m.pCore[i] = -1
+	}
+	for i := range m.tCore {
+		m.tCore[i] = -1
+	}
+	var st Stats
+	if !m.match(0, &st) {
+		return nil
+	}
+	out := make([]int, p.N())
+	for i, v := range m.pCore {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// CountEmbeddings counts embeddings of p into t, stopping at limit
+// (limit <= 0 counts all). Symmetric pattern automorphisms are counted
+// separately, as is standard.
+func CountEmbeddings(p, t *graph.Graph, limit int) int {
+	if p.N() == 0 {
+		return 1
+	}
+	if quickReject(p, t) {
+		return 0
+	}
+	m := &vf2State{
+		p:     p,
+		t:     t,
+		order: matchOrder(p),
+		pCore: make([]int32, p.N()),
+		tCore: make([]int32, t.N()),
+		count: true,
+		limit: limit,
+	}
+	for i := range m.pCore {
+		m.pCore[i] = -1
+	}
+	for i := range m.tCore {
+		m.tCore[i] = -1
+	}
+	var st Stats
+	m.match(0, &st)
+	return m.found
+}
+
+type vf2State struct {
+	p, t    *graph.Graph
+	order   []int
+	pCore   []int32 // pattern vertex -> target vertex or -1
+	tCore   []int32 // target vertex -> pattern vertex or -1
+	opts    Options
+	aborted bool
+
+	capture bool // stop at first match, keep mapping
+	count   bool // enumerate matches
+	limit   int
+	found   int
+}
+
+// match extends the partial mapping at the given depth in the visit order.
+// It returns true when the search can stop (a match was found in decision
+// mode, or the enumeration limit was reached in counting mode).
+func (m *vf2State) match(depth int, st *Stats) bool {
+	if depth == len(m.order) {
+		if m.count {
+			m.found++
+			return m.limit > 0 && m.found >= m.limit
+		}
+		return true
+	}
+	st.Recursions++
+	if m.opts.MaxRecursions > 0 && st.Recursions > m.opts.MaxRecursions {
+		m.aborted = true
+		return false
+	}
+
+	pu := m.order[depth]
+
+	// Candidate targets: if pu has an already-matched neighbor, only the
+	// correspondingly-adjacent vertices of that neighbor's image qualify;
+	// otherwise all unmatched target vertices (first vertex of a
+	// component). For directed patterns the anchor direction matters:
+	// anchoring on an out-neighbor pn (pu→pn) restricts candidates to
+	// in-neighbors of pn's image, and vice versa.
+	var (
+		anchorImage int32 = -1
+		anchorOut         = false // true: pu→anchor, so tv must be in-neighbor of image
+	)
+	for _, pn := range m.p.OutNeighbors(pu) {
+		if m.pCore[pn] >= 0 {
+			anchorImage, anchorOut = m.pCore[pn], true
+			break
+		}
+	}
+	if anchorImage < 0 && m.p.Directed() {
+		for _, pn := range m.p.InNeighbors(pu) {
+			if m.pCore[pn] >= 0 {
+				anchorImage = m.pCore[pn]
+				break
+			}
+		}
+	}
+
+	try := func(tv int32) bool {
+		st.Candidates++
+		if m.tCore[tv] >= 0 {
+			return false
+		}
+		if !m.feasible(pu, tv) {
+			return false
+		}
+		m.pCore[pu] = tv
+		m.tCore[tv] = int32(pu)
+		done := m.match(depth+1, st)
+		if done && m.capture {
+			return true // keep the completed mapping intact
+		}
+		m.pCore[pu] = -1
+		m.tCore[tv] = -1
+		return done
+	}
+
+	if anchorImage >= 0 {
+		cands := m.t.InNeighbors(int(anchorImage))
+		if !anchorOut {
+			cands = m.t.OutNeighbors(int(anchorImage))
+		}
+		for _, tv := range cands {
+			if try(tv) {
+				return true
+			}
+			if m.aborted {
+				return false
+			}
+		}
+		return false
+	}
+	for tv := int32(0); tv < int32(m.t.N()); tv++ {
+		if try(tv) {
+			return true
+		}
+		if m.aborted {
+			return false
+		}
+	}
+	return false
+}
+
+// feasible applies the VF2 feasibility rules for non-induced matching:
+// label equality, degree sufficiency, consistency (direction- and
+// edge-label-aware) with all matched pattern neighbors, and a one-step
+// lookahead comparing unmatched-neighbor counts per direction.
+func (m *vf2State) feasible(pu int, tv int32) bool {
+	if m.p.Label(pu) != m.t.Label(int(tv)) {
+		return false
+	}
+	if m.t.OutDegree(int(tv)) < m.p.OutDegree(pu) || m.t.InDegree(int(tv)) < m.p.InDegree(pu) {
+		return false
+	}
+	// Every matched out-neighbor pn of pu (edge pu→pn) must map to an
+	// out-neighbor of tv with a matching edge label; dually for
+	// in-neighbors. For undirected graphs Out==In, so only the first loop
+	// constrains (the second repeats it harmlessly only when directed).
+	pendingOut := 0
+	for _, pn := range m.p.OutNeighbors(pu) {
+		if img := m.pCore[pn]; img >= 0 {
+			if !m.t.HasEdge(int(tv), int(img)) {
+				return false
+			}
+			if m.p.EdgeLabel(pu, int(pn)) != m.t.EdgeLabel(int(tv), int(img)) {
+				return false
+			}
+		} else {
+			pendingOut++
+		}
+	}
+	pendingIn := 0
+	if m.p.Directed() {
+		for _, pn := range m.p.InNeighbors(pu) {
+			if img := m.pCore[pn]; img >= 0 {
+				if !m.t.HasEdge(int(img), int(tv)) {
+					return false
+				}
+				if m.p.EdgeLabel(int(pn), pu) != m.t.EdgeLabel(int(img), int(tv)) {
+					return false
+				}
+			} else {
+				pendingIn++
+			}
+		}
+	}
+	// Lookahead: tv needs at least as many unmatched out-/in-neighbors as
+	// pu has pending in each direction.
+	availOut := 0
+	for _, tn := range m.t.OutNeighbors(int(tv)) {
+		if m.tCore[tn] < 0 {
+			availOut++
+		}
+	}
+	if availOut < pendingOut {
+		return false
+	}
+	if m.p.Directed() {
+		availIn := 0
+		for _, tn := range m.t.InNeighbors(int(tv)) {
+			if m.tCore[tn] < 0 {
+				availIn++
+			}
+		}
+		if availIn < pendingIn {
+			return false
+		}
+	}
+	return true
+}

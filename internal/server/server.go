@@ -1,0 +1,261 @@
+// Package server implements the Dashboard Manager substitute: an HTTP/JSON
+// service over a GraphCache instance. The demo paper drives GC through an
+// HTML/JavaScript front-end on a cloud deployment; this package exposes
+// the same information — query execution with the Query Journey
+// quantities, cache contents, operational statistics, and graph
+// visualizations — as a JSON API plus a minimal HTML status page.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+	"graphcache/internal/viz"
+)
+
+// Server wires a cache and its dataset into an http.Handler.
+type Server struct {
+	cache   *core.Cache
+	dataset []*graph.Graph
+	mux     *http.ServeMux
+}
+
+// New builds the handler. The dataset slice must be the one the cache's
+// method was built over.
+func New(cache *core.Cache, dataset []*graph.Graph) *Server {
+	s := &Server{cache: cache, dataset: dataset, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/entries", s.handleEntries)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/dataset/", s.handleDataset)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// statsResponse mirrors core.Snapshot with JSON-friendly names.
+type statsResponse struct {
+	Queries           int64   `json:"queries"`
+	ExactHits         int64   `json:"exactHits"`
+	SubHitQueries     int64   `json:"subHitQueries"`
+	SuperHitQueries   int64   `json:"superHitQueries"`
+	SubHits           int64   `json:"subHits"`
+	SuperHits         int64   `json:"superHits"`
+	TestsExecuted     int64   `json:"testsExecuted"`
+	TestsSaved        int64   `json:"testsSaved"`
+	TestSpeedup       float64 `json:"testSpeedup"`
+	HitDetectionTests int64   `json:"hitDetectionTests"`
+	Admissions        int64   `json:"admissions"`
+	Evictions         int64   `json:"evictions"`
+	CachedEntries     int     `json:"cachedEntries"`
+	CacheBytes        int     `json:"cacheBytes"`
+	Policy            string  `json:"policy"`
+}
+
+func (s *Server) statsResponse() statsResponse {
+	snap := s.cache.Stats()
+	return statsResponse{
+		Queries:           snap.Queries,
+		ExactHits:         snap.ExactHits,
+		SubHitQueries:     snap.SubHitQueries,
+		SuperHitQueries:   snap.SuperHitQueries,
+		SubHits:           snap.SubHits,
+		SuperHits:         snap.SuperHits,
+		TestsExecuted:     snap.TestsExecuted,
+		TestsSaved:        snap.TestsSaved,
+		TestSpeedup:       snap.TestSpeedup(),
+		HitDetectionTests: snap.HitDetectionTests,
+		Admissions:        snap.Admissions,
+		Evictions:         snap.Evictions,
+		CachedEntries:     s.cache.Len(),
+		CacheBytes:        s.cache.Bytes(),
+		Policy:            s.cache.PolicyName(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsResponse())
+}
+
+type entryResponse struct {
+	ID         int     `json:"id"`
+	Type       string  `json:"type"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Answers    int     `json:"answers"`
+	Hits       int64   `json:"hits"`
+	SavedTests float64 `json:"savedTests"`
+	LastUsed   int64   `json:"lastUsed"`
+}
+
+func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	entries := s.cache.Entries()
+	out := make([]entryResponse, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, entryResponse{
+			ID:         e.ID,
+			Type:       e.Type.String(),
+			Vertices:   e.Graph.N(),
+			Edges:      e.Graph.M(),
+			Answers:    e.Answers.Count(),
+			Hits:       e.Hits,
+			SavedTests: e.SavedTests,
+			LastUsed:   e.LastUsed,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryRequest is the POST /api/query payload: a graph in the text codec
+// plus the query type.
+type queryRequest struct {
+	// Graph holds one graph in the gSpan text format ("t # 0\nv 0 1\n...").
+	Graph string `json:"graph"`
+	// Type is "subgraph" (default) or "supergraph".
+	Type string `json:"type"`
+}
+
+type queryResponse struct {
+	Answers        []int       `json:"answers"`
+	Sure           []int       `json:"sure"`
+	Excluded       []int       `json:"excluded"`
+	Tests          int         `json:"tests"`
+	BaseCandidates int         `json:"baseCandidates"`
+	TestSpeedup    float64     `json:"testSpeedup"`
+	ExactHit       bool        `json:"exactHit"`
+	Hits           []hitDetail `json:"hits"`
+}
+
+type hitDetail struct {
+	Entry      int    `json:"entry"`
+	Kind       string `json:"kind"`
+	SavedTests int    `json:"savedTests"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	gs, err := graph.ReadAll(strings.NewReader(req.Graph))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+	if len(gs) != 1 {
+		writeError(w, http.StatusBadRequest, "want exactly one graph, got %d", len(gs))
+		return
+	}
+	qt := ftv.Subgraph
+	switch req.Type {
+	case "", "subgraph":
+	case "supergraph":
+		qt = ftv.Supergraph
+	default:
+		writeError(w, http.StatusBadRequest, "unknown query type %q", req.Type)
+		return
+	}
+	res, err := s.cache.Execute(gs[0], qt)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "execute: %v", err)
+		return
+	}
+	resp := queryResponse{
+		Answers:        res.Answers.Indices(),
+		Sure:           res.Sure.Indices(),
+		Excluded:       res.Excluded.Indices(),
+		Tests:          res.Tests,
+		BaseCandidates: res.BaseCandidates,
+		TestSpeedup:    res.TestSpeedup(),
+		ExactHit:       res.ExactHit,
+		Hits:           make([]hitDetail, 0, len(res.Hits)),
+	}
+	for _, h := range res.Hits {
+		resp.Hits = append(resp.Hits, hitDetail{Entry: h.EntryID, Kind: h.Kind.String(), SavedTests: h.SavedTests})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/dataset/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 || id >= len(s.dataset) {
+		writeError(w, http.StatusNotFound, "no dataset graph %q", idStr)
+		return
+	}
+	g := s.dataset[id]
+	switch r.URL.Query().Get("format") {
+	case "dot":
+		w.Header().Set("Content-Type", "text/vnd.graphviz")
+		fmt.Fprint(w, viz.ToDOT(g, viz.Options{Name: fmt.Sprintf("g%d", id), VertexNames: viz.AtomNames}))
+	case "ascii":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, viz.ASCII(g, viz.Options{VertexNames: viz.AtomNames}))
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := graph.WriteGraph(w, g); err != nil {
+			writeError(w, http.StatusInternalServerError, "write: %v", err)
+		}
+	}
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>GraphCache</title></head><body>
+<h1>GraphCache</h1>
+<p>{{.Queries}} queries · speedup {{printf "%.2f" .TestSpeedup}}× in sub-iso tests
+· {{.CachedEntries}} cached queries under {{.Policy}} replacement</p>
+<ul>
+<li>exact hits: {{.ExactHits}}</li>
+<li>sub-case hits: {{.SubHits}} (queries: {{.SubHitQueries}})</li>
+<li>super-case hits: {{.SuperHits}} (queries: {{.SuperHitQueries}})</li>
+<li>tests executed / saved: {{.TestsExecuted}} / {{.TestsSaved}}</li>
+</ul>
+<p>API: GET /api/stats · GET /api/entries · POST /api/query · GET /api/dataset/{id}?format=dot|ascii|text</p>
+</body></html>`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeError(w, http.StatusNotFound, "no route %q", r.URL.Path)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, s.statsResponse())
+}

@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"graphcache/internal/graph"
+)
+
+func TestToDOTUndirected(t *testing.T) {
+	g := graph.MustNew([]graph.Label{0, 1}, [][2]int{{0, 1}})
+	dot := ToDOT(g, Options{VertexNames: AtomNames})
+	for _, want := range []string{"graph g {", `n0 [label="C"]`, `n1 [label="O"]`, "n0 -- n1;"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Contains(dot, "->") {
+		t.Error("undirected graph rendered with arrows")
+	}
+}
+
+func TestToDOTDirectedLabelled(t *testing.T) {
+	g := graph.NewBuilder(2).Directed().SetLabels([]graph.Label{0, 1}).
+		AddLabeledEdge(0, 1, 2).MustBuild()
+	dot := ToDOT(g, Options{Name: "circ", EdgeNames: map[graph.Label]string{2: "bus"}})
+	for _, want := range []string{"digraph circ {", `n0 -> n1 [label="bus"]`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestASCII(t *testing.T) {
+	g := graph.MustNew([]graph.Label{0, 1, 2}, [][2]int{{0, 1}})
+	out := ASCII(g, Options{VertexNames: AtomNames})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "0[C] — 1[O]") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "∅") {
+		t.Errorf("isolated vertex should render ∅: %q", lines[2])
+	}
+}
+
+func TestASCIIDirectedEdgeLabels(t *testing.T) {
+	g := graph.NewBuilder(2).Directed().SetLabels([]graph.Label{0, 0}).
+		AddLabeledEdge(0, 1, 9).MustBuild()
+	out := ASCII(g, Options{})
+	if !strings.Contains(out, "→") || !strings.Contains(out, ":9") {
+		t.Errorf("directed labelled rendering wrong:\n%s", out)
+	}
+}
+
+func TestStrip(t *testing.T) {
+	s := Strip(2, 4, 8)
+	if !strings.Contains(s, "2/4") {
+		t.Errorf("Strip = %q", s)
+	}
+	if strings.Count(s, "█") != 4 {
+		t.Errorf("fill = %d, want 4: %q", strings.Count(s, "█"), s)
+	}
+	// Clamping.
+	if !strings.Contains(Strip(9, 4, 8), "4/4") {
+		t.Error("overfull strip should clamp")
+	}
+	if !strings.Contains(Strip(-1, 4, 8), "0/4") {
+		t.Error("negative strip should clamp")
+	}
+	if !strings.Contains(Strip(1, 0, 4), "1/1") {
+		t.Error("zero whole should clamp to 1")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := graph.MustNew([]graph.Label{0, 0, 0}, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if ToDOT(g, Options{}) != ToDOT(g, Options{}) {
+		t.Error("DOT not deterministic")
+	}
+	if ASCII(g, Options{}) != ASCII(g, Options{}) {
+		t.Error("ASCII not deterministic")
+	}
+}
