@@ -1,0 +1,29 @@
+# GraphCache build/test entry points. `make ci` is what every PR must
+# pass: vet plus the full test suite under the race detector (the
+# concurrency stress and equivalence tests in internal/core and
+# internal/server only earn their keep with -race armed).
+
+GO ?= go
+
+.PHONY: build test race vet bench throughput ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Parallel-throughput comparison: sharded engine vs serialized baseline.
+throughput:
+	$(GO) run ./cmd/workloadrun -throughput
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/bench/
+
+ci: vet race

@@ -6,20 +6,31 @@
 //	GET  /api/stats             operational counters (Statistics Manager)
 //	GET  /api/entries           cached queries and their utilities
 //	POST /api/query             execute a query: {"graph": "<gSpan text>", "type": "subgraph"}
+//	POST /api/query/batch       execute a batch: {"queries": [...], "workers": 8}
 //	GET  /api/dataset/{id}      dataset graph as text, ?format=dot / ascii
+//
+// Requests are served concurrently: net/http spawns a goroutine per
+// connection and the sharded cache kernel processes the in-flight queries
+// in parallel. SIGINT/SIGTERM trigger a graceful shutdown that drains
+// in-flight requests before exiting.
 //
 // Usage:
 //
 //	gcd -addr :8081 -dataset aids.txt
-//	gcd -addr :8081 -generate 1000 -policy hd -capacity 100
+//	gcd -addr :8081 -generate 1000 -policy hd -capacity 100 -shards 16
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"graphcache/internal/core"
 	"graphcache/internal/ftv"
@@ -32,15 +43,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8081", "listen address (the demo used :8081)")
-		dsPath   = flag.String("dataset", "", "dataset file in the text codec; empty generates molecules")
-		generate = flag.Int("generate", 100, "generated dataset size when -dataset is empty")
-		seed     = flag.Int64("seed", 2018, "generation seed")
-		policy   = flag.String("policy", "hd", "replacement policy")
-		capacity = flag.Int("capacity", 50, "cache capacity (entries)")
-		window   = flag.Int("window", 10, "admission window size")
-		ggsxLen  = flag.Int("ggsx", 4, "GGSX path-feature length")
-		workers  = flag.Int("workers", 1, "parallel verification workers")
+		addr       = flag.String("addr", ":8081", "listen address (the demo used :8081)")
+		dsPath     = flag.String("dataset", "", "dataset file in the text codec; empty generates molecules")
+		generate   = flag.Int("generate", 100, "generated dataset size when -dataset is empty")
+		seed       = flag.Int64("seed", 2018, "generation seed")
+		policy     = flag.String("policy", "hd", "replacement policy")
+		capacity   = flag.Int("capacity", 50, "cache capacity (entries)")
+		window     = flag.Int("window", 10, "admission window size")
+		ggsxLen    = flag.Int("ggsx", 4, "GGSX path-feature length")
+		workers    = flag.Int("workers", 1, "parallel verification workers per query")
+		shards     = flag.Int("shards", 0, "cache lock shards (0 = default)")
+		serialized = flag.Bool("serialized", false, "serialize all queries behind one lock (pre-sharding baseline)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -74,13 +88,39 @@ func main() {
 	cfg.Window = *window
 	cfg.Policy = p
 	cfg.VerifyWorkers = *workers
+	cfg.Shards = *shards
+	cfg.Serialized = *serialized
 	cache, err := core.New(method, cfg)
 	if err != nil {
 		log.Fatalf("gcd: %v", err)
 	}
 
-	fmt.Printf("gcd: %d dataset graphs, method %s, policy %s, cache %d/%d window\n",
-		len(dataset), method.Name(), p.Name(), *capacity, *window)
+	fmt.Printf("gcd: %d dataset graphs, method %s, policy %s, cache %d/%d window, %d shards\n",
+		len(dataset), method.Name(), p.Name(), *capacity, *window, cache.Shards())
 	fmt.Printf("gcd: listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(cache, dataset)))
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(cache, dataset)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("gcd: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Println("gcd: shutting down, draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("gcd: shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("gcd: %v", err)
+		}
+		snap := cache.Stats()
+		fmt.Printf("gcd: served %d queries (%d exact hits), bye\n", snap.Queries, snap.ExactHits)
+	}
 }

@@ -29,6 +29,28 @@
 //	res, err := cache.Execute(pattern, graphcache.Subgraph)
 //	// res.Answers: exact answer set; res.TestSpeedup(): saved work.
 //
+// # Concurrency
+//
+// A Cache is safe for any number of goroutines calling Execute at once.
+// Admitted entries are partitioned across Config.Shards lock shards keyed
+// by graph fingerprint (DefaultShards when zero), and the expensive query
+// stages — Method M filtering, hit-detection iso tests, candidate
+// verification — run without holding any lock. A small coordinator mutex
+// serializes only the genuinely global concerns: admission-window turns,
+// replacement-policy accounting and verification-cost statistics.
+// QueryAll drives a whole batch through a bounded worker pool:
+//
+//	outs := graphcache.QueryAll(cache, reqs, 8)
+//
+// Sequential streams produce identical results and cache contents at any
+// shard count under timing-independent policies (LRU, FIFO, POP, PIN);
+// PINC and the default HD rank eviction victims by measured verification
+// cost, so their cache contents can differ between physical runs — a
+// property of those policies, not of the sharding. Concurrent submission
+// keeps every answer set exact but makes admission order
+// scheduling-dependent. Config.Serialized restores the
+// one-query-at-a-time engine for baselines and reproducibility.
+//
 // # Extending
 //
 // Replacement policies are pluggable (the Figure 2(d) developer interface):

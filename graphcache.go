@@ -63,7 +63,14 @@ type (
 	HitKind = core.HitKind
 	// HitRef reports one contributing hit inside a Result.
 	HitRef = core.HitRef
+	// Request is one query in a QueryAll batch.
+	Request = core.Request
+	// Outcome pairs one batch query's Result with its error.
+	Outcome = core.Outcome
 )
+
+// DefaultShards is the lock-shard count selected when Config.Shards is 0.
+const DefaultShards = core.DefaultShards
 
 // Hit kinds.
 const (
@@ -143,8 +150,20 @@ func NewMethod(name string, dataset []*Graph, filter Filter, verify VerifierFunc
 // 10, HD replacement).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// NewCache builds a cache over the method.
+// NewCache builds a cache over the method. The cache is safe for
+// concurrent use: entries are partitioned across Config.Shards lock
+// shards and the expensive query stages run without holding any lock, so
+// many goroutines can call Execute at once (see QueryAll for a bundled
+// worker pool).
 func NewCache(method *Method, cfg Config) (*Cache, error) { return core.New(method, cfg) }
+
+// QueryAll processes a batch of queries through the cache with a pool of
+// workers goroutines, returning outcomes positionally. workers < 2 runs
+// the batch sequentially, which additionally makes the final cache
+// contents deterministic.
+func QueryAll(c *Cache, reqs []Request, workers int) []Outcome {
+	return c.ExecuteAll(reqs, workers)
+}
 
 // Bundled replacement policies.
 var (

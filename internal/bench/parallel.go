@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// ThroughputPoint is one measured configuration of the parallel-throughput
+// experiment: a worker count driving a cache engine, and the resulting
+// queries/sec.
+type ThroughputPoint struct {
+	Workers int
+	Queries int
+	Elapsed time.Duration
+	QPS     float64
+}
+
+// ThroughputComparison reports the sharded engine against the serialized
+// baseline over the identical mixed workload at each worker count.
+type ThroughputComparison struct {
+	WorkerCounts []int
+	// Serialized drives a Config{Shards: 1, Serialized: true} cache — the
+	// pre-sharding engine that takes one global lock per query.
+	Serialized []ThroughputPoint
+	// Sharded drives the lock-striped engine at the default shard count.
+	Sharded []ThroughputPoint
+}
+
+// SpeedupAt returns sharded QPS over serialized QPS at the given worker
+// count (>1 means the sharded engine wins); 0 if the count was not run.
+func (t *ThroughputComparison) SpeedupAt(workers int) float64 {
+	for i, w := range t.WorkerCounts {
+		if w == workers && t.Serialized[i].QPS > 0 {
+			return t.Sharded[i].QPS / t.Serialized[i].QPS
+		}
+	}
+	return 0
+}
+
+// DefaultThroughputWorkers are the worker counts the throughput experiment
+// reports: the sequential floor, a small pool, and the target scale.
+func DefaultThroughputWorkers() []int { return []int{1, 4, 8} }
+
+// ParallelThroughput measures end-to-end queries/sec of the sharded engine
+// against the serialized baseline. One dataset, one GGSX index and one
+// mixed subgraph/supergraph workload are generated up front and shared by
+// every run (the filter index is immutable and concurrency-safe); each
+// (engine, workers) cell gets a fresh cache so no run warms another. The
+// workload is submitted through Cache.ExecuteAll with the cell's worker
+// count.
+func ParallelThroughput(seed int64, datasetSize, queries int, workerCounts []int) (*ThroughputComparison, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultThroughputWorkers()
+	}
+	dataset := MoleculeDataset(seed, datasetSize)
+	method := ftv.NewGGSXMethod(dataset, 3)
+	w, err := gen.NewWorkload(newRand(seed+7), dataset, gen.WorkloadConfig{
+		Size: queries, Mixed: true, PoolSize: max(queries/3, 8),
+		ZipfS: 1.2, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]core.Request, len(w.Queries))
+	for i, q := range w.Queries {
+		reqs[i] = core.Request{Graph: q.G, Type: q.Type}
+	}
+
+	cmp := &ThroughputComparison{WorkerCounts: workerCounts}
+	run := func(cfg core.Config, workers int) (ThroughputPoint, error) {
+		c, err := core.New(method, cfg)
+		if err != nil {
+			return ThroughputPoint{}, err
+		}
+		t0 := time.Now()
+		outs := c.ExecuteAll(reqs, workers)
+		elapsed := time.Since(t0)
+		for i, o := range outs {
+			if o.Err != nil {
+				return ThroughputPoint{}, fmt.Errorf("query %d: %w", i, o.Err)
+			}
+		}
+		return ThroughputPoint{
+			Workers: workers,
+			Queries: len(reqs),
+			Elapsed: elapsed,
+			QPS:     float64(len(reqs)) / elapsed.Seconds(),
+		}, nil
+	}
+
+	for _, workers := range workerCounts {
+		serialCfg := core.DefaultConfig()
+		serialCfg.Shards = 1
+		serialCfg.Serialized = true
+		p, err := run(serialCfg, workers)
+		if err != nil {
+			return nil, err
+		}
+		cmp.Serialized = append(cmp.Serialized, p)
+
+		shardCfg := core.DefaultConfig()
+		p, err = run(shardCfg, workers)
+		if err != nil {
+			return nil, err
+		}
+		cmp.Sharded = append(cmp.Sharded, p)
+	}
+	return cmp, nil
+}

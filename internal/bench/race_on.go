@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// throughput assertions are meaningless under its scheduling distortion.
+const raceEnabled = true

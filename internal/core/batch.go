@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+)
+
+// Request is one query in a batch submission.
+type Request struct {
+	// Graph is the pattern graph.
+	Graph *graph.Graph
+	// Type is the query semantics.
+	Type ftv.QueryType
+}
+
+// Outcome pairs one batch query's Result with its error; exactly one of
+// the two is set.
+type Outcome struct {
+	Result *Result
+	Err    error
+}
+
+// ExecuteAll processes a batch of queries through the cache with a pool of
+// workers goroutines, returning outcomes positionally (outcome i belongs
+// to reqs[i]). workers < 2 executes the batch sequentially on the calling
+// goroutine — useful when reproducibility of cache contents matters more
+// than throughput, since concurrent submission makes admission order
+// scheduling-dependent. Individual answer sets are exact either way.
+func (c *Cache) ExecuteAll(reqs []Request, workers int) []Outcome {
+	out := make([]Outcome, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers < 2 || len(reqs) == 1 {
+		for i, r := range reqs {
+			res, err := c.Execute(r.Graph, r.Type)
+			out[i] = Outcome{Result: res, Err: err}
+		}
+		return out
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := c.Execute(reqs[i].Graph, reqs[i].Type)
+				out[i] = Outcome{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

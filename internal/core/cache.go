@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphcache/internal/bitset"
@@ -12,28 +14,72 @@ import (
 	"graphcache/internal/stats"
 )
 
-// Cache is the GraphCache kernel deployed over a Method M. It is safe for
-// concurrent use; queries are serialized internally (verification inside a
-// query can still be parallel, see Config.VerifyWorkers).
+// Cache is the GraphCache kernel deployed over a Method M, safe for
+// concurrent use by many goroutines at once.
+//
+// # Locking discipline
+//
+// Admitted entries are partitioned across Config.Shards lock-striped
+// shards by graph fingerprint; each shard carries its own RWMutex. The
+// expensive stages of a query — Method M filtering, hit-detection iso
+// tests and candidate verification — run without holding any lock at all:
+// they operate on the immutable dataset, on immutable entry fields (Graph,
+// Answers, signatures) and on point-in-time shard snapshots. What remains
+// serialized sits behind coordMu, a single coordinator mutex guarding the
+// genuinely cross-shard state: the admission window, ID assignment, the
+// replacement policy (and the mutable per-entry utility fields it
+// updates), and the verification-cost EMAs. These critical sections are
+// short — counter arithmetic, never iso tests or dataset scans — except
+// for window turns, which additionally take every shard write lock to age,
+// evict and admit atomically. The lock hierarchy is coordMu → shard locks;
+// the reverse nesting never occurs. Operational counters (Monitor) are
+// atomics and bypass locks entirely.
+//
+// Entries are kept globally ordered by ID (admission order) when gathered
+// across shards, so policy decisions — and therefore cache contents — are
+// identical to a single-shard cache when queries are issued sequentially,
+// regardless of the shard count (property-tested in equivalence_test.go).
+// That guarantee is exact for timing-independent policies (LRU, FIFO,
+// POP, PIN); PINC and the default HD additionally rank victims by
+// measured verification nanoseconds, so their eviction choices can vary
+// between physical runs — any two runs, independent of sharding. Under
+// concurrent submission the admission order (and hence eviction choices)
+// depends on goroutine scheduling, but every individual answer set
+// remains exact.
 type Cache struct {
-	mu     sync.Mutex
 	method *ftv.Method
 	cfg    Config
 	policy Policy
 
-	entries []*Entry
-	byFP    map[graph.Fingerprint][]*Entry
+	shards []*shard
+
+	// serialMu is taken for the whole of Execute when cfg.Serialized is
+	// set — the pre-sharding engine's behavior, kept as the measurable
+	// baseline for the parallel-throughput benchmarks and as the reference
+	// configuration for equivalence tests.
+	serialMu sync.Mutex
+
+	// coordMu guards window, nextID, the policy and the per-entry utility
+	// fields it mutates, and the cost EMAs.
+	coordMu sync.Mutex
 	window  []*Entry
 	nextID  int
-	tick    int64
+
+	// tick is the global query sequence number (atomic: assigned at query
+	// start, before any lock).
+	tick atomic.Int64
 
 	// costEMA tracks per-dataset-graph verification cost (ns); globalCost
 	// backs graphs never verified. Both feed PINC's saved-cost estimates.
+	// The EMA structs are mutated only in recordCosts under coordMu;
+	// costVal/globalVal mirror their current values as float bits so the
+	// hit-credit paths read estimates lock-free (0 bits = no estimate yet).
 	costEMA    []*stats.EMA
 	globalCost *stats.EMA
+	costVal    []atomic.Uint64
+	globalVal  atomic.Uint64
 
-	memBytes int
-	mon      Monitor
+	mon Monitor
 }
 
 // defaultCostNs seeds cost estimates before any verification ran.
@@ -48,13 +94,17 @@ func New(method *ftv.Method, cfg Config) (*Cache, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = NewHD()
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
 	c := &Cache{
 		method:     method,
 		cfg:        cfg,
 		policy:     cfg.Policy,
-		byFP:       make(map[graph.Fingerprint][]*Entry),
+		shards:     newShards(cfg.Shards),
 		costEMA:    make([]*stats.EMA, method.DatasetSize()),
 		globalCost: stats.NewEMA(0.05),
+		costVal:    make([]atomic.Uint64, method.DatasetSize()),
 	}
 	return c, nil
 }
@@ -75,56 +125,76 @@ func (c *Cache) Method() *ftv.Method { return c.method }
 // PolicyName returns the active replacement policy's name.
 func (c *Cache) PolicyName() string { return c.policy.Name() }
 
+// Shards returns the number of lock shards the cache was built with.
+func (c *Cache) Shards() int { return len(c.shards) }
+
 // Len returns the number of admitted entries (excluding the window).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // WindowLen returns the number of entries pending admission.
 func (c *Cache) WindowLen() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.coordMu.Lock()
+	defer c.coordMu.Unlock()
 	return len(c.window)
 }
 
 // Bytes returns the estimated resident size of admitted entries.
 func (c *Cache) Bytes() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.memBytes
+	b := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		b += sh.memBytes
+		sh.mu.RUnlock()
+	}
+	return b
 }
 
 // Stats returns a snapshot of the operational counters.
 func (c *Cache) Stats() Snapshot {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.mon.Snapshot()
 }
 
-// Entries returns a copy of the admitted entries slice (the Entry pointers
-// are shared; treat them as read-only). Intended for demonstrators and
-// tests inspecting cache contents.
+// Entries returns the admitted entries in admission order as defensive
+// copies: the Entry structs are snapshots taken under the coordinator
+// lock (so the mutable utility fields are read race-free), while Graph,
+// Answers and the signature fields still alias the cache's immutable
+// originals. Intended for demonstrators and tests inspecting cache
+// contents.
 func (c *Cache) Entries() []*Entry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]*Entry, len(c.entries))
-	copy(out, c.entries)
+	c.coordMu.Lock()
+	defer c.coordMu.Unlock()
+	all := c.entriesSnapshot()
+	out := make([]*Entry, len(all))
+	for i, e := range all {
+		cp := *e
+		out[i] = &cp
+	}
 	return out
 }
 
 // Execute processes one query through the cache. The returned Result owns
-// its bitsets; callers may mutate them freely.
+// its bitsets; callers may mutate them freely. Execute is safe to call
+// from any number of goroutines; see the Cache doc comment for what runs
+// in parallel and what serializes.
 func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("core: nil query graph")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.cfg.Serialized {
+		c.serialMu.Lock()
+		defer c.serialMu.Unlock()
+	}
 
-	c.tick++
-	c.mon.queries++
+	tick := c.tick.Add(1)
+	c.mon.queries.Add(1)
 	n := c.method.DatasetSize()
 	sig := c.signatureOf(q)
 
@@ -138,12 +208,14 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 			Kind:        ExactHit,
 			SavedTests:  saved,
 			SavedCostNs: float64(saved) * c.estimatedMeanCost(),
-			Tick:        c.tick,
+			Tick:        tick,
 		}
+		c.coordMu.Lock()
 		c.policy.UpdateCacheStaInfo(ev)
-		c.mon.exactHits++
-		c.mon.testsSaved += int64(saved)
-		c.mon.hitNs += hitTime.Nanoseconds()
+		c.coordMu.Unlock()
+		c.mon.exactHits.Add(1)
+		c.mon.testsSaved.Add(int64(saved))
+		c.mon.hitNs.Add(hitTime.Nanoseconds())
 		res := &Result{
 			Answers:        e.Answers.Clone(),
 			BaseCandidates: saved,
@@ -161,16 +233,20 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	}
 	hitTime := time.Since(t0)
 
-	// Stage 2: Method M filtering.
+	// Stage 2: Method M filtering (lock-free: the filter index is
+	// immutable after construction).
 	tf := time.Now()
 	cm := c.method.Candidates(q, qt)
 	filterTime := time.Since(tf)
 
-	// Stage 3: sub/super hit detection over the cache.
+	// Stage 3: sub/super hit detection over a point-in-time snapshot of
+	// the cache. The iso tests run without any lock; entries evicted
+	// mid-detection stay sound (their answer sets remain exact over the
+	// immutable dataset).
 	th := time.Now()
 	hs := c.detectHits(q, qt, sig)
 	hitTime += time.Since(th)
-	c.mon.hitDetectIso += int64(hs.isoTests)
+	c.mon.hitDetectIso.Add(int64(hs.isoTests))
 
 	// Stage 4: candidate algebra. Which direction delivers guaranteed
 	// answers (S) versus pruning (S′) depends on the query type; see the
@@ -182,19 +258,47 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		answerKind, pruneKind = SuperHit, SubHit
 	}
 
+	// Saved-test sets and their cost estimates are computed lock-free (the
+	// cost mirror is atomic); only the policy updates run under coordMu,
+	// keeping the critical section to counter arithmetic per hit.
+	type hitCredit struct {
+		h     *Entry
+		kind  HitKind
+		saved int
+		cost  float64
+	}
+	costOf := func(s *bitset.Set) (int, float64) {
+		saved, cost := 0, 0.0
+		s.ForEach(func(gid int) bool {
+			saved++
+			cost += c.estimatedCost(gid)
+			return true
+		})
+		return saved, cost
+	}
+	credits := make([]hitCredit, 0, len(answerHits)+len(pruneHits))
 	sure := bitset.New(n)
-	var hits []HitRef
 	for _, h := range answerHits {
-		saved := h.Answers.IntersectionCount(cm)
-		c.creditHit(h, answerKind, saved, c.costOfSet(h.Answers, cm, true), &hits)
+		s := h.Answers.Clone()
+		s.And(cm)
+		saved, cost := costOf(s)
+		credits = append(credits, hitCredit{h, answerKind, saved, cost})
 		sure.Or(h.Answers)
 	}
 	candPruned := cm.Clone()
 	for _, h := range pruneHits {
-		saved := cm.DifferenceCount(h.Answers)
-		c.creditHit(h, pruneKind, saved, c.costOfSet(h.Answers, cm, false), &hits)
+		s := cm.Clone()
+		s.AndNot(h.Answers)
+		saved, cost := costOf(s)
+		credits = append(credits, hitCredit{h, pruneKind, saved, cost})
 		candPruned.And(h.Answers)
 	}
+	var hits []HitRef
+	c.coordMu.Lock()
+	for _, cr := range credits {
+		c.creditHit(cr.h, cr.kind, cr.saved, cr.cost, tick, &hits)
+	}
+	c.coordMu.Unlock()
 	excluded := cm.Clone()
 	excluded.AndNot(candPruned)
 
@@ -203,28 +307,30 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	cand.AndNot(sure)
 
 	if len(hs.sub) > 0 {
-		c.mon.subHitQueries++
-		c.mon.subHits += int64(len(hs.sub))
+		c.mon.subHitQueries.Add(1)
+		c.mon.subHits.Add(int64(len(hs.sub)))
 	}
 	if len(hs.super) > 0 {
-		c.mon.superHitQuerys++
-		c.mon.superHits += int64(len(hs.super))
+		c.mon.superHitQuerys.Add(1)
+		c.mon.superHits.Add(int64(len(hs.super)))
 	}
 
-	// Stage 5: verification of the reduced candidate set.
+	// Stage 5: verification of the reduced candidate set (lock-free; cost
+	// samples are folded into the EMAs afterwards in one short section).
 	tv := time.Now()
-	survivors := c.verify(q, qt, cand)
+	survivors, costs := c.verify(q, qt, cand)
 	verifyTime := time.Since(tv)
+	c.recordCosts(costs)
 
 	answers := survivors.Clone()
 	answers.Or(sure)
 
 	tests := cand.Count()
-	c.mon.testsExecuted += int64(tests)
-	c.mon.testsSaved += int64(cm.Count() - tests)
-	c.mon.filterNs += filterTime.Nanoseconds()
-	c.mon.hitNs += hitTime.Nanoseconds()
-	c.mon.verifyNs += verifyTime.Nanoseconds()
+	c.mon.testsExecuted.Add(int64(tests))
+	c.mon.testsSaved.Add(int64(cm.Count() - tests))
+	c.mon.filterNs.Add(filterTime.Nanoseconds())
+	c.mon.hitNs.Add(hitTime.Nanoseconds())
+	c.mon.verifyNs.Add(verifyTime.Nanoseconds())
 
 	res := &Result{
 		Answers:        answers,
@@ -242,76 +348,68 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	c.selfCheck(q, qt, res)
 
 	// Stage 6: admission via the window manager.
-	c.admit(q, qt, answers.Clone(), cm.Count(), sig)
+	c.admit(q, qt, answers.Clone(), cm.Count(), sig, tick)
 	return res, nil
 }
 
-// creditHit updates policy utilities and the result's hit list.
-func (c *Cache) creditHit(h *Entry, kind HitKind, savedTests int, savedCost float64, hits *[]HitRef) {
+// creditHit updates policy utilities and the result's hit list. Caller
+// holds coordMu.
+func (c *Cache) creditHit(h *Entry, kind HitKind, savedTests int, savedCost float64, tick int64, hits *[]HitRef) {
 	ev := &HitEvent{
 		Entry:       h,
 		Kind:        kind,
 		SavedTests:  savedTests,
 		SavedCostNs: savedCost,
-		Tick:        c.tick,
+		Tick:        tick,
 	}
 	c.policy.UpdateCacheStaInfo(ev)
 	*hits = append(*hits, HitRef{EntryID: h.ID, Kind: kind, SavedTests: savedTests})
 }
 
-// costOfSet estimates the verification cost (ns) of the tests a hit saved:
-// for answer-delivering hits the graphs in answers ∩ cm; for pruning hits
-// the graphs in cm \ answers.
-func (c *Cache) costOfSet(answers, cm *bitset.Set, intersect bool) float64 {
-	s := answers.Clone()
-	if intersect {
-		s.And(cm)
-	} else {
-		s2 := cm.Clone()
-		s2.AndNot(answers)
-		s = s2
-	}
-	total := 0.0
-	s.ForEach(func(gid int) bool {
-		total += c.estimatedCost(gid)
-		return true
-	})
-	return total
-}
-
+// estimatedCost reads one graph's cost estimate from the lock-free mirror.
 func (c *Cache) estimatedCost(gid int) float64 {
-	if e := c.costEMA[gid]; e != nil && e.Initialized() {
-		return e.Value()
+	if bits := c.costVal[gid].Load(); bits != 0 {
+		return math.Float64frombits(bits)
 	}
 	return c.estimatedMeanCost()
 }
 
+// estimatedMeanCost reads the global cost estimate from the lock-free
+// mirror.
 func (c *Cache) estimatedMeanCost() float64 {
-	if c.globalCost.Initialized() {
-		return c.globalCost.Value()
+	if bits := c.globalVal.Load(); bits != 0 {
+		return math.Float64frombits(bits)
 	}
 	return defaultCostNs
 }
 
+// costSample is one measured sub-iso verification.
+type costSample struct {
+	gid int
+	dur time.Duration
+}
+
 // verify runs the sub-iso tests over the candidate set, sequentially or
-// with a bounded worker pool, recording per-graph costs.
-func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) *bitset.Set {
+// with a bounded worker pool. It holds no locks; measured costs are
+// returned for the caller to fold into the EMAs.
+func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) (*bitset.Set, []costSample) {
 	n := c.method.DatasetSize()
 	out := bitset.New(n)
 	ids := cand.Indices()
 	if len(ids) == 0 {
-		return out
+		return out, nil
 	}
+	costs := make([]costSample, 0, len(ids))
 	if c.cfg.VerifyWorkers < 2 || len(ids) < 4 {
 		for _, gid := range ids {
 			t0 := time.Now()
 			ok := c.method.VerifyCandidate(q, gid, qt)
-			c.recordCost(gid, time.Since(t0))
+			costs = append(costs, costSample{gid, time.Since(t0)})
 			if ok {
 				out.Add(gid)
 			}
 		}
-		return out
+		return out, costs
 	}
 
 	type verdict struct {
@@ -348,26 +446,38 @@ func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) *bits
 	}
 	wg.Wait()
 	for _, v := range results {
-		c.recordCost(v.gid, v.dur)
+		costs = append(costs, costSample{v.gid, v.dur})
 		if v.ok {
 			out.Add(v.gid)
 		}
 	}
-	return out
+	return out, costs
 }
 
-func (c *Cache) recordCost(gid int, d time.Duration) {
-	if c.costEMA[gid] == nil {
-		c.costEMA[gid] = stats.NewEMA(0.3)
+// recordCosts folds measured verification costs into the EMAs.
+func (c *Cache) recordCosts(costs []costSample) {
+	if len(costs) == 0 {
+		return
 	}
-	ns := float64(d.Nanoseconds())
-	c.costEMA[gid].Add(ns)
-	c.globalCost.Add(ns)
+	c.coordMu.Lock()
+	defer c.coordMu.Unlock()
+	for _, s := range costs {
+		if c.costEMA[s.gid] == nil {
+			c.costEMA[s.gid] = stats.NewEMA(0.3)
+		}
+		ns := float64(s.dur.Nanoseconds())
+		c.costEMA[s.gid].Add(ns)
+		c.globalCost.Add(ns)
+		c.costVal[s.gid].Store(math.Float64bits(c.costEMA[s.gid].Value()))
+	}
+	c.globalVal.Store(math.Float64bits(c.globalCost.Value()))
 }
 
 // admit stages the executed query in the admission window and turns the
 // window when full — the Window Manager.
-func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig) {
+func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) {
+	c.coordMu.Lock()
+	defer c.coordMu.Unlock()
 	e := &Entry{
 		ID:             c.nextID,
 		Graph:          q,
@@ -377,8 +487,8 @@ func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, bas
 		LabelVec:       sig.labelVec,
 		Features:       sig.features,
 		BaseCandidates: baseCandidates,
-		InsertedAt:     c.tick,
-		LastUsed:       c.tick,
+		InsertedAt:     tick,
+		LastUsed:       tick,
 	}
 	c.nextID++
 	c.window = append(c.window, e)
@@ -393,47 +503,65 @@ func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, bas
 // graphs (Figure 2(c): "10 of which are replaced by the newly coming
 // queries"). Evicting after admission would instead throw away the
 // newcomers, whose utilities are necessarily still zero.
+//
+// Caller holds coordMu; turnWindow additionally takes every shard write
+// lock so aging, eviction and admission are one atomic transition.
 func (c *Cache) turnWindow() {
-	c.mon.windowTurns++
+	c.mon.windowTurns.Add(1)
 	c.policy.OnWindowTurn()
-	for _, e := range c.entries {
+	c.lockAll()
+	defer c.unlockAll()
+
+	all := c.gatherLocked()
+	for _, e := range all {
 		e.age(c.cfg.DecayFactor)
 	}
-	if excess := len(c.entries) + len(c.window) - c.cfg.Capacity; excess > 0 {
-		c.evict(excess)
+	if excess := len(all) + len(c.window) - c.cfg.Capacity; excess > 0 {
+		all = c.evictLocked(all, excess)
 	}
 	for _, e := range c.window {
-		c.entries = append(c.entries, e)
-		c.byFP[e.Fingerprint] = append(c.byFP[e.Fingerprint], e)
-		c.memBytes += e.Bytes()
-		c.mon.admissions++
+		c.shardFor(e.Fingerprint).insertLocked(e)
+		all = append(all, e) // window IDs exceed all admitted IDs: stays sorted
+		c.mon.admissions.Add(1)
 	}
 	c.window = c.window[:0]
 
 	// A window larger than the whole capacity can still overflow.
-	if excess := len(c.entries) - c.cfg.Capacity; excess > 0 {
-		c.evict(excess)
+	if excess := len(all) - c.cfg.Capacity; excess > 0 {
+		all = c.evictLocked(all, excess)
 	}
-	for c.cfg.MemoryBudget > 0 && c.memBytes > c.cfg.MemoryBudget && len(c.entries) > 1 {
-		c.evict(1)
+	for c.cfg.MemoryBudget > 0 && c.memBytesLocked() > c.cfg.MemoryBudget && len(all) > 1 {
+		all = c.evictLocked(all, 1)
 	}
 }
 
-// evict removes x entries chosen by the policy, sanitizing the returned
-// positions defensively against buggy custom policies (duplicates or
-// out-of-range indices are dropped; a shortfall is filled FIFO).
-func (c *Cache) evict(x int) {
-	if x <= 0 || len(c.entries) == 0 {
-		return
+// memBytesLocked sums shard byte accounts. Caller holds all shard locks.
+func (c *Cache) memBytesLocked() int {
+	b := 0
+	for _, sh := range c.shards {
+		b += sh.memBytes
 	}
-	if x > len(c.entries) {
-		x = len(c.entries)
+	return b
+}
+
+// evictLocked removes x entries chosen by the policy from the ID-ordered
+// slice all (the canonical cross-shard view) and from their owning shards,
+// returning the surviving slice. The policy's returned positions are
+// sanitized defensively against buggy custom policies (duplicates or
+// out-of-range indices are dropped; a shortfall is filled FIFO). Caller
+// holds coordMu and all shard write locks.
+func (c *Cache) evictLocked(all []*Entry, x int) []*Entry {
+	if x <= 0 || len(all) == 0 {
+		return all
 	}
-	pos := c.policy.ReplacedContent(c.entries, x)
+	if x > len(all) {
+		x = len(all)
+	}
+	pos := c.policy.ReplacedContent(all, x)
 	seen := make(map[int]bool, len(pos))
 	var victims []int
 	for _, p := range pos {
-		if p >= 0 && p < len(c.entries) && !seen[p] {
+		if p >= 0 && p < len(all) && !seen[p] {
 			seen[p] = true
 			victims = append(victims, p)
 			if len(victims) == x {
@@ -443,12 +571,12 @@ func (c *Cache) evict(x int) {
 	}
 	if len(victims) < x {
 		// Fill the shortfall oldest-first.
-		order := make([]int, len(c.entries))
+		order := make([]int, len(all))
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool {
-			return c.entries[order[a]].InsertedAt < c.entries[order[b]].InsertedAt
+			return all[order[a]].InsertedAt < all[order[b]].InsertedAt
 		})
 		for _, p := range order {
 			if !seen[p] {
@@ -465,37 +593,20 @@ func (c *Cache) evict(x int) {
 	for _, p := range victims {
 		evictSet[p] = true
 	}
-	kept := c.entries[:0]
-	for i, e := range c.entries {
+	kept := all[:0]
+	for i, e := range all {
 		if evictSet[i] {
-			c.removeFromFP(e)
-			c.memBytes -= e.Bytes()
-			c.mon.evictions++
+			c.shardFor(e.Fingerprint).removeLocked(e)
+			c.mon.evictions.Add(1)
 			continue
 		}
 		kept = append(kept, e)
 	}
 	// Zero the tail so evicted entries are collectable.
-	for i := len(kept); i < len(c.entries); i++ {
-		c.entries[i] = nil
+	for i := len(kept); i < len(all); i++ {
+		all[i] = nil
 	}
-	c.entries = kept
-}
-
-func (c *Cache) removeFromFP(e *Entry) {
-	list := c.byFP[e.Fingerprint]
-	for i, x := range list {
-		if x == e {
-			list[i] = list[len(list)-1]
-			list = list[:len(list)-1]
-			break
-		}
-	}
-	if len(list) == 0 {
-		delete(c.byFP, e.Fingerprint)
-	} else {
-		c.byFP[e.Fingerprint] = list
-	}
+	return kept
 }
 
 // selfCheck cross-validates a result against the uncached method when

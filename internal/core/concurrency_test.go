@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// TestConcurrentMixedTraffic hammers one cache from many goroutines with
+// mixed traffic — Execute (both semantics, small capacity so evictions
+// churn constantly), batch submission, stat/entry/byte reads and state
+// snapshots — and then cross-checks every answer against the uncached
+// method. Run under -race this is the kernel's data-race gauntlet: every
+// lock transition in the sharded engine gets exercised while window turns
+// and evictions rearrange the shards underfoot.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	dataset := testDataset(71, 30)
+	c := testCache(t, dataset, func(cfg *Config) {
+		cfg.Capacity = 12 // tiny: force eviction churn
+		cfg.Window = 4
+		cfg.SelfCheck = false // checked explicitly below, off the hot path
+	})
+
+	w, err := gen.NewWorkload(rand.New(rand.NewSource(72)), dataset, gen.WorkloadConfig{
+		Size: 400, Mixed: true, PoolSize: 40,
+		ZipfS: 1.3, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 10
+	type outcome struct {
+		q   gen.Query
+		res *Result
+	}
+	outcomes := make(chan outcome, len(w.Queries))
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(w.Queries); i += workers {
+				q := w.Queries[i]
+				res, err := c.Execute(q.G, q.Type)
+				if err != nil {
+					t.Errorf("worker %d query %d: %v", g, i, err)
+					return
+				}
+				outcomes <- outcome{q, res}
+				// Interleave reads with the query traffic.
+				switch i % 5 {
+				case 0:
+					c.Len()
+				case 1:
+					c.Stats()
+				case 2:
+					for _, e := range c.Entries() {
+						_ = e.Answers.Count()
+					}
+				case 3:
+					c.Bytes()
+				case 4:
+					c.WindowLen()
+				}
+			}
+		}(g)
+	}
+	// Two more goroutines stress the structural paths: state snapshots and
+	// full snapshot/restore cycles racing the query traffic.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := c.WriteState(io.Discard); err != nil {
+				t.Errorf("WriteState: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			var buf bytes.Buffer
+			if err := c.WriteState(&buf); err != nil {
+				t.Errorf("WriteState: %v", err)
+				return
+			}
+			if err := c.ReadState(&buf); err != nil {
+				t.Errorf("ReadState: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(outcomes)
+
+	// Every concurrently produced answer set must equal the uncached
+	// method's — concurrency must never cost exactness.
+	checked := 0
+	for o := range outcomes {
+		base := c.Method().Run(o.q.G, o.q.Type)
+		if !base.Answers.Equal(o.res.Answers) {
+			t.Fatalf("concurrent answer diverges from base for %s query %v", o.q.Type, o.q.G)
+		}
+		checked++
+	}
+	if checked != len(w.Queries) {
+		t.Fatalf("checked %d outcomes, want %d", checked, len(w.Queries))
+	}
+	snap := c.Stats()
+	if snap.Queries != int64(len(w.Queries)) {
+		t.Errorf("monitor queries = %d, want %d", snap.Queries, len(w.Queries))
+	}
+	if got := c.Len(); got > 12 {
+		t.Errorf("capacity exceeded: %d entries resident", got)
+	}
+}
+
+// TestConcurrentExecuteAll drives the batched worker-pool API concurrently
+// from several submitting goroutines (each batch spawning its own pool) —
+// the server's /api/query/batch shape.
+func TestConcurrentExecuteAll(t *testing.T) {
+	dataset := testDataset(81, 25)
+	c := testCache(t, dataset, func(cfg *Config) {
+		cfg.Capacity = 16
+		cfg.Window = 4
+		cfg.SelfCheck = false
+	})
+	w, err := gen.NewWorkload(rand.New(rand.NewSource(82)), dataset, gen.WorkloadConfig{
+		Size: 60, Mixed: true, PoolSize: 20,
+		ZipfS: 1.2, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]Request, len(w.Queries))
+	for i, q := range w.Queries {
+		reqs[i] = Request{Graph: q.G, Type: q.Type}
+	}
+
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs := c.ExecuteAll(reqs, 4)
+			for i, o := range outs {
+				if o.Err != nil {
+					t.Errorf("batch query %d: %v", i, o.Err)
+					return
+				}
+				base := c.Method().Run(reqs[i].Graph, reqs[i].Type)
+				if !base.Answers.Equal(o.Result.Answers) {
+					t.Errorf("batch query %d: answers diverge", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Stats().Queries, int64(4*len(reqs)); got != want {
+		t.Errorf("monitor queries = %d, want %d", got, want)
+	}
+}
+
+// TestExecuteAllSequentialFallback pins the workers<2 path: sequential,
+// in-order execution with positional outcomes.
+func TestExecuteAllSequentialFallback(t *testing.T) {
+	dataset := testDataset(91, 15)
+	c := testCache(t, dataset, nil)
+	reqs := []Request{
+		{Graph: dataset[0], Type: ftv.Subgraph},
+		{Graph: nil, Type: ftv.Subgraph}, // must fail positionally
+		{Graph: dataset[1], Type: ftv.Supergraph},
+	}
+	outs := c.ExecuteAll(reqs, 1)
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Errorf("valid queries errored: %v, %v", outs[0].Err, outs[2].Err)
+	}
+	if outs[1].Err == nil {
+		t.Error("nil graph should error")
+	}
+	if outs[0].Result == nil || outs[2].Result == nil {
+		t.Error("valid queries missing results")
+	}
+}

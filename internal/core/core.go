@@ -68,9 +68,21 @@ type Config struct {
 	// unlimited. An aborted test is treated as "no hit" (sound: hits only
 	// ever shrink work, never correctness).
 	HitIsoBudget int64
-	// VerifyWorkers is the number of goroutines verifying candidates;
-	// values < 2 mean sequential verification.
+	// VerifyWorkers is the number of goroutines verifying candidates
+	// WITHIN one query; values < 2 mean sequential verification. This is
+	// intra-query parallelism, orthogonal to the inter-query concurrency
+	// the shards provide.
 	VerifyWorkers int
+	// Shards is the number of lock shards admitted entries are partitioned
+	// across by graph fingerprint. 0 selects DefaultShards; 1 yields a
+	// single-shard cache. Sequential query streams produce identical
+	// results and cache contents at any shard count.
+	Shards int
+	// Serialized, when set, takes one global exclusive lock for the whole
+	// of each Execute call — the pre-sharding engine's behavior. It is the
+	// measurable baseline for the parallel-throughput benchmarks and the
+	// reference configuration for the sharded-equivalence tests.
+	Serialized bool
 	// MemoryBudget, when positive, caps the estimated resident bytes of
 	// cached entries (graphs + answer sets); eviction triggers on overflow
 	// even below Capacity.
@@ -116,6 +128,9 @@ func (c *Config) validate(method *ftv.Method) error {
 	}
 	if c.FeatureLen < 0 {
 		return fmt.Errorf("core: feature length must be non-negative")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: shard count must be non-negative, got %d", c.Shards)
 	}
 	return nil
 }

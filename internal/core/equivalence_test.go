@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// The sharding equivalence property: driven sequentially over the same
+// workload, a sharded cache must be indistinguishable from the serialized
+// single-shard engine — byte-identical answer sets, identical hit/miss
+// classifications, identical admission/eviction decisions — regardless of
+// the shard count. This is what licenses the lock-striping refactor: the
+// shards are an implementation detail of the kernel, never visible in its
+// semantics.
+//
+// Policies here are restricted to timing-independent ones (PIN, LRU,
+// FIFO, POP): PINC/HD rank victims by measured verification nanoseconds,
+// which legitimately differ between two physical runs even of the very
+// same engine.
+func TestShardedEquivalentToSerialized(t *testing.T) {
+	for _, policy := range []string{"pin", "lru", "fifo", "pop"} {
+		for _, shards := range []int{2, 8, 32} {
+			t.Run(fmt.Sprintf("%s/shards=%d", policy, shards), func(t *testing.T) {
+				checkShardedEquivalence(t, policy, shards)
+			})
+		}
+	}
+}
+
+func checkShardedEquivalence(t *testing.T, policy string, shards int) {
+	t.Helper()
+	dataset := testDataset(51, 40)
+	w, err := gen.NewWorkload(rand.New(rand.NewSource(52)), dataset, gen.WorkloadConfig{
+		Size: 150, Mixed: true, PoolSize: 30,
+		ZipfS: 1.2, ChainFrac: 0.6, ChainLen: 3, MinEdges: 3, MaxEdges: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(shardCount int, serialized bool) *Cache {
+		p, err := NewPolicy(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		method := ftv.NewGGSXMethod(dataset, 3)
+		cfg := DefaultConfig()
+		cfg.Capacity = 20 // small: plenty of window turns and evictions
+		cfg.Window = 5
+		cfg.Policy = p
+		cfg.Shards = shardCount
+		cfg.Serialized = serialized
+		return MustNew(method, cfg)
+	}
+	serial := build(1, true)
+	sharded := build(shards, false)
+
+	for i, q := range w.Queries {
+		rs, err := serial.Execute(q.G, q.Type)
+		if err != nil {
+			t.Fatalf("serial query %d: %v", i, err)
+		}
+		rp, err := sharded.Execute(q.G, q.Type)
+		if err != nil {
+			t.Fatalf("sharded query %d: %v", i, err)
+		}
+		// Byte-identical results…
+		if !rs.Answers.Equal(rp.Answers) {
+			t.Fatalf("query %d: answer sets diverge", i)
+		}
+		if !rs.Sure.Equal(rp.Sure) || !rs.Excluded.Equal(rp.Excluded) || !rs.Survivors.Equal(rp.Survivors) {
+			t.Fatalf("query %d: S/S'/R sets diverge", i)
+		}
+		// …and identical hit/miss classification.
+		if rs.ExactHit != rp.ExactHit {
+			t.Fatalf("query %d: exact-hit classification diverges (%v vs %v)", i, rs.ExactHit, rp.ExactHit)
+		}
+		if rs.Tests != rp.Tests || rs.BaseCandidates != rp.BaseCandidates {
+			t.Fatalf("query %d: tests %d/%d vs %d/%d", i, rs.Tests, rs.BaseCandidates, rp.Tests, rp.BaseCandidates)
+		}
+		if len(rs.Hits) != len(rp.Hits) {
+			t.Fatalf("query %d: hit counts diverge (%d vs %d)", i, len(rs.Hits), len(rp.Hits))
+		}
+		for j := range rs.Hits {
+			if rs.Hits[j] != rp.Hits[j] {
+				t.Fatalf("query %d hit %d: %+v vs %+v", i, j, rs.Hits[j], rp.Hits[j])
+			}
+		}
+	}
+
+	// Final cache contents must match entry for entry.
+	es, ep := serial.Entries(), sharded.Entries()
+	if len(es) != len(ep) {
+		t.Fatalf("resident entries diverge: %d vs %d", len(es), len(ep))
+	}
+	for i := range es {
+		if es[i].ID != ep[i].ID {
+			t.Fatalf("entry %d: ID %d vs %d", i, es[i].ID, ep[i].ID)
+		}
+		if !es[i].Answers.Equal(ep[i].Answers) {
+			t.Fatalf("entry %d: answer sets diverge", i)
+		}
+		if es[i].Hits != ep[i].Hits || es[i].SavedTests != ep[i].SavedTests {
+			t.Fatalf("entry %d: utilities diverge", i)
+		}
+	}
+	if serial.Len() != sharded.Len() || serial.Bytes() != sharded.Bytes() || serial.WindowLen() != sharded.WindowLen() {
+		t.Fatal("resident accounting diverges")
+	}
+
+	// Every count in the monitor must agree (times are physical, exempt).
+	ss, sp := serial.Stats(), sharded.Stats()
+	ss.FilterTime, ss.HitTime, ss.VerifyTime = 0, 0, 0
+	sp.FilterTime, sp.HitTime, sp.VerifyTime = 0, 0, 0
+	if ss != sp {
+		t.Fatalf("monitor counters diverge:\nserial  %+v\nsharded %+v", ss, sp)
+	}
+	if ss.Evictions == 0 || ss.WindowTurns == 0 {
+		t.Error("workload too tame: no evictions/window turns exercised")
+	}
+	if ss.ExactHits == 0 || ss.SubHits+ss.SuperHits == 0 {
+		t.Error("workload too tame: no hits exercised")
+	}
+}

@@ -1,26 +1,33 @@
 package core
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Monitor is the Statistics Monitor/Manager: cumulative operational
 // metrics over a cache's lifetime, powering the Demonstrator's Sub-Iso
-// Testing / Query Time / Cache Replacement panels.
+// Testing / Query Time / Cache Replacement panels. All counters are
+// atomics so concurrent queries record their contributions without
+// touching any cache lock; Snapshot reads are correspondingly lock-free
+// (each counter is individually consistent, the set is approximate under
+// concurrent load — exact once in-flight queries drain).
 type Monitor struct {
-	queries        int64
-	exactHits      int64 // queries answered purely from cache
-	subHitQueries  int64 // queries with ≥1 sub-case hit
-	superHitQuerys int64
-	subHits        int64 // total hit contributions
-	superHits      int64
-	testsExecuted  int64
-	testsSaved     int64
-	hitDetectIso   int64 // iso tests against cached queries
-	admissions     int64
-	evictions      int64
-	windowTurns    int64
-	filterNs       int64
-	hitNs          int64
-	verifyNs       int64
+	queries        atomic.Int64
+	exactHits      atomic.Int64 // queries answered purely from cache
+	subHitQueries  atomic.Int64 // queries with ≥1 sub-case hit
+	superHitQuerys atomic.Int64
+	subHits        atomic.Int64 // total hit contributions
+	superHits      atomic.Int64
+	testsExecuted  atomic.Int64
+	testsSaved     atomic.Int64
+	hitDetectIso   atomic.Int64 // iso tests against cached queries
+	admissions     atomic.Int64
+	evictions      atomic.Int64
+	windowTurns    atomic.Int64
+	filterNs       atomic.Int64
+	hitNs          atomic.Int64
+	verifyNs       atomic.Int64
 }
 
 // Snapshot is an immutable copy of the monitor's counters.
@@ -48,21 +55,21 @@ type Snapshot struct {
 // Snapshot returns a copy of the current counters.
 func (m *Monitor) Snapshot() Snapshot {
 	return Snapshot{
-		Queries:           m.queries,
-		ExactHits:         m.exactHits,
-		SubHitQueries:     m.subHitQueries,
-		SuperHitQueries:   m.superHitQuerys,
-		SubHits:           m.subHits,
-		SuperHits:         m.superHits,
-		TestsExecuted:     m.testsExecuted,
-		TestsSaved:        m.testsSaved,
-		HitDetectionTests: m.hitDetectIso,
-		Admissions:        m.admissions,
-		Evictions:         m.evictions,
-		WindowTurns:       m.windowTurns,
-		FilterTime:        time.Duration(m.filterNs),
-		HitTime:           time.Duration(m.hitNs),
-		VerifyTime:        time.Duration(m.verifyNs),
+		Queries:           m.queries.Load(),
+		ExactHits:         m.exactHits.Load(),
+		SubHitQueries:     m.subHitQueries.Load(),
+		SuperHitQueries:   m.superHitQuerys.Load(),
+		SubHits:           m.subHits.Load(),
+		SuperHits:         m.superHits.Load(),
+		TestsExecuted:     m.testsExecuted.Load(),
+		TestsSaved:        m.testsSaved.Load(),
+		HitDetectionTests: m.hitDetectIso.Load(),
+		Admissions:        m.admissions.Load(),
+		Evictions:         m.evictions.Load(),
+		WindowTurns:       m.windowTurns.Load(),
+		FilterTime:        time.Duration(m.filterNs.Load()),
+		HitTime:           time.Duration(m.hitNs.Load()),
+		VerifyTime:        time.Duration(m.verifyNs.Load()),
 	}
 }
 

@@ -32,14 +32,19 @@ import (
 
 const stateVersion = 1
 
-// WriteState serializes the cache's admitted entries to w.
+// WriteState serializes the cache's admitted entries to w. It takes the
+// coordinator lock (the utility fields it records are mutated under it)
+// plus every shard lock, so the written state is one consistent snapshot
+// even under concurrent queries.
 func (c *Cache) WriteState(w io.Writer) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.coordMu.Lock()
+	defer c.coordMu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "gcstate %d %d\n", stateVersion, c.method.DatasetSize())
-	for _, e := range c.entries {
+	for _, e := range c.gatherLocked() {
 		fmt.Fprintf(bw, "entry %d %d %d %g %g\n",
 			e.Type, e.BaseCandidates, e.Hits, e.SavedTests, e.SavedCostNs)
 		ids := e.Answers.Indices()
@@ -159,23 +164,27 @@ func (c *Cache) ReadState(r io.Reader) error {
 		entries = append(entries, e)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = c.entries[:0]
-	c.byFP = make(map[graph.Fingerprint][]*Entry)
+	c.coordMu.Lock()
+	defer c.coordMu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
+	for _, sh := range c.shards {
+		sh.entries = sh.entries[:0]
+		sh.byFP = make(map[graph.Fingerprint][]*Entry)
+		sh.memBytes = 0
+	}
 	c.window = c.window[:0]
-	c.memBytes = 0
+	tick := c.tick.Load()
 	for _, e := range entries {
 		e.ID = c.nextID
 		c.nextID++
-		e.InsertedAt = c.tick
-		e.LastUsed = c.tick
-		c.entries = append(c.entries, e)
-		c.byFP[e.Fingerprint] = append(c.byFP[e.Fingerprint], e)
-		c.memBytes += e.Bytes()
+		e.InsertedAt = tick
+		e.LastUsed = tick
+		c.shardFor(e.Fingerprint).insertLocked(e)
 	}
-	if excess := len(c.entries) - c.cfg.Capacity; excess > 0 {
-		c.evict(excess)
+	all := c.gatherLocked()
+	if excess := len(all) - c.cfg.Capacity; excess > 0 {
+		c.evictLocked(all, excess)
 	}
 	return nil
 }

@@ -27,13 +27,26 @@ func (c *Cache) signatureOf(q *graph.Graph) querySig {
 // findExact returns a cached (or window-pending) entry isomorphic to q
 // with the same query type, or nil. Fingerprint equality pre-filters;
 // VF2 confirms (fingerprints can collide, never the reverse).
+//
+// Only the owning shard (read lock) and the window (coordMu) are touched,
+// and only long enough to copy the colliding candidates; the confirming
+// iso tests run lock-free over immutable entry fields. Two identical
+// queries racing each other may therefore both miss and both be staged —
+// benign: exact-match scans return the first isomorphic entry either way.
 func (c *Cache) findExact(q *graph.Graph, qt ftv.QueryType, sig querySig) *Entry {
-	for _, e := range c.byFP[sig.fp] {
+	sh := c.shardFor(sig.fp)
+	sh.mu.RLock()
+	cands := append([]*Entry(nil), sh.byFP[sig.fp]...)
+	sh.mu.RUnlock()
+	for _, e := range cands {
 		if e.Type == qt && iso.Isomorphic(q, e.Graph) {
 			return e
 		}
 	}
-	for _, e := range c.window {
+	c.coordMu.Lock()
+	pending := append([]*Entry(nil), c.window...)
+	c.coordMu.Unlock()
+	for _, e := range pending {
 		if e.Type == qt && e.Fingerprint == sig.fp && iso.Isomorphic(q, e.Graph) {
 			return e
 		}
@@ -56,13 +69,20 @@ type hitSet struct {
 // dominance (the iGQ-style cache index), ranked by expected benefit, and
 // confirmed with budgeted VF2 runs: per direction at most 2× the hit
 // budget of attempts and at most the budget of accepted hits.
+//
+// Detection works over an ID-ordered snapshot of the shards and runs its
+// iso tests without holding any lock: the consulted fields are immutable
+// after admission, and a concurrently evicted entry still yields sound
+// savings (its answer set remains exact over the immutable dataset). The
+// ID ordering makes the scan — and the unstable benefit sort below —
+// independent of the shard count.
 func (c *Cache) detectHits(q *graph.Graph, qt ftv.QueryType, sig querySig) hitSet {
 	var hs hitSet
 	if c.cfg.MaxSubHits == 0 && c.cfg.MaxSuperHits == 0 {
 		return hs
 	}
 	var subCand, superCand []*Entry
-	for _, e := range c.entries {
+	for _, e := range c.entriesSnapshot() {
 		if e.Type != qt {
 			continue
 		}

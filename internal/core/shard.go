@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"graphcache/internal/graph"
+)
+
+// DefaultShards is the shard count selected when Config.Shards is zero.
+// Sixteen shards keep the per-shard lock hold times negligible well past
+// the worker counts the bundled benchmarks drive (8) without bloating the
+// per-cache footprint.
+const DefaultShards = 16
+
+// shard is one lock-striped partition of the admitted entries. Entries are
+// assigned to shards by graph fingerprint, so the exact-match fast path
+// touches exactly one shard. Within a shard, entries is kept sorted by
+// ascending ID (admission order) — the invariant that lets gatherEntries
+// reconstruct the exact entry sequence a single-shard serialized cache
+// would hold, which in turn keeps replacement-policy decisions independent
+// of the shard count.
+type shard struct {
+	mu       sync.RWMutex
+	entries  []*Entry
+	byFP     map[graph.Fingerprint][]*Entry
+	memBytes int
+}
+
+func newShards(n int) []*shard {
+	ss := make([]*shard, n)
+	for i := range ss {
+		ss[i] = &shard{byFP: make(map[graph.Fingerprint][]*Entry)}
+	}
+	return ss
+}
+
+// shardFor maps a fingerprint to its owning shard.
+func (c *Cache) shardFor(fp graph.Fingerprint) *shard {
+	return c.shards[uint64(fp)%uint64(len(c.shards))]
+}
+
+// insertLocked admits e into the shard. Caller holds the shard write lock.
+// Admissions arrive in ascending-ID order (IDs are assigned monotonically
+// and entries only ever move from the window into a shard), so appending
+// preserves the sorted-by-ID invariant.
+func (sh *shard) insertLocked(e *Entry) {
+	sh.entries = append(sh.entries, e)
+	sh.byFP[e.Fingerprint] = append(sh.byFP[e.Fingerprint], e)
+	sh.memBytes += e.Bytes()
+}
+
+// removeLocked evicts e from the shard, preserving the order of the
+// remaining entries. Caller holds the shard write lock. The byFP list uses
+// swap-delete, mirroring the pre-sharding kernel so fingerprint-collision
+// scan order stays identical to the serialized engine's.
+func (sh *shard) removeLocked(e *Entry) {
+	for i, x := range sh.entries {
+		if x == e {
+			copy(sh.entries[i:], sh.entries[i+1:])
+			sh.entries[len(sh.entries)-1] = nil
+			sh.entries = sh.entries[:len(sh.entries)-1]
+			break
+		}
+	}
+	list := sh.byFP[e.Fingerprint]
+	for i, x := range list {
+		if x == e {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(sh.byFP, e.Fingerprint)
+	} else {
+		sh.byFP[e.Fingerprint] = list
+	}
+	sh.memBytes -= e.Bytes()
+}
+
+// lockAll / unlockAll acquire every shard write lock in index order (the
+// lock hierarchy is coordMu → shard locks; the reverse nesting never
+// occurs, so the fixed acquisition order is deadlock-free).
+func (c *Cache) lockAll() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (c *Cache) unlockAll() {
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// gatherLocked returns all admitted entries across shards sorted by
+// ascending ID — exactly the entries slice a single-shard cache would
+// hold. Caller holds every shard lock (read or write).
+func (c *Cache) gatherLocked() []*Entry {
+	total := 0
+	for _, sh := range c.shards {
+		total += len(sh.entries)
+	}
+	all := make([]*Entry, 0, total)
+	for _, sh := range c.shards {
+		all = append(all, sh.entries...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+// entriesSnapshot gathers a point-in-time, ID-ordered copy of the admitted
+// entries, taking each shard read lock in turn. Entries evicted after the
+// snapshot remain safe to read: their graphs and answer sets are immutable
+// and still correct with respect to the immutable dataset.
+func (c *Cache) entriesSnapshot() []*Entry {
+	var all []*Entry
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		all = append(all, sh.entries...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphcache/internal/gen"
+)
+
+// TestConcurrentQueryRequests fires many simultaneous /api/query POSTs at
+// one handler — the way net/http actually drives it — interleaved with
+// /api/stats and /api/entries reads, and checks every response is a
+// well-formed 200 whose answers match the uncached method. Run under
+// -race this covers the whole handler → kernel path.
+func TestConcurrentQueryRequests(t *testing.T) {
+	srv, dataset := testServer(t)
+	rng := rand.New(rand.NewSource(11))
+	type job struct {
+		body   string
+		source int
+	}
+	var jobs []job
+	for i := 0; i < 40; i++ {
+		src := i % len(dataset)
+		pattern := gen.ExtractConnectedSubgraph(rng, dataset[src], 5)
+		body, err := json.Marshal(map[string]string{"graph": graphText(t, pattern), "type": "subgraph"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job{string(body), src})
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(jobs); i += clients {
+				req := httptest.NewRequest(http.MethodPost, "/api/query", strings.NewReader(jobs[i].body))
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("client %d query %d: status %d: %s", c, i, rec.Code, rec.Body.String())
+					return
+				}
+				var out struct {
+					Answers []int `json:"answers"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+					t.Errorf("client %d query %d: bad JSON: %v", c, i, err)
+					return
+				}
+				// The extraction source must always be among the answers.
+				found := false
+				for _, a := range out.Answers {
+					if a == jobs[i].source {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("client %d query %d: source %d missing from answers %v", c, i, jobs[i].source, out.Answers)
+					return
+				}
+				// Interleave reads the way dashboards do.
+				for _, path := range []string{"/api/stats", "/api/entries"} {
+					req := httptest.NewRequest(http.MethodGet, path, nil)
+					rec := httptest.NewRecorder()
+					srv.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						t.Errorf("GET %s: status %d", path, rec.Code)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var stats statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != int64(len(jobs)) {
+		t.Errorf("queries = %d, want %d", stats.Queries, len(jobs))
+	}
+}
+
+// TestQueryBatchEndpoint exercises /api/query/batch: positional results,
+// per-item errors that do not abort the batch, and the workers cap.
+func TestQueryBatchEndpoint(t *testing.T) {
+	srv, dataset := testServer(t)
+	rng := rand.New(rand.NewSource(12))
+	good := func(i int) map[string]string {
+		pattern := gen.ExtractConnectedSubgraph(rng, dataset[i], 4)
+		return map[string]string{"graph": graphText(t, pattern), "type": "subgraph"}
+	}
+	payload := map[string]any{
+		"queries": []map[string]string{
+			good(0),
+			{"graph": "nonsense"}, // malformed: fails positionally
+			good(1),
+			{"graph": "t # 0\nv 0 1\n", "type": "sideways"}, // bad type
+		},
+		"workers": 100, // above the cap; must be clamped, not rejected
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/query/batch", strings.NewReader(string(body)))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Workers != maxBatchWorkers {
+		t.Errorf("workers = %d, want clamped to %d", out.Workers, maxBatchWorkers)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(out.Results))
+	}
+	for i, want := range []bool{true, false, true, false} {
+		item := out.Results[i]
+		if item.Index != i {
+			t.Errorf("result %d: index %d", i, item.Index)
+		}
+		if want && (item.Error != "" || item.Query == nil) {
+			t.Errorf("result %d: want success, got error %q", i, item.Error)
+		}
+		if !want && (item.Error == "" || item.Query != nil) {
+			t.Errorf("result %d: want error, got %+v", i, item.Query)
+		}
+	}
+
+	// Degenerate batches. The oversized cases pin the abuse bounds: more
+	// than maxBatchQueries items, and a body past maxBodyBytes.
+	hugeBatch := `{"queries":[` + strings.Repeat(`{"graph":"t # 0\nv 0 1\n"},`, maxBatchQueries) + `{"graph":"t # 0\nv 0 1\n"}]}`
+	hugeBody := `{"queries":[{"graph":"` + strings.Repeat("x", maxBodyBytes) + `"}]}`
+	for _, tc := range []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"empty", `{"queries":[]}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+		{"too many queries", hugeBatch, http.StatusRequestEntityTooLarge},
+		{"oversized body", hugeBody, http.StatusRequestEntityTooLarge},
+	} {
+		req := httptest.NewRequest(http.MethodPost, "/api/query/batch", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, rec.Code, tc.wantStatus)
+		}
+	}
+	if req := httptest.NewRequest(http.MethodGet, "/api/query/batch", nil); true {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("GET batch status = %d", rec.Code)
+		}
+	}
+}
+
+// TestConcurrentBatchRequests overlaps several batch submissions, each
+// running its own worker pool against the shared cache.
+func TestConcurrentBatchRequests(t *testing.T) {
+	srv, dataset := testServer(t)
+	rng := rand.New(rand.NewSource(13))
+	var queries []map[string]string
+	for i := 0; i < 10; i++ {
+		pattern := gen.ExtractConnectedSubgraph(rng, dataset[i], 4)
+		queries = append(queries, map[string]string{"graph": graphText(t, pattern)})
+	}
+	body, err := json.Marshal(map[string]any{"queries": queries, "workers": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/api/query/batch", strings.NewReader(string(body)))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+			var out batchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Errorf("bad JSON: %v", err)
+				return
+			}
+			for _, item := range out.Results {
+				if item.Error != "" || item.Query == nil {
+					t.Errorf("item %d failed: %q", item.Index, item.Error)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestWriteJSONSurfacesEncodeErrors pins the writeJSON contract: an
+// unencodable value produces a 500 with a JSON error body and a log line,
+// not a silent 200.
+func TestWriteJSONSurfacesEncodeErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	var logged []string
+	srv.logf = func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	rec := httptest.NewRecorder()
+	srv.writeJSON(rec, http.StatusOK, map[string]any{"bad": func() {}})
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("error body is not JSON: %v (%s)", err, rec.Body.String())
+	}
+	if out["error"] == "" {
+		t.Error("error body missing")
+	}
+	if len(logged) == 0 {
+		t.Error("encode failure not logged")
+	}
+
+	// The happy path still produces clean JSON with the requested status.
+	rec = httptest.NewRecorder()
+	srv.writeJSON(rec, http.StatusTeapot, map[string]int{"ok": 1})
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status = %d, want 418", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Errorf("content type %q", got)
+	}
+}

@@ -8,8 +8,10 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -20,21 +22,38 @@ import (
 	"graphcache/internal/viz"
 )
 
-// Server wires a cache and its dataset into an http.Handler.
+// maxBatchWorkers caps the per-request worker pool a /api/query/batch
+// caller may ask for, bounding the goroutines one request can spawn.
+// maxBatchQueries and maxBodyBytes bound how much work and memory one
+// unauthenticated request can pin (ExecuteAll only returns when the whole
+// batch drains).
+const (
+	maxBatchWorkers = 32
+	maxBatchQueries = 256
+	maxBodyBytes    = 8 << 20
+)
+
+// Server wires a cache and its dataset into an http.Handler. Handlers are
+// served concurrently by net/http; the sharded cache kernel processes the
+// resulting in-flight queries in parallel.
 type Server struct {
 	cache   *core.Cache
 	dataset []*graph.Graph
 	mux     *http.ServeMux
+	// logf records server-side failures (JSON encode errors and the like);
+	// defaults to log.Printf, overridable for tests.
+	logf func(format string, args ...any)
 }
 
 // New builds the handler. The dataset slice must be the one the cache's
 // method was built over.
 func New(cache *core.Cache, dataset []*graph.Graph) *Server {
-	s := &Server{cache: cache, dataset: dataset, mux: http.NewServeMux()}
+	s := &Server{cache: cache, dataset: dataset, mux: http.NewServeMux(), logf: log.Printf}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/entries", s.handleEntries)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/query/batch", s.handleQueryBatch)
 	s.mux.HandleFunc("/api/dataset/", s.handleDataset)
 	return s
 }
@@ -42,16 +61,45 @@ func New(cache *core.Cache, dataset []*graph.Graph) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON marshals v up front so encode errors surface as a 500 instead
+// of a silently truncated 200 (the status line would already be on the
+// wire if we streamed the encoder straight into w).
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		s.logf("server: encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, "encoding response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if _, err := w.Write(append(buf, '\n')); err != nil {
+		// Headers are gone; all that's left is recording the failure.
+		s.logf("server: writing response: %v", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a JSON request body capped at maxBodyBytes,
+// distinguishing an oversized body (413) from malformed JSON (400). It
+// writes the error response itself and reports whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return false
+	}
+	s.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	return false
 }
 
 // statsResponse mirrors core.Snapshot with JSON-friendly names.
@@ -96,10 +144,10 @@ func (s *Server) statsResponse() statsResponse {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.statsResponse())
+	s.writeJSON(w, http.StatusOK, s.statsResponse())
 }
 
 type entryResponse struct {
@@ -115,7 +163,7 @@ type entryResponse struct {
 
 func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	entries := s.cache.Entries()
@@ -132,7 +180,7 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 			LastUsed:   e.LastUsed,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // queryRequest is the POST /api/query payload: a graph in the text codec
@@ -163,37 +211,28 @@ type hitDetail struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	gs, err := graph.ReadAll(strings.NewReader(req.Graph))
+	g, qt, err := parseQuery(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if len(gs) != 1 {
-		writeError(w, http.StatusBadRequest, "want exactly one graph, got %d", len(gs))
-		return
-	}
-	qt := ftv.Subgraph
-	switch req.Type {
-	case "", "subgraph":
-	case "supergraph":
-		qt = ftv.Supergraph
-	default:
-		writeError(w, http.StatusBadRequest, "unknown query type %q", req.Type)
-		return
-	}
-	res, err := s.cache.Execute(gs[0], qt)
+	res, err := s.cache.Execute(g, qt)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "execute: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "execute: %v", err)
 		return
 	}
+	s.writeJSON(w, http.StatusOK, toQueryResponse(res))
+}
+
+// toQueryResponse projects a kernel Result into the JSON shape.
+func toQueryResponse(res *core.Result) queryResponse {
 	resp := queryResponse{
 		Answers:        res.Answers.Indices(),
 		Sure:           res.Sure.Indices(),
@@ -207,18 +246,111 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for _, h := range res.Hits {
 		resp.Hits = append(resp.Hits, hitDetail{Entry: h.EntryID, Kind: h.Kind.String(), SavedTests: h.SavedTests})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// batchRequest is the POST /api/query/batch payload: a list of queries
+// processed through the cache's worker pool in one round trip.
+type batchRequest struct {
+	Queries []queryRequest `json:"queries"`
+	// Workers sizes the worker pool; 0 defaults to 4, capped at
+	// maxBatchWorkers.
+	Workers int `json:"workers"`
+}
+
+// batchItem is one per-query outcome; Error is set instead of the result
+// fields when that query failed (the rest of the batch still completes).
+type batchItem struct {
+	Index int            `json:"index"`
+	Error string         `json:"error,omitempty"`
+	Query *queryResponse `json:"result,omitempty"`
+}
+
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+	Workers int         `json:"workers"`
+}
+
+// parseQuery decodes one queryRequest into a pattern graph and semantics.
+func parseQuery(req queryRequest) (*graph.Graph, ftv.QueryType, error) {
+	gs, err := graph.ReadAll(strings.NewReader(req.Graph))
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad graph: %v", err)
+	}
+	if len(gs) != 1 {
+		return nil, 0, fmt.Errorf("want exactly one graph, got %d", len(gs))
+	}
+	switch req.Type {
+	case "", "subgraph":
+		return gs[0], ftv.Subgraph, nil
+	case "supergraph":
+		return gs[0], ftv.Supergraph, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown query type %q", req.Type)
+	}
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req batchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "batch of %d queries exceeds the %d-query limit", len(req.Queries), maxBatchQueries)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > maxBatchWorkers {
+		workers = maxBatchWorkers
+	}
+
+	// Malformed queries are rejected positionally without aborting the
+	// batch; only the well-formed remainder reaches the cache.
+	items := make([]batchItem, len(req.Queries))
+	reqs := make([]core.Request, 0, len(req.Queries))
+	slots := make([]int, 0, len(req.Queries))
+	for i, q := range req.Queries {
+		items[i].Index = i
+		g, qt, err := parseQuery(q)
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		reqs = append(reqs, core.Request{Graph: g, Type: qt})
+		slots = append(slots, i)
+	}
+	for j, out := range s.cache.ExecuteAll(reqs, workers) {
+		i := slots[j]
+		if out.Err != nil {
+			items[i].Error = out.Err.Error()
+			continue
+		}
+		resp := toQueryResponse(out.Result)
+		items[i].Query = &resp
+	}
+	s.writeJSON(w, http.StatusOK, batchResponse{Results: items, Workers: workers})
 }
 
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	idStr := strings.TrimPrefix(r.URL.Path, "/api/dataset/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil || id < 0 || id >= len(s.dataset) {
-		writeError(w, http.StatusNotFound, "no dataset graph %q", idStr)
+		s.writeError(w, http.StatusNotFound, "no dataset graph %q", idStr)
 		return
 	}
 	g := s.dataset[id]
@@ -232,7 +364,7 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := graph.WriteGraph(w, g); err != nil {
-			writeError(w, http.StatusInternalServerError, "write: %v", err)
+			s.writeError(w, http.StatusInternalServerError, "write: %v", err)
 		}
 	}
 }
@@ -253,7 +385,7 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
-		writeError(w, http.StatusNotFound, "no route %q", r.URL.Path)
+		s.writeError(w, http.StatusNotFound, "no route %q", r.URL.Path)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
