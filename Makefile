@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench throughput ci
+.PHONY: build test race vet bench bench-smoke throughput ci
 
 build:
 	$(GO) build ./...
@@ -26,4 +26,10 @@ throughput:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/bench/
 
-ci: vet race
+# Tiny throughput run that additionally compares indexed vs unindexed hit
+# detection and fails unless the feature index strictly reduced work
+# (fewer dominance merges, no extra cache-side iso tests, pruning active).
+bench-smoke:
+	$(GO) run ./cmd/workloadrun -throughput -throughput-dataset 100 -throughput-queries 200 -workers 1,2 -assert-index
+
+ci: vet race bench-smoke

@@ -25,7 +25,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,32 +44,55 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // a second signal kills immediately
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h printed usage; that is a clean exit
+		}
+		log.Fatalf("gcd: %v", err)
+	}
+}
+
+// run builds the cache and serves HTTP until ctx is cancelled, then drains
+// in-flight requests and returns. It is main minus the process plumbing
+// (signals, exit codes), so tests can boot the daemon on a random port,
+// read the bound address off stdout and shut it down via the context.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gcd", flag.ContinueOnError)
 	var (
-		addr       = flag.String("addr", ":8081", "listen address (the demo used :8081)")
-		dsPath     = flag.String("dataset", "", "dataset file in the text codec; empty generates molecules")
-		generate   = flag.Int("generate", 100, "generated dataset size when -dataset is empty")
-		seed       = flag.Int64("seed", 2018, "generation seed")
-		policy     = flag.String("policy", "hd", "replacement policy")
-		capacity   = flag.Int("capacity", 50, "cache capacity (entries)")
-		window     = flag.Int("window", 10, "admission window size")
-		ggsxLen    = flag.Int("ggsx", 4, "GGSX path-feature length")
-		workers    = flag.Int("workers", 1, "parallel verification workers per query")
-		shards     = flag.Int("shards", 0, "cache lock shards (0 = default)")
-		serialized = flag.Bool("serialized", false, "serialize all queries behind one lock (pre-sharding baseline)")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr       = fs.String("addr", ":8081", "listen address (the demo used :8081)")
+		dsPath     = fs.String("dataset", "", "dataset file in the text codec; empty generates molecules")
+		generate   = fs.Int("generate", 100, "generated dataset size when -dataset is empty")
+		seed       = fs.Int64("seed", 2018, "generation seed")
+		policy     = fs.String("policy", "hd", "replacement policy")
+		capacity   = fs.Int("capacity", 50, "cache capacity (entries)")
+		window     = fs.Int("window", 10, "admission window size")
+		ggsxLen    = fs.Int("ggsx", 4, "GGSX path-feature length")
+		workers    = fs.Int("workers", 1, "parallel verification workers per query")
+		shards     = fs.Int("shards", 0, "cache lock shards (0 = default)")
+		serialized = fs.Bool("serialized", false, "serialize all queries behind one lock (pre-sharding baseline)")
+		indexOff   = fs.Bool("index-off", false, "disable the hit-detection feature index (pre-index baseline)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var dataset []*graph.Graph
 	if *dsPath != "" {
 		f, err := os.Open(*dsPath)
 		if err != nil {
-			log.Fatalf("gcd: %v", err)
+			return err
 		}
 		dataset, err = graph.ReadAll(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("gcd: %v", err)
+			return err
 		}
 		dataset = gen.AssignIDs(dataset)
 	} else {
@@ -75,13 +100,13 @@ func main() {
 		dataset = gen.Molecules(rng, *generate, gen.DefaultMoleculeConfig())
 	}
 	if len(dataset) == 0 {
-		log.Fatal("gcd: empty dataset")
+		return errors.New("empty dataset")
 	}
 
 	method := ftv.NewGGSXMethod(dataset, *ggsxLen)
 	p, err := core.NewPolicy(*policy)
 	if err != nil {
-		log.Fatalf("gcd: %v", err)
+		return err
 	}
 	cfg := core.DefaultConfig()
 	cfg.Capacity = *capacity
@@ -90,37 +115,39 @@ func main() {
 	cfg.VerifyWorkers = *workers
 	cfg.Shards = *shards
 	cfg.Serialized = *serialized
+	cfg.IndexOff = *indexOff
 	cache, err := core.New(method, cfg)
 	if err != nil {
-		log.Fatalf("gcd: %v", err)
+		return err
 	}
 
-	fmt.Printf("gcd: %d dataset graphs, method %s, policy %s, cache %d/%d window, %d shards\n",
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "gcd: %d dataset graphs, method %s, policy %s, cache %d/%d window, %d shards\n",
 		len(dataset), method.Name(), p.Name(), *capacity, *window, cache.Shards())
-	fmt.Printf("gcd: listening on %s\n", *addr)
+	fmt.Fprintf(stdout, "gcd: listening on %s\n", ln.Addr())
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(cache, dataset)}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
+	srv := &http.Server{Handler: server.New(cache, dataset)}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() { errc <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("gcd: %v", err)
+		return err
 	case <-ctx.Done():
-		stop() // a second signal kills immediately
-		fmt.Println("gcd: shutting down, draining in-flight requests")
+		fmt.Fprintln(stdout, "gcd: shutting down, draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Fatalf("gcd: shutdown: %v", err)
+			return fmt.Errorf("shutdown: %w", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("gcd: %v", err)
+			return err
 		}
 		snap := cache.Stats()
-		fmt.Printf("gcd: served %d queries (%d exact hits), bye\n", snap.Queries, snap.ExactHits)
+		fmt.Fprintf(stdout, "gcd: served %d queries (%d exact hits), bye\n", snap.Queries, snap.ExactHits)
+		return nil
 	}
 }

@@ -6,11 +6,16 @@
 // With -throughput it instead drives a mixed workload through the batched
 // worker-pool API (Cache.ExecuteAll), reporting queries/sec of the sharded
 // engine against the serialized single-lock baseline at each worker count.
+// Adding -assert-index also runs the indexed-vs-unindexed hit-detection
+// comparison and exits non-zero unless the feature index strictly reduced
+// hit-detection work (the `make bench-smoke` CI gate).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,33 +25,53 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h printed usage; that is a clean exit
+		}
+		fmt.Fprintf(os.Stderr, "workloadrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command against args, writing reports to stdout. It is
+// main minus the process plumbing, so tests can drive it directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("workloadrun", flag.ContinueOnError)
 	var (
-		seed       = flag.Int64("seed", 2018, "random seed")
-		size       = flag.Int("size", 10, "workload size (demo: 10)")
-		policy     = flag.String("policy", "hd", "replacement policy for the run")
-		policies   = flag.String("policies", "lru,pop,pin,pinc,hd", "policies for the replacement comparison; 'none' to skip")
-		throughput = flag.Bool("throughput", false, "run the parallel-throughput comparison instead of the workload run")
-		datasetSz  = flag.Int("throughput-dataset", 100, "throughput mode: dataset size")
-		queries    = flag.Int("throughput-queries", 200, "throughput mode: workload size")
-		workerList = flag.String("workers", "1,4,8", "throughput mode: comma-separated worker counts")
+		seed        = fs.Int64("seed", 2018, "random seed")
+		size        = fs.Int("size", 10, "workload size (demo: 10)")
+		policy      = fs.String("policy", "hd", "replacement policy for the run")
+		policies    = fs.String("policies", "lru,pop,pin,pinc,hd", "policies for the replacement comparison; 'none' to skip")
+		throughput  = fs.Bool("throughput", false, "run the parallel-throughput comparison instead of the workload run")
+		datasetSz   = fs.Int("throughput-dataset", 100, "throughput mode: dataset size")
+		queries     = fs.Int("throughput-queries", 200, "throughput mode: workload size")
+		workerList  = fs.String("workers", "1,4,8", "throughput mode: comma-separated worker counts")
+		assertIndex = fs.Bool("assert-index", false, "throughput mode: also compare indexed vs unindexed hit detection and fail unless the index strictly reduced work")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *throughput {
-		if err := runThroughput(*seed, *datasetSz, *queries, *workerList); err != nil {
-			fmt.Fprintf(os.Stderr, "workloadrun: %v\n", err)
-			os.Exit(1)
+		if err := runThroughput(stdout, *seed, *datasetSz, *queries, *workerList); err != nil {
+			return err
 		}
-		return
+		if *assertIndex {
+			return runIndexSmoke(stdout, *seed, *datasetSz, *queries)
+		}
+		return nil
+	}
+	if *assertIndex {
+		return fmt.Errorf("-assert-index requires -throughput")
 	}
 
 	steps, c, err := bench.RunWorkload(*seed, *size, *policy)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "workloadrun: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("The Workload Run — %d queries under the %q policy\n", *size, *policy)
-	fmt.Println(strings.Repeat("=", 64))
+	fmt.Fprintf(stdout, "The Workload Run — %d queries under the %q policy\n", *size, *policy)
+	fmt.Fprintln(stdout, strings.Repeat("=", 64))
 	t := stats.NewTable("", "query", "hits (exact/sub/super)", "hit%", "test-speedup")
 	for _, s := range steps {
 		ex := 0
@@ -56,29 +81,29 @@ func main() {
 		t.AddRow(s.Index, fmt.Sprintf("%d/%d/%d", ex, s.SubHits, s.SuperHits),
 			fmt.Sprintf("%.1f%%", s.HitPct), fmt.Sprintf("%.2f", s.TestSpeedup))
 	}
-	t.Render(os.Stdout)
+	t.Render(stdout)
 	snap := c.Stats()
-	fmt.Printf("\ncumulative: %d tests executed, %d saved → speedup %.2f; %d cached graphs, %s resident\n",
+	fmt.Fprintf(stdout, "\ncumulative: %d tests executed, %d saved → speedup %.2f; %d cached graphs, %s resident\n",
 		snap.TestsExecuted, snap.TestsSaved, snap.TestSpeedup(), c.Len(), stats.FormatBytes(c.Bytes()))
 
 	if *policies == "none" {
-		return
+		return nil
 	}
 	names := strings.Split(*policies, ",")
 	rs, err := bench.RunReplacement(*seed, names)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "workloadrun: replacement: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("replacement: %w", err)
 	}
-	fmt.Println("\nCache replacement comparison (Figure 2(c)): identical workload, different victims")
+	fmt.Fprintln(stdout, "\nCache replacement comparison (Figure 2(c)): identical workload, different victims")
 	for _, r := range rs {
-		fmt.Printf("%-5s evicted %2d: %v\n", r.Policy, len(r.Evicted), r.Evicted)
+		fmt.Fprintf(stdout, "%-5s evicted %2d: %v\n", r.Policy, len(r.Evicted), r.Evicted)
 	}
-	fmt.Println("\ndifferent policies cache out different graphs — each embodies a different utility trade-off.")
+	fmt.Fprintln(stdout, "\ndifferent policies cache out different graphs — each embodies a different utility trade-off.")
+	return nil
 }
 
 // runThroughput renders the parallel-throughput comparison as a table.
-func runThroughput(seed int64, datasetSize, queries int, workerList string) error {
+func runThroughput(stdout io.Writer, seed int64, datasetSize, queries int, workerList string) error {
 	var workers []int
 	for _, f := range strings.Split(workerList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -91,8 +116,8 @@ func runThroughput(seed int64, datasetSize, queries int, workerList string) erro
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Parallel throughput — %d mixed queries over %d molecules\n", queries, datasetSize)
-	fmt.Println(strings.Repeat("=", 64))
+	fmt.Fprintf(stdout, "Parallel throughput — %d mixed queries over %d molecules\n", queries, datasetSize)
+	fmt.Fprintln(stdout, strings.Repeat("=", 64))
 	t := stats.NewTable("", "workers", "serialized q/s", "sharded q/s", "speedup")
 	for i, w := range cmp.WorkerCounts {
 		t.AddRow(w,
@@ -100,8 +125,31 @@ func runThroughput(seed int64, datasetSize, queries int, workerList string) erro
 			fmt.Sprintf("%.1f", cmp.Sharded[i].QPS),
 			fmt.Sprintf("%.2f×", cmp.SpeedupAt(w)))
 	}
-	t.Render(os.Stdout)
-	fmt.Println("\nserialized = one global lock per query (pre-sharding engine);")
-	fmt.Println("sharded    = lock-striped kernel, expensive stages lock-free.")
+	t.Render(stdout)
+	fmt.Fprintln(stdout, "\nserialized = one global lock per query (pre-sharding engine);")
+	fmt.Fprintln(stdout, "sharded    = lock-striped kernel, expensive stages lock-free.")
+	return nil
+}
+
+// runIndexSmoke renders the indexed-vs-unindexed hit-detection comparison
+// and errors unless the index strictly reduced work.
+func runIndexSmoke(stdout io.Writer, seed int64, datasetSize, queries int) error {
+	cmp, err := bench.RunIndexComparison(seed, datasetSize, queries)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nHit-detection index — %d mixed queries over %d molecules (PIN policy)\n", cmp.Queries, datasetSize)
+	fmt.Fprintln(stdout, strings.Repeat("=", 64))
+	t := stats.NewTable("", "engine", "dominance merges", "cache-side iso tests", "index-pruned")
+	t.AddRow("unindexed", cmp.Unindexed.HitFullChecks, cmp.Unindexed.HitDetectionTests, cmp.Unindexed.HitIndexPruned)
+	t.AddRow("indexed", cmp.Indexed.HitFullChecks, cmp.Indexed.HitDetectionTests, cmp.Indexed.HitIndexPruned)
+	t.Render(stdout)
+	fmt.Fprintln(stdout, "\nanswers cross-checked byte-identical between both engines.")
+	if !cmp.Reduced() {
+		return fmt.Errorf("index assertion failed: indexed merges %d / iso %d vs unindexed merges %d / iso %d, pruned %d",
+			cmp.Indexed.HitFullChecks, cmp.Indexed.HitDetectionTests,
+			cmp.Unindexed.HitFullChecks, cmp.Unindexed.HitDetectionTests, cmp.Indexed.HitIndexPruned)
+	}
+	fmt.Fprintln(stdout, "index assertion passed: strictly fewer merges, no extra iso tests, pruning active.")
 	return nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke: a tiny workload run must complete cleanly and render its tables.
+func TestRunWorkloadSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "6", "-seed", "7", "-policies", "none"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"The Workload Run", "cumulative:", "test-speedup"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Smoke: throughput mode with the index assertion — the bench-smoke CI
+// gate — must pass on a tiny mixed workload.
+func TestRunThroughputWithIndexAssertion(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-throughput", "-throughput-dataset", "30", "-throughput-queries", "60",
+		"-workers", "1,2", "-assert-index",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Parallel throughput", "Hit-detection index", "index assertion passed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workers", "0", "-throughput"}, &out); err == nil {
+		t.Error("bad worker count accepted")
+	}
+	if err := run([]string{"-assert-index"}, &out); err == nil {
+		t.Error("-assert-index without -throughput accepted")
+	}
+}

@@ -38,6 +38,18 @@
 // verification — run without holding any lock. A small coordinator mutex
 // serializes only the genuinely global concerns: admission-window turns,
 // replacement-policy accounting and verification-cost statistics.
+//
+// Sub/super hit detection consults a global feature index instead of
+// snapshotting the shards: a copy-on-write, ID-ordered array of immutable
+// per-entry containment summaries (label/degree feature vectors plus a
+// path-feature bloom), published through one atomic pointer. Writers
+// republish it inside the same critical section that mutates the entries
+// (window turns, state restores) while holding the coordinator mutex and
+// every shard lock; readers take a single atomic load and never lock.
+// Entries whose summaries cannot contain (or be contained in) the query's
+// are skipped before any dominance merge or iso test — the summaries are
+// necessary conditions for containment, so answers are provably unchanged.
+// Config.IndexOff restores the snapshot-scanning engine as a baseline.
 // QueryAll drives a whole batch through a bounded worker pool:
 //
 //	outs := graphcache.QueryAll(cache, reqs, 8)

@@ -34,7 +34,13 @@ type (
 	VerifierFunc = ftv.VerifierFunc
 	// MethodResult reports an uncached Method M execution.
 	MethodResult = ftv.Result
+	// FeatureVector is a fixed-size, containment-safe graph summary; the
+	// cache's hit-detection feature index is built from these.
+	FeatureVector = ftv.FeatureVector
 )
+
+// ExtractFeatures computes a graph's containment-safe FeatureVector.
+func ExtractFeatures(g *Graph) FeatureVector { return ftv.ExtractFeatures(g) }
 
 // Subgraph and Supergraph are the two query semantics.
 const (

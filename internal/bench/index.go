@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// IndexComparison is the indexed-vs-unindexed hit-detection experiment:
+// the identical mixed workload driven sequentially through two caches that
+// differ only in Config.IndexOff, under the timing-independent PIN policy
+// so both runs are exactly reproducible. Answers are cross-checked
+// query-by-query (they must be byte-identical — the index only discards
+// provable non-hits); the returned snapshots expose what the index saves:
+// dominance merges (HitFullChecks), cache-side iso tests
+// (HitDetectionTests) and the pruned-entry count (HitIndexPruned).
+type IndexComparison struct {
+	Queries                          int
+	Indexed                          core.Snapshot
+	Unindexed                        core.Snapshot
+	IndexedElapsed, UnindexedElapsed time.Duration
+}
+
+// Reduced reports whether the index did strictly less hit-detection work
+// than the baseline without running more iso tests — the smoke-check
+// asserted by `make bench-smoke`.
+func (c *IndexComparison) Reduced() bool {
+	return c.Indexed.HitIndexPruned > 0 &&
+		c.Indexed.HitFullChecks < c.Unindexed.HitFullChecks &&
+		c.Indexed.HitDetectionTests <= c.Unindexed.HitDetectionTests
+}
+
+// RunIndexComparison generates a mixed subgraph/supergraph workload over a
+// molecule dataset and measures both engines.
+func RunIndexComparison(seed int64, datasetSize, queries int) (*IndexComparison, error) {
+	dataset := MoleculeDataset(seed, datasetSize)
+	method := ftv.NewGGSXMethod(dataset, 3)
+	w, err := gen.NewWorkload(newRand(seed+13), dataset, gen.WorkloadConfig{
+		Size: queries, Mixed: true, PoolSize: max(queries/3, 8),
+		ZipfS: 1.2, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(indexOff bool) (core.Snapshot, []string, time.Duration, error) {
+		p, err := core.NewPolicy("pin")
+		if err != nil {
+			return core.Snapshot{}, nil, 0, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Policy = p
+		cfg.IndexOff = indexOff
+		c, err := core.New(method, cfg)
+		if err != nil {
+			return core.Snapshot{}, nil, 0, err
+		}
+		answers := make([]string, 0, len(w.Queries))
+		t0 := time.Now()
+		for i, q := range w.Queries {
+			res, err := c.Execute(q.G, q.Type)
+			if err != nil {
+				return core.Snapshot{}, nil, 0, fmt.Errorf("query %d: %w", i, err)
+			}
+			answers = append(answers, res.Answers.String())
+		}
+		return c.Stats(), answers, time.Since(t0), nil
+	}
+
+	unindexed, baseAnswers, baseElapsed, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	indexed, idxAnswers, idxElapsed, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	for i := range baseAnswers {
+		if baseAnswers[i] != idxAnswers[i] {
+			return nil, fmt.Errorf("query %d: indexed and unindexed answers diverge — kernel bug", i)
+		}
+	}
+	return &IndexComparison{
+		Queries:          len(w.Queries),
+		Indexed:          indexed,
+		Unindexed:        unindexed,
+		IndexedElapsed:   idxElapsed,
+		UnindexedElapsed: baseElapsed,
+	}, nil
+}

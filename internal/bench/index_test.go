@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// The acceptance bar for the feature index: on the bundled mixed workload
+// it must strictly reduce cache-side hit-detection work — fewer dominance
+// merges, a non-zero pruned count — while never running more q↔h iso
+// tests, with byte-identical answers (RunIndexComparison errors on any
+// divergence).
+func TestIndexComparisonStrictlyReduces(t *testing.T) {
+	// Sizes matter: the run is fully deterministic (seeded generators, PIN
+	// policy), and at 100 molecules / 200 queries the workload is rich
+	// enough that the index provably saves VF2 attempts, not just merges.
+	cmp, err := RunIndexComparison(2018, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Indexed.HitIndexPruned == 0 {
+		t.Error("index pruned nothing on the mixed workload")
+	}
+	if cmp.Indexed.HitFullChecks >= cmp.Unindexed.HitFullChecks {
+		t.Errorf("dominance merges not reduced: %d indexed vs %d unindexed",
+			cmp.Indexed.HitFullChecks, cmp.Unindexed.HitFullChecks)
+	}
+	if cmp.Indexed.HitDetectionTests >= cmp.Unindexed.HitDetectionTests {
+		t.Errorf("cache-side iso tests not strictly reduced: %d indexed vs %d unindexed",
+			cmp.Indexed.HitDetectionTests, cmp.Unindexed.HitDetectionTests)
+	}
+	if !cmp.Reduced() {
+		t.Errorf("Reduced() = false: indexed %+v unindexed %+v", cmp.Indexed, cmp.Unindexed)
+	}
+}

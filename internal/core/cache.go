@@ -35,6 +35,14 @@ import (
 // the reverse nesting never occurs. Operational counters (Monitor) are
 // atomics and bypass locks entirely.
 //
+// Sub/super hit detection consults the global feature index (hitIndex): a
+// copy-on-write, ID-ordered summary array republished atomically at the
+// end of every window turn and state restore — inside the same
+// coordMu+all-shards critical section that mutates the entries — and read
+// with a single atomic load, so the hot path takes no shard lock at all.
+// Config.IndexOff restores the shard-snapshot scan as the measurable
+// baseline.
+//
 // Entries are kept globally ordered by ID (admission order) when gathered
 // across shards, so policy decisions — and therefore cache contents — are
 // identical to a single-shard cache when queries are issued sequentially,
@@ -78,6 +86,12 @@ type Cache struct {
 	globalCost *stats.EMA
 	costVal    []atomic.Uint64
 	globalVal  atomic.Uint64
+
+	// idx is the global cache-entry feature index consulted by hit
+	// detection: a copy-on-write, ID-ordered array of containment
+	// summaries published atomically by every shard mutation (see
+	// hitIndex for the publication rules). Unused when cfg.IndexOff.
+	idx hitIndex
 
 	mon Monitor
 }
@@ -311,7 +325,7 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		c.mon.subHits.Add(int64(len(hs.sub)))
 	}
 	if len(hs.super) > 0 {
-		c.mon.superHitQuerys.Add(1)
+		c.mon.superHitQueries.Add(1)
 		c.mon.superHits.Add(int64(len(hs.super)))
 	}
 
@@ -478,18 +492,7 @@ func (c *Cache) recordCosts(costs []costSample) {
 func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) {
 	c.coordMu.Lock()
 	defer c.coordMu.Unlock()
-	e := &Entry{
-		ID:             c.nextID,
-		Graph:          q,
-		Type:           qt,
-		Answers:        answers,
-		Fingerprint:    sig.fp,
-		LabelVec:       sig.labelVec,
-		Features:       sig.features,
-		BaseCandidates: baseCandidates,
-		InsertedAt:     tick,
-		LastUsed:       tick,
-	}
+	e := entryFromSig(c.nextID, q, qt, answers, baseCandidates, sig, tick)
 	c.nextID++
 	c.window = append(c.window, e)
 	if len(c.window) >= c.cfg.Window {
@@ -533,6 +536,10 @@ func (c *Cache) turnWindow() {
 	for c.cfg.MemoryBudget > 0 && c.memBytesLocked() > c.cfg.MemoryBudget && len(all) > 1 {
 		all = c.evictLocked(all, 1)
 	}
+
+	// Republish the feature index before the shard locks drop, so queries
+	// never observe an index ahead of or behind the admitted entries.
+	c.rebuildIndexLocked()
 }
 
 // memBytesLocked sums shard byte accounts. Caller holds all shard locks.

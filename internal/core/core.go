@@ -83,6 +83,13 @@ type Config struct {
 	// measurable baseline for the parallel-throughput benchmarks and the
 	// reference configuration for the sharded-equivalence tests.
 	Serialized bool
+	// IndexOff disables the global cache-entry feature index: hit
+	// detection falls back to scanning an ID-ordered snapshot of every
+	// shard with size/label/path-dominance pre-filtering only — the
+	// pre-index engine. It is the measurable baseline for the
+	// indexed-vs-unindexed hit-detection comparison; answers are provably
+	// identical either way (the index only prunes provable non-hits).
+	IndexOff bool
 	// MemoryBudget, when positive, caps the estimated resident bytes of
 	// cached entries (graphs + answer sets); eviction triggers on overflow
 	// even below Capacity.

@@ -28,6 +28,14 @@ type Entry struct {
 	LabelVec    graph.LabelVector
 	Features    featureVec
 
+	// FV and FeatureBits are the entry's containment summary, computed
+	// once at admission (and rebuilt on state restore) and published in
+	// the cache's hit index: FV is the fixed-size ftv.FeatureVector, and
+	// FeatureBits blooms the path-feature hashes so feature dominance can
+	// be refuted with one mask test. Both are immutable.
+	FV          ftv.FeatureVector
+	FeatureBits uint64
+
 	// BaseCandidates is |C_M| when the query was originally executed —
 	// the number of sub-iso tests an exact-match hit on this entry saves.
 	BaseCandidates int
@@ -45,16 +53,21 @@ type Entry struct {
 	SavedCostNs float64
 }
 
-// newEntry builds an Entry for an executed query.
-func newEntry(id int, q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, featureLen int, tick int64) *Entry {
+// entryFromSig builds an Entry from a precomputed query signature — the
+// single construction site for cache entries, shared by admission and
+// state restores so the signature-derived fields (fingerprint, vectors,
+// feature summaries) can never drift between the two paths.
+func entryFromSig(id int, q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) *Entry {
 	return &Entry{
 		ID:             id,
 		Graph:          q,
 		Type:           qt,
 		Answers:        answers,
-		Fingerprint:    q.WLFingerprint(3),
-		LabelVec:       graph.LabelVectorOf(q),
-		Features:       pathFeatures(q, featureLen),
+		Fingerprint:    sig.fp,
+		LabelVec:       sig.labelVec,
+		Features:       sig.features,
+		FV:             sig.fv,
+		FeatureBits:    sig.featBits,
 		BaseCandidates: baseCandidates,
 		InsertedAt:     tick,
 		LastUsed:       tick,
@@ -63,7 +76,7 @@ func newEntry(id int, q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, bas
 
 // Bytes estimates the entry's resident size for the memory budget.
 func (e *Entry) Bytes() int {
-	b := 160 // struct + label vector + bookkeeping
+	b := 224 // struct (incl. feature summary) + bookkeeping
 	b += e.Graph.Bytes()
 	b += e.Answers.Bytes()
 	b += 12 * len(e.Features)

@@ -25,13 +25,19 @@ func TestShardedEquivalentToSerialized(t *testing.T) {
 	for _, policy := range []string{"pin", "lru", "fifo", "pop"} {
 		for _, shards := range []int{2, 8, 32} {
 			t.Run(fmt.Sprintf("%s/shards=%d", policy, shards), func(t *testing.T) {
-				checkShardedEquivalence(t, policy, shards)
+				checkShardedEquivalence(t, policy, shards, false)
 			})
 		}
 	}
+	// The IndexOff baseline scan must be just as shard-count-independent.
+	for _, shards := range []int{2, 8, 32} {
+		t.Run(fmt.Sprintf("pin/shards=%d/indexOff", shards), func(t *testing.T) {
+			checkShardedEquivalence(t, "pin", shards, true)
+		})
+	}
 }
 
-func checkShardedEquivalence(t *testing.T, policy string, shards int) {
+func checkShardedEquivalence(t *testing.T, policy string, shards int, indexOff bool) {
 	t.Helper()
 	dataset := testDataset(51, 40)
 	w, err := gen.NewWorkload(rand.New(rand.NewSource(52)), dataset, gen.WorkloadConfig{
@@ -54,6 +60,7 @@ func checkShardedEquivalence(t *testing.T, policy string, shards int) {
 		cfg.Policy = p
 		cfg.Shards = shardCount
 		cfg.Serialized = serialized
+		cfg.IndexOff = indexOff
 		return MustNew(method, cfg)
 	}
 	serial := build(1, true)
@@ -124,5 +131,76 @@ func checkShardedEquivalence(t *testing.T, policy string, shards int) {
 	}
 	if ss.ExactHits == 0 || ss.SubHits+ss.SuperHits == 0 {
 		t.Error("workload too tame: no hits exercised")
+	}
+}
+
+// The index equivalence property: with the feature index on, every answer
+// set must be byte-identical to the IndexOff baseline's at every shard
+// count — the index may only ever discard provable non-hits, so the two
+// engines can classify hits differently within the VF2 attempt budget
+// (and hence age different cache contents), but both always return the
+// exact answer set. The index must also do strictly LESS hit-detection
+// work: fewer dominance merges, no more q↔h iso tests, and a non-zero
+// index-pruned count.
+func TestIndexedEquivalentToUnindexed(t *testing.T) {
+	dataset := testDataset(51, 40)
+	w, err := gen.NewWorkload(rand.New(rand.NewSource(52)), dataset, gen.WorkloadConfig{
+		Size: 150, Mixed: true, PoolSize: 30,
+		ZipfS: 1.2, ChainFrac: 0.6, ChainLen: 3, MinEdges: 3, MaxEdges: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	method := ftv.NewGGSXMethod(dataset, 3)
+	build := func(shards int, indexOff bool) *Cache {
+		p, err := NewPolicy("pin") // timing-independent: runs are reproducible
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Capacity = 20
+		cfg.Window = 5
+		cfg.Policy = p
+		cfg.Shards = shards
+		cfg.IndexOff = indexOff
+		return MustNew(method, cfg)
+	}
+
+	baseline := build(1, true)
+	var baseAnswers []string
+	for i, q := range w.Queries {
+		res, err := baseline.Execute(q.G, q.Type)
+		if err != nil {
+			t.Fatalf("baseline query %d: %v", i, err)
+		}
+		baseAnswers = append(baseAnswers, res.Answers.String())
+	}
+	bs := baseline.Stats()
+
+	for _, shards := range []int{1, 2, 8, 32} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			indexed := build(shards, false)
+			for i, q := range w.Queries {
+				res, err := indexed.Execute(q.G, q.Type)
+				if err != nil {
+					t.Fatalf("indexed query %d: %v", i, err)
+				}
+				if got := res.Answers.String(); got != baseAnswers[i] {
+					t.Fatalf("query %d: indexed answers %s, baseline %s", i, got, baseAnswers[i])
+				}
+			}
+			is := indexed.Stats()
+			if is.HitIndexPruned == 0 {
+				t.Error("index pruned nothing: summaries never fired")
+			}
+			if is.HitFullChecks >= bs.HitFullChecks {
+				t.Errorf("index did not reduce dominance merges: %d (indexed) vs %d (baseline)",
+					is.HitFullChecks, bs.HitFullChecks)
+			}
+			if is.HitDetectionTests > bs.HitDetectionTests {
+				t.Errorf("index increased cache-side iso tests: %d (indexed) vs %d (baseline)",
+					is.HitDetectionTests, bs.HitDetectionTests)
+			}
+		})
 	}
 }

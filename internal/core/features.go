@@ -98,6 +98,17 @@ func hashSeq(seq []graph.Label) uint64 {
 	return h
 }
 
+// bits blooms the feature hashes into a 64-bit mask: if v is dominated by
+// o then bits(v) &^ bits(o) == 0, so the mask refutes dominance with one
+// AND-NOT before the linear merge runs.
+func (v featureVec) bits() uint64 {
+	var b uint64
+	for _, fc := range v {
+		b |= 1 << (fc.hash >> 58)
+	}
+	return b
+}
+
 // dominatedBy reports whether every feature of v occurs in o with at least
 // the same count — necessary for v's graph to embed into o's graph.
 // Both vectors are hash-sorted, so this is a linear merge.

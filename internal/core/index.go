@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"graphcache/internal/ftv"
+)
+
+// hitIndex is the global cache-entry feature index: an immutable, ID-ordered
+// array of per-entry containment summaries published through an atomic
+// pointer. Hit detection reads it entirely lock-free — no shard locks, no
+// snapshot allocation, no per-query sort — and uses the summaries
+// (ftv.FeatureVector plus a path-feature bloom) to discard entries that
+// cannot possibly be sub- or super-hit candidates before any label-vector
+// or path-feature dominance merge runs.
+//
+// # Publication rules
+//
+// The index is copy-on-write. Writers never mutate a published slice: every
+// mutation of the admitted entries — window turns (admission + eviction),
+// state restores — rebuilds a fresh slice from the shard contents and
+// publishes it with a single atomic store, while holding coordMu and every
+// shard write lock (rebuildIndexLocked's contract). Readers load the
+// pointer once per query and work on that point-in-time array; an entry
+// evicted after the load stays sound to use (its graph, answer set and
+// summary are immutable), exactly like the shard-snapshot path. Because
+// rebuilds happen inside the same critical section that mutates the
+// shards, a sequential query stream always observes an index that exactly
+// mirrors the admitted entries, keeping indexed results deterministic and
+// shard-count-independent (the array is ID-ordered, the order a
+// single-shard cache would scan in).
+type hitIndex struct {
+	snap atomic.Pointer[[]indexEntry]
+}
+
+// indexEntry is one entry's published summary. All fields are immutable
+// after admission; e's mutable utility fields are never read through the
+// index.
+type indexEntry struct {
+	typ      ftv.QueryType
+	featBits uint64
+	fv       ftv.FeatureVector
+	e        *Entry
+}
+
+// load returns the current published summaries (nil before any admission).
+func (ix *hitIndex) load() []indexEntry {
+	if p := ix.snap.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// rebuildIndexLocked republishes the index from the shard contents. Caller
+// holds coordMu and every shard write lock. With Config.IndexOff nothing is
+// built — the escape hatch runs pure PR-1 snapshot scans.
+func (c *Cache) rebuildIndexLocked() {
+	if c.cfg.IndexOff {
+		return
+	}
+	all := c.gatherLocked()
+	entries := make([]indexEntry, len(all))
+	for i, e := range all {
+		entries[i] = indexEntry{typ: e.Type, featBits: e.FeatureBits, fv: e.FV, e: e}
+	}
+	c.idx.snap.Store(&entries)
+}
+
+// scanIndex collects sub/super hit candidates from the published index in
+// ID order. The summary checks (size, label bloom, label-degree bloom,
+// degree tail, path-feature bloom) are necessary conditions for the
+// corresponding containment, so a summary rejection safely skips the exact
+// dominance merges; entries rejected in both directions without a merge
+// are counted as index-pruned.
+func (c *Cache) scanIndex(qt ftv.QueryType, sig querySig) (sub, super []*Entry) {
+	entries := c.idx.load()
+	c.mon.hitScanEntries.Add(int64(len(entries)))
+	for i := range entries {
+		ie := &entries[i]
+		if ie.typ != qt {
+			continue
+		}
+		pruned := true
+		// Sub case q ⊑ h: q's summary must be contained in h's.
+		if sig.fv.ContainedIn(ie.fv) && sig.featBits&^ie.featBits == 0 {
+			pruned = false
+			c.mon.hitFullChecks.Add(1)
+			if sig.labelVec.DominatedBy(ie.e.LabelVec) && sig.features.dominatedBy(ie.e.Features) {
+				sub = append(sub, ie.e)
+				continue
+			}
+		}
+		// Super case h ⊑ q: h's summary must be contained in q's.
+		if ie.fv.ContainedIn(sig.fv) && ie.featBits&^sig.featBits == 0 {
+			pruned = false
+			c.mon.hitFullChecks.Add(1)
+			if ie.e.LabelVec.DominatedBy(sig.labelVec) && ie.e.Features.dominatedBy(sig.features) {
+				super = append(super, ie.e)
+			}
+		}
+		if pruned {
+			c.mon.hitIndexPruned.Add(1)
+		}
+	}
+	return sub, super
+}

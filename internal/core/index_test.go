@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// driveQueries pushes n extracted-subgraph queries through the cache.
+func driveQueries(t *testing.T, c *Cache, seed int64, n int) {
+	t.Helper()
+	dataset := c.Method().Dataset()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		q := gen.ExtractConnectedSubgraph(rng, dataset[i%len(dataset)], 3+i%5)
+		if _, err := c.Execute(q, ftv.Subgraph); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The published index must mirror the admitted entries exactly after every
+// sequential query — same IDs in the same (ascending) order.
+func TestIndexMirrorsAdmittedEntries(t *testing.T) {
+	dataset := testDataset(91, 20)
+	cfg := DefaultConfig()
+	cfg.Capacity = 8 // force evictions
+	cfg.Window = 3
+	c := MustNew(ftv.NewGGSXMethod(dataset, 3), cfg)
+
+	check := func() {
+		idx := c.idx.load()
+		entries := c.Entries()
+		if len(idx) != len(entries) {
+			t.Fatalf("index has %d entries, cache %d", len(idx), len(entries))
+		}
+		for i := range idx {
+			if idx[i].e.ID != entries[i].ID {
+				t.Fatalf("index[%d] = entry %d, cache holds %d", i, idx[i].e.ID, entries[i].ID)
+			}
+			if i > 0 && idx[i].e.ID <= idx[i-1].e.ID {
+				t.Fatalf("index not ID-ordered at %d", i)
+			}
+			if idx[i].fv != entries[i].FV || idx[i].featBits != entries[i].FeatureBits {
+				t.Fatalf("index[%d] summary diverges from entry", i)
+			}
+		}
+	}
+	check() // empty cache: empty (nil) index
+	rng := rand.New(rand.NewSource(92))
+	for i := 0; i < 30; i++ {
+		q := gen.ExtractConnectedSubgraph(rng, dataset[i%len(dataset)], 3+i%5)
+		if _, err := c.Execute(q, ftv.Subgraph); err != nil {
+			t.Fatal(err)
+		}
+		check()
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("workload too tame: no evictions exercised")
+	}
+}
+
+// Admitted entries must carry their immutable feature summaries, and the
+// summaries must agree with recomputation from the pattern graph.
+func TestEntrySummariesPopulated(t *testing.T) {
+	dataset := testDataset(93, 15)
+	cfg := DefaultConfig()
+	cfg.Window = 2
+	c := MustNew(ftv.NewGGSXMethod(dataset, 3), cfg)
+	driveQueries(t, c, 94, 8)
+	entries := c.Entries()
+	if len(entries) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	for _, e := range entries {
+		if e.FV != ftv.ExtractFeatures(e.Graph) {
+			t.Errorf("entry %d: stored feature vector diverges from its graph", e.ID)
+		}
+		if e.FV.Vertices == 0 || e.FV.LabelBits == 0 {
+			t.Errorf("entry %d: empty feature summary", e.ID)
+		}
+	}
+}
+
+// IndexOff must keep the index unpublished and the pruned counter at zero.
+func TestIndexOffBaseline(t *testing.T) {
+	dataset := testDataset(95, 15)
+	cfg := DefaultConfig()
+	cfg.Window = 2
+	cfg.IndexOff = true
+	c := MustNew(ftv.NewGGSXMethod(dataset, 3), cfg)
+	driveQueries(t, c, 96, 10)
+	if got := c.idx.load(); got != nil {
+		t.Errorf("IndexOff cache published an index of %d entries", len(got))
+	}
+	snap := c.Stats()
+	if snap.HitIndexPruned != 0 {
+		t.Errorf("IndexOff cache counted %d index-pruned entries", snap.HitIndexPruned)
+	}
+	if snap.HitScanEntries == 0 || snap.HitFullChecks == 0 {
+		t.Error("baseline scan counters never moved")
+	}
+}
+
+// Results served through the index must stay exact against the uncached
+// method (SelfCheck panics on any mismatch).
+func TestIndexSelfCheck(t *testing.T) {
+	dataset := testDataset(97, 25)
+	cfg := DefaultConfig()
+	cfg.Capacity = 10
+	cfg.Window = 3
+	cfg.SelfCheck = true
+	c := MustNew(ftv.NewGGSXMethod(dataset, 3), cfg)
+	dsRng := rand.New(rand.NewSource(98))
+	for i := 0; i < 40; i++ {
+		q := gen.ExtractConnectedSubgraph(dsRng, dataset[i%len(dataset)], 2+i%6)
+		qt := ftv.Subgraph
+		if i%3 == 0 {
+			qt = ftv.Supergraph
+		}
+		if _, err := c.Execute(q, qt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats().HitIndexPruned == 0 {
+		t.Error("index never pruned on a mixed workload")
+	}
+}

@@ -13,21 +13,24 @@ import (
 // (each counter is individually consistent, the set is approximate under
 // concurrent load — exact once in-flight queries drain).
 type Monitor struct {
-	queries        atomic.Int64
-	exactHits      atomic.Int64 // queries answered purely from cache
-	subHitQueries  atomic.Int64 // queries with ≥1 sub-case hit
-	superHitQuerys atomic.Int64
-	subHits        atomic.Int64 // total hit contributions
-	superHits      atomic.Int64
-	testsExecuted  atomic.Int64
-	testsSaved     atomic.Int64
-	hitDetectIso   atomic.Int64 // iso tests against cached queries
-	admissions     atomic.Int64
-	evictions      atomic.Int64
-	windowTurns    atomic.Int64
-	filterNs       atomic.Int64
-	hitNs          atomic.Int64
-	verifyNs       atomic.Int64
+	queries         atomic.Int64
+	exactHits       atomic.Int64 // queries answered purely from cache
+	subHitQueries   atomic.Int64 // queries with ≥1 sub-case hit
+	superHitQueries atomic.Int64 // queries with ≥1 super-case hit
+	subHits         atomic.Int64 // total hit contributions
+	superHits       atomic.Int64
+	testsExecuted   atomic.Int64
+	testsSaved      atomic.Int64
+	hitDetectIso    atomic.Int64 // iso tests against cached queries
+	hitScanEntries  atomic.Int64 // entries examined during hit detection
+	hitFullChecks   atomic.Int64 // label/path dominance merges run
+	hitIndexPruned  atomic.Int64 // entries the feature index rejected outright
+	admissions      atomic.Int64
+	evictions       atomic.Int64
+	windowTurns     atomic.Int64
+	filterNs        atomic.Int64
+	hitNs           atomic.Int64
+	verifyNs        atomic.Int64
 }
 
 // Snapshot is an immutable copy of the monitor's counters.
@@ -46,6 +49,13 @@ type Snapshot struct {
 	// HitDetectionTests counts q↔h iso tests spent discovering hits —
 	// the overhead side of the cache's ledger.
 	HitDetectionTests int64
+	// HitScanEntries counts cache entries examined during sub/super hit
+	// detection; HitFullChecks counts the label-vector/path-feature
+	// dominance merges that actually ran; HitIndexPruned counts entries
+	// the feature index excluded from both hit directions before any
+	// merge (always 0 with Config.IndexOff). Together they show what the
+	// index saves: full checks and iso tests shrink, pruned grows.
+	HitScanEntries, HitFullChecks, HitIndexPruned int64
 	// Admissions / Evictions / WindowTurns are Cache-Manager counters.
 	Admissions, Evictions, WindowTurns int64
 	// FilterTime, HitTime and VerifyTime split where query time went.
@@ -58,12 +68,15 @@ func (m *Monitor) Snapshot() Snapshot {
 		Queries:           m.queries.Load(),
 		ExactHits:         m.exactHits.Load(),
 		SubHitQueries:     m.subHitQueries.Load(),
-		SuperHitQueries:   m.superHitQuerys.Load(),
+		SuperHitQueries:   m.superHitQueries.Load(),
 		SubHits:           m.subHits.Load(),
 		SuperHits:         m.superHits.Load(),
 		TestsExecuted:     m.testsExecuted.Load(),
 		TestsSaved:        m.testsSaved.Load(),
 		HitDetectionTests: m.hitDetectIso.Load(),
+		HitScanEntries:    m.hitScanEntries.Load(),
+		HitFullChecks:     m.hitFullChecks.Load(),
+		HitIndexPruned:    m.hitIndexPruned.Load(),
 		Admissions:        m.admissions.Load(),
 		Evictions:         m.evictions.Load(),
 		WindowTurns:       m.windowTurns.Load(),

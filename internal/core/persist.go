@@ -21,16 +21,23 @@ import (
 //
 // Format (line-oriented, versioned):
 //
-//	gcstate 1 <dataset-size>
-//	entry <type> <baseCandidates> <hits> <savedTests> <savedCostNs>
-//	answers <id> <id> ...
+//	gcstate 2 <dataset-size> <entry-count>
+//	entry <type> <vertices> <edges> <baseCandidates> <hits> <savedTests> <savedCostNs>
+//	answers <count> <id> <id> ...
 //	<graph in the text codec>
 //	...
+//	end
 //
-// Recency/insertion ticks are reset on load (the new process has its own
-// clock); utility counters survive.
+// Version 2 makes corruption detectable everywhere a version-1 file could
+// be silently truncated: the header carries the entry count, each entry
+// line carries the graph's vertex/edge counts (validated against the
+// parsed graph), each answers line carries its id count, and the stream
+// must close with an "end" trailer. Recency/insertion ticks are reset on
+// load (the new process has its own clock); utility counters survive.
+// Feature vectors, fingerprints and the hit index are rebuilt from the
+// parsed graphs, never trusted from disk.
 
-const stateVersion = 1
+const stateVersion = 2
 
 // WriteState serializes the cache's admitted entries to w. It takes the
 // coordinator lock (the utility fields it records are mutated under it)
@@ -42,13 +49,14 @@ func (c *Cache) WriteState(w io.Writer) error {
 	c.lockAll()
 	defer c.unlockAll()
 
+	all := c.gatherLocked()
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "gcstate %d %d\n", stateVersion, c.method.DatasetSize())
-	for _, e := range c.gatherLocked() {
-		fmt.Fprintf(bw, "entry %d %d %d %g %g\n",
-			e.Type, e.BaseCandidates, e.Hits, e.SavedTests, e.SavedCostNs)
+	fmt.Fprintf(bw, "gcstate %d %d %d\n", stateVersion, c.method.DatasetSize(), len(all))
+	for _, e := range all {
+		fmt.Fprintf(bw, "entry %d %d %d %d %d %g %g\n",
+			e.Type, e.Graph.N(), e.Graph.M(), e.BaseCandidates, e.Hits, e.SavedTests, e.SavedCostNs)
 		ids := e.Answers.Indices()
-		fmt.Fprint(bw, "answers")
+		fmt.Fprintf(bw, "answers %d", len(ids))
 		for _, id := range ids {
 			fmt.Fprintf(bw, " %d", id)
 		}
@@ -60,66 +68,111 @@ func (c *Cache) WriteState(w io.Writer) error {
 			return err
 		}
 	}
+	fmt.Fprintln(bw, "end")
 	return bw.Flush()
+}
+
+// stateError builds a line-numbered restore error.
+func stateError(line int, format string, args ...any) error {
+	return fmt.Errorf("core: state line %d: %s", line, fmt.Sprintf(format, args...))
 }
 
 // ReadState restores entries serialized by WriteState into the cache,
 // replacing its current contents. The cache's dataset size must match the
 // recorded one; anything else indicates the state belongs to a different
 // deployment.
+//
+// Restores are all-or-nothing: the entire stream is parsed and validated —
+// entry counts, per-graph vertex/edge counts, answer-id ranges, the end
+// trailer — before the first lock is taken, so a truncated or corrupt
+// state file fails with a line-numbered error and leaves the cache exactly
+// as it was (empty, when the load happens at boot). On success the feature
+// index is rebuilt before the locks drop.
 func (c *Cache) ReadState(r io.Reader) error {
 	br := bufio.NewReader(r)
+	lineNo := 1
 	header, err := br.ReadString('\n')
-	if err != nil {
-		return fmt.Errorf("core: reading state header: %w", err)
+	if err != nil && header == "" {
+		return stateError(lineNo, "reading header: %v", err)
 	}
-	var version, dsSize int
-	if _, err := fmt.Sscanf(header, "gcstate %d %d", &version, &dsSize); err != nil {
-		return fmt.Errorf("core: bad state header %q", strings.TrimSpace(header))
+	// The version is scanned on its own first, so a file written by a
+	// different format version gets the actionable "unsupported version"
+	// error rather than a generic header complaint (v1 headers have fewer
+	// fields and would fail a full v2 scan outright).
+	var version, dsSize, entryCount int
+	if _, err := fmt.Sscanf(header, "gcstate %d", &version); err != nil {
+		return stateError(lineNo, "bad header %q", strings.TrimSpace(header))
 	}
 	if version != stateVersion {
-		return fmt.Errorf("core: unsupported state version %d", version)
+		return stateError(lineNo, "unsupported state version %d (want %d)", version, stateVersion)
+	}
+	if _, err := fmt.Sscanf(header, "gcstate %d %d %d", &version, &dsSize, &entryCount); err != nil {
+		return stateError(lineNo, "bad header %q", strings.TrimSpace(header))
 	}
 	if dsSize != c.method.DatasetSize() {
-		return fmt.Errorf("core: state is for a %d-graph dataset, cache has %d", dsSize, c.method.DatasetSize())
+		return stateError(lineNo, "state is for a %d-graph dataset, cache has %d", dsSize, c.method.DatasetSize())
+	}
+	if entryCount < 0 {
+		return stateError(lineNo, "negative entry count %d", entryCount)
 	}
 
 	type pending struct {
 		qt             ftv.QueryType
+		vertices       int
+		edges          int
 		baseCandidates int
 		hits           int64
 		savedTests     float64
 		savedCost      float64
 		answers        []int
+		hasAnswers     bool // exactly one answers line per entry
+		entryLine      int  // line number of the entry line
+		graphStart     int  // line number where the graph text begins
 		graphText      strings.Builder
 	}
 	var items []*pending
 	var cur *pending
+	sawEnd := false
+parse:
 	for {
 		line, err := br.ReadString('\n')
 		if line == "" && err != nil {
 			if err == io.EOF {
 				break
 			}
-			return err
+			return stateError(lineNo+1, "reading state: %v", err)
 		}
+		lineNo++
 		trimmed := strings.TrimSpace(line)
 		fields := strings.Fields(trimmed)
 		switch {
+		case len(fields) == 1 && fields[0] == "end":
+			sawEnd = true
+			break parse
 		case len(fields) > 0 && fields[0] == "entry":
-			if len(fields) != 6 {
-				return fmt.Errorf("core: bad entry line %q", trimmed)
+			if len(fields) != 8 {
+				return stateError(lineNo, "bad entry line %q: want 8 fields, got %d", trimmed, len(fields))
 			}
-			cur = &pending{}
+			cur = &pending{entryLine: lineNo, graphStart: lineNo + 2} // graph follows the answers line
 			qt, err1 := strconv.Atoi(fields[1])
-			bc, err2 := strconv.Atoi(fields[2])
-			hits, err3 := strconv.ParseInt(fields[3], 10, 64)
-			st, err4 := strconv.ParseFloat(fields[4], 64)
-			sc, err5 := strconv.ParseFloat(fields[5], 64)
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
-				return fmt.Errorf("core: bad entry line %q", trimmed)
+			n, err2 := strconv.Atoi(fields[2])
+			m, err3 := strconv.Atoi(fields[3])
+			bc, err4 := strconv.Atoi(fields[4])
+			hits, err5 := strconv.ParseInt(fields[5], 10, 64)
+			st, err6 := strconv.ParseFloat(fields[6], 64)
+			sc, err7 := strconv.ParseFloat(fields[7], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil || err7 != nil {
+				return stateError(lineNo, "bad entry line %q", trimmed)
+			}
+			if qt != int(ftv.Subgraph) && qt != int(ftv.Supergraph) {
+				return stateError(lineNo, "unknown query type %d", qt)
+			}
+			if n <= 0 || m < 0 {
+				return stateError(lineNo, "implausible graph size %d/%d", n, m)
 			}
 			cur.qt = ftv.QueryType(qt)
+			cur.vertices = n
+			cur.edges = m
 			cur.baseCandidates = bc
 			cur.hits = hits
 			cur.savedTests = st
@@ -127,18 +180,32 @@ func (c *Cache) ReadState(r io.Reader) error {
 			items = append(items, cur)
 		case len(fields) > 0 && fields[0] == "answers":
 			if cur == nil {
-				return fmt.Errorf("core: answers line before entry line")
+				return stateError(lineNo, "answers line before entry line")
 			}
-			for _, f := range fields[1:] {
+			if cur.hasAnswers {
+				return stateError(lineNo, "duplicate answers line for one entry")
+			}
+			cur.hasAnswers = true
+			if len(fields) < 2 {
+				return stateError(lineNo, "answers line without count")
+			}
+			count, err := strconv.Atoi(fields[1])
+			if err != nil || count < 0 {
+				return stateError(lineNo, "bad answers count %q", fields[1])
+			}
+			if got := len(fields) - 2; got != count {
+				return stateError(lineNo, "answers line truncated: declared %d ids, found %d", count, got)
+			}
+			for _, f := range fields[2:] {
 				id, err := strconv.Atoi(f)
 				if err != nil || id < 0 || id >= dsSize {
-					return fmt.Errorf("core: bad answer id %q", f)
+					return stateError(lineNo, "bad answer id %q", f)
 				}
 				cur.answers = append(cur.answers, id)
 			}
 		default:
 			if cur == nil {
-				return fmt.Errorf("core: graph text before entry line: %q", trimmed)
+				return stateError(lineNo, "graph text before entry line: %q", trimmed)
 			}
 			cur.graphText.WriteString(line)
 		}
@@ -146,18 +213,32 @@ func (c *Cache) ReadState(r io.Reader) error {
 			break
 		}
 	}
+	if !sawEnd {
+		return stateError(lineNo, "state truncated: missing end trailer")
+	}
+	if len(items) != entryCount {
+		return stateError(lineNo, "state truncated: header declares %d entries, found %d", entryCount, len(items))
+	}
 
 	entries := make([]*Entry, 0, len(items))
-	for i, it := range items {
+	for _, it := range items {
+		if !it.hasAnswers {
+			return stateError(it.entryLine, "entry has no answers line")
+		}
 		gs, err := graph.ReadAll(strings.NewReader(it.graphText.String()))
 		if err != nil {
-			return fmt.Errorf("core: state entry %d: %w", i, err)
+			return stateError(it.graphStart, "entry graph: %v", err)
 		}
 		if len(gs) != 1 {
-			return fmt.Errorf("core: state entry %d: want one graph, got %d", i, len(gs))
+			return stateError(it.graphStart, "entry graph: want one graph, got %d", len(gs))
+		}
+		if gs[0].N() != it.vertices || gs[0].M() != it.edges {
+			return stateError(it.graphStart,
+				"entry graph truncated: declared %d vertices / %d edges, parsed %d/%d",
+				it.vertices, it.edges, gs[0].N(), gs[0].M())
 		}
 		answers := bitset.FromIndices(dsSize, it.answers)
-		e := newEntry(0, gs[0], it.qt, answers, it.baseCandidates, c.cfg.FeatureLen, 0)
+		e := entryFromSig(0, gs[0], it.qt, answers, it.baseCandidates, c.signatureOf(gs[0]), 0)
 		e.Hits = it.hits
 		e.SavedTests = it.savedTests
 		e.SavedCostNs = it.savedCost
@@ -186,5 +267,6 @@ func (c *Cache) ReadState(r io.Reader) error {
 	if excess := len(all) - c.cfg.Capacity; excess > 0 {
 		c.evictLocked(all, excess)
 	}
+	c.rebuildIndexLocked()
 	return nil
 }

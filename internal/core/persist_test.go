@@ -105,14 +105,244 @@ func TestStateRejectsGarbage(t *testing.T) {
 		"",
 		"not a header\n",
 		"gcstate 99 5\n",
-		"gcstate 1 5\nanswers 1 2\n",
+		"gcstate 1 5\nanswers 1 2\n", // version-1 states are refused
 		"gcstate 1 5\nentry 0 1 0 0 0\nanswers 900\n",
 		"gcstate 1 5\nentry 0 x 0 0 0\n",
+		"gcstate 2 5 0\n",                                        // missing end trailer
+		"gcstate 2 5 1\nend\n",                                   // fewer entries than declared
+		"gcstate 2 5 1\nentry 9 2 1 0 0 0 0\n",                   // unknown query type
+		"gcstate 2 5 1\nentry 0 2 1 0 0 0 0\nanswers 2 1\nend\n", // answers count mismatch
 	}
 	for i, in := range cases {
 		if err := c.ReadState(strings.NewReader(in)); err == nil {
 			t.Errorf("case %d: garbage state accepted", i)
 		}
+		if c.Len() != 0 {
+			t.Fatalf("case %d: failed restore left %d entries behind", i, c.Len())
+		}
+	}
+
+	// Old-format files must get the actionable version diagnostic, not a
+	// generic header complaint.
+	err = c.ReadState(strings.NewReader("gcstate 1 5\nentry 0 1 0 0 0\n"))
+	if err == nil || !strings.Contains(err.Error(), "unsupported state version 1") {
+		t.Errorf("version-1 state: want version error, got %v", err)
+	}
+}
+
+// validState builds a warm cache and returns its serialized state along
+// with the cache (for content comparisons).
+func validState(t *testing.T, seed int64) (string, *Cache) {
+	t.Helper()
+	dataset := testDataset(seed, 20)
+	method := ftv.NewGGSXMethod(dataset, 3)
+	cfg := DefaultConfig()
+	cfg.Window = 2
+	c, err := New(method, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := 0; i < 10; i++ {
+		q := gen.ExtractConnectedSubgraph(rng, dataset[i%len(dataset)], 3+i%4)
+		if _, err := c.Execute(q, ftv.Subgraph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() < 3 {
+		t.Fatalf("only %d admitted entries; corruption sweep needs more", c.Len())
+	}
+	var buf bytes.Buffer
+	if err := c.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), c
+}
+
+// Every proper prefix of a valid state — cut at line boundaries and at
+// arbitrary byte offsets — must be rejected with a line-numbered error and
+// leave the cache empty, never partially populated.
+func TestStateTruncationRejectedEverywhere(t *testing.T) {
+	state, src := validState(t, 81)
+	method := src.Method()
+	fresh := func() *Cache {
+		cfg := DefaultConfig()
+		cfg.Window = 2
+		return MustNew(method, cfg)
+	}
+
+	var cuts []int
+	for i, ch := range state {
+		if ch == '\n' {
+			cuts = append(cuts, i, i+1) // just before and just after each newline
+		}
+	}
+	for off := 0; off < len(state); off += 37 { // arbitrary mid-line offsets
+		cuts = append(cuts, off)
+	}
+	full := strings.TrimSuffix(state, "\n")
+	for _, cut := range cuts {
+		if cut >= len(state) {
+			continue
+		}
+		if state[:cut] == full {
+			continue // only the final newline is missing: content is complete
+		}
+		c := fresh()
+		err := c.ReadState(strings.NewReader(state[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at byte %d/%d accepted:\n%q", cut, len(state), tail(state[:cut]))
+		}
+		if !strings.Contains(err.Error(), "line") {
+			t.Errorf("truncation at byte %d: error lacks a line number: %v", cut, err)
+		}
+		if c.Len() != 0 || c.WindowLen() != 0 {
+			t.Fatalf("truncation at byte %d: cache partially populated (%d entries)", cut, c.Len())
+		}
+	}
+	// The full state still loads.
+	c := fresh()
+	if err := c.ReadState(strings.NewReader(state)); err != nil {
+		t.Fatalf("uncorrupted state rejected: %v", err)
+	}
+	if c.Len() != src.Len() {
+		t.Fatalf("restored %d entries, want %d", c.Len(), src.Len())
+	}
+}
+
+// tail returns the last ~2 lines of s for failure messages.
+func tail(s string) string {
+	if len(s) > 80 {
+		s = s[len(s)-80:]
+	}
+	return s
+}
+
+// Field-level corruption — flipped digits, wrong counts, out-of-range ids —
+// must be rejected with the offending line identified.
+func TestStateFieldCorruptionRejected(t *testing.T) {
+	state, _ := validState(t, 83)
+	lines := strings.SplitAfter(state, "\n")
+	corrupt := func(mutate func([]string) bool) string {
+		ls := append([]string(nil), lines...)
+		if !mutate(ls) {
+			return ""
+		}
+		return strings.Join(ls, "")
+	}
+	mutations := map[string]func([]string) bool{
+		"entry-vertex-count": func(ls []string) bool {
+			for i, l := range ls {
+				if strings.HasPrefix(l, "entry ") {
+					f := strings.Fields(l)
+					f[2] = "99" // declared vertices no longer match the graph
+					ls[i] = strings.Join(f, " ") + "\n"
+					return true
+				}
+			}
+			return false
+		},
+		"answers-count": func(ls []string) bool {
+			for i, l := range ls {
+				if strings.HasPrefix(l, "answers ") {
+					f := strings.Fields(l)
+					f[1] = "999"
+					ls[i] = strings.Join(f, " ") + "\n"
+					return true
+				}
+			}
+			return false
+		},
+		"answer-id-range": func(ls []string) bool {
+			for i, l := range ls {
+				f := strings.Fields(l)
+				if len(f) >= 3 && f[0] == "answers" {
+					f[2] = "100000"
+					ls[i] = strings.Join(f, " ") + "\n"
+					return true
+				}
+			}
+			return false
+		},
+		"header-entry-count": func(ls []string) bool {
+			ls[0] = "gcstate 2 20 99\n"
+			return true
+		},
+		"dropped-graph-line": func(ls []string) bool {
+			for i, l := range ls {
+				if strings.HasPrefix(l, "v ") {
+					ls[i] = ""
+					return true
+				}
+			}
+			return false
+		},
+		"dropped-edge-line": func(ls []string) bool {
+			for i, l := range ls {
+				if strings.HasPrefix(l, "e ") {
+					ls[i] = ""
+					return true
+				}
+			}
+			return false
+		},
+		"dropped-answers-line": func(ls []string) bool {
+			for i, l := range ls {
+				if strings.HasPrefix(l, "answers ") {
+					ls[i] = ""
+					return true
+				}
+			}
+			return false
+		},
+		"duplicated-answers-line": func(ls []string) bool {
+			for i, l := range ls {
+				if strings.HasPrefix(l, "answers ") {
+					ls[i] = l + l
+					return true
+				}
+			}
+			return false
+		},
+	}
+	method := ftv.NewGGSXMethod(testDataset(83, 20), 3)
+	for name, mutate := range mutations {
+		in := corrupt(mutate)
+		if in == "" {
+			t.Fatalf("%s: mutation found nothing to corrupt", name)
+		}
+		c := MustNew(method, DefaultConfig())
+		err := c.ReadState(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: corrupt state accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error lacks a line number: %v", name, err)
+		}
+		if c.Len() != 0 {
+			t.Errorf("%s: failed restore left %d entries behind", name, c.Len())
+		}
+	}
+}
+
+// A failed restore into a WARM cache must leave its previous contents
+// untouched (all-or-nothing semantics).
+func TestStateFailedRestoreLeavesWarmCacheIntact(t *testing.T) {
+	state, warm := validState(t, 85)
+	before := warm.Len()
+	if before == 0 {
+		t.Fatal("warm cache empty")
+	}
+	if err := warm.ReadState(strings.NewReader(state[:len(state)/2])); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	if warm.Len() != before {
+		t.Fatalf("failed restore changed the cache: %d entries, had %d", warm.Len(), before)
+	}
+	// The index still mirrors the surviving contents.
+	if got := len(warm.idx.load()); got != before {
+		t.Fatalf("index has %d entries after failed restore, cache %d", got, before)
 	}
 }
 

@@ -14,13 +14,18 @@ type querySig struct {
 	fp       graph.Fingerprint
 	labelVec graph.LabelVector
 	features featureVec
+	fv       ftv.FeatureVector
+	featBits uint64
 }
 
 func (c *Cache) signatureOf(q *graph.Graph) querySig {
+	features := pathFeatures(q, c.cfg.FeatureLen)
 	return querySig{
 		fp:       q.WLFingerprint(3),
 		labelVec: graph.LabelVectorOf(q),
-		features: pathFeatures(q, c.cfg.FeatureLen),
+		features: features,
+		fv:       ftv.ExtractFeatures(q),
+		featBits: features.bits(),
 	}
 }
 
@@ -64,83 +69,123 @@ type hitSet struct {
 	isoTests int
 }
 
-// detectHits scans the admitted entries of the query's type for sub/super
-// hits. Candidates are pre-filtered by size, label-vector and path-feature
-// dominance (the iGQ-style cache index), ranked by expected benefit, and
+// detectHits finds the sub/super hits among the admitted entries of the
+// query's type. Candidates come from one of two sound collectors —
+// Config.IndexOff selects which — then are ranked by expected benefit and
 // confirmed with budgeted VF2 runs: per direction at most 2× the hit
 // budget of attempts and at most the budget of accepted hits.
 //
-// Detection works over an ID-ordered snapshot of the shards and runs its
-// iso tests without holding any lock: the consulted fields are immutable
-// after admission, and a concurrently evicted entry still yields sound
-// savings (its answer set remains exact over the immutable dataset). The
-// ID ordering makes the scan — and the unstable benefit sort below —
-// independent of the shard count.
+// With the feature index on (the default), candidates are fetched from
+// the lock-free published index: only entries whose containment summaries
+// are compatible with the query's reach the exact dominance merges, and
+// no shard lock, snapshot allocation or sort happens at all (see
+// hitIndex). With IndexOff, detection scans an ID-ordered snapshot of the
+// shards with the pre-index predicate — the measurable baseline.
+//
+// Either way the iso tests run without holding any lock: the consulted
+// fields are immutable after admission, and a concurrently evicted entry
+// still yields sound savings (its answer set remains exact over the
+// immutable dataset). Candidate enumeration is ID-ordered and the benefit
+// ranking breaks ties by ID, so detection is deterministic and
+// independent of the shard count. The index may prune candidates the
+// baseline would have spent (failing) VF2 attempts on, so the two modes
+// can surface different hit sets within the attempt budget — answers stay
+// exact either way, since hits only ever shrink verification work.
 func (c *Cache) detectHits(q *graph.Graph, qt ftv.QueryType, sig querySig) hitSet {
 	var hs hitSet
 	if c.cfg.MaxSubHits == 0 && c.cfg.MaxSuperHits == 0 {
 		return hs
 	}
 	var subCand, superCand []*Entry
-	for _, e := range c.entriesSnapshot() {
-		if e.Type != qt {
-			continue
-		}
-		// Sub case q ⊑ h requires q to "fit inside" h.
-		if q.N() <= e.Graph.N() && q.M() <= e.Graph.M() &&
-			sig.labelVec.DominatedBy(e.LabelVec) && sig.features.dominatedBy(e.Features) {
-			subCand = append(subCand, e)
-			continue
-		}
-		// Super case h ⊑ q requires h to fit inside q.
-		if e.Graph.N() <= q.N() && e.Graph.M() <= q.M() &&
-			e.LabelVec.DominatedBy(sig.labelVec) && e.Features.dominatedBy(sig.features) {
-			superCand = append(superCand, e)
-		}
+	if c.cfg.IndexOff {
+		subCand, superCand = c.scanSnapshot(qt, sig)
+	} else {
+		subCand, superCand = c.scanIndex(qt, sig)
 	}
 
 	// Benefit ranking. Which direction delivers answers vs pruning depends
 	// on the query type, but the proxy is the same either way: for
 	// answer-delivering hits, larger answer sets save more tests; for
-	// pruning hits, smaller answer sets exclude more candidates.
+	// pruning hits, smaller answer sets exclude more candidates. Ties are
+	// broken by entry ID: the order is then a function of the candidate
+	// SET alone, which keeps detection deterministic even when the index
+	// prunes elements out of the baseline's list.
 	answersDeliverIsSub := qt == ftv.Subgraph
-	sort.Slice(subCand, func(i, j int) bool {
-		ai, aj := subCand[i].Answers.Count(), subCand[j].Answers.Count()
-		if answersDeliverIsSub {
-			return ai > aj
-		}
-		return ai < aj
-	})
-	sort.Slice(superCand, func(i, j int) bool {
-		ai, aj := superCand[i].Answers.Count(), superCand[j].Answers.Count()
-		if answersDeliverIsSub {
-			return ai < aj
-		}
-		return ai > aj
-	})
+	rank := func(cands []*Entry, largerFirst bool) {
+		sort.Slice(cands, func(i, j int) bool {
+			ai, aj := cands[i].Answers.Count(), cands[j].Answers.Count()
+			if ai != aj {
+				if largerFirst {
+					return ai > aj
+				}
+				return ai < aj
+			}
+			return cands[i].ID < cands[j].ID
+		})
+	}
+	rank(subCand, answersDeliverIsSub)
+	rank(superCand, !answersDeliverIsSub)
 
+	hs.sub, hs.super, hs.isoTests = c.confirmHits(q, subCand, superCand)
+	return hs
+}
+
+// scanSnapshot is the IndexOff candidate collector: an ID-ordered
+// point-in-time snapshot of every shard, pre-filtered by size and by
+// label-vector and path-feature dominance — the pre-index engine, kept as
+// the measurable baseline for the indexed-vs-unindexed comparison.
+func (c *Cache) scanSnapshot(qt ftv.QueryType, sig querySig) (sub, super []*Entry) {
+	all := c.entriesSnapshot()
+	c.mon.hitScanEntries.Add(int64(len(all)))
+	for _, e := range all {
+		if e.Type != qt {
+			continue
+		}
+		// Sub case q ⊑ h requires q to "fit inside" h.
+		if int(sig.fv.Vertices) <= e.Graph.N() && int(sig.fv.Edges) <= e.Graph.M() {
+			c.mon.hitFullChecks.Add(1)
+			if sig.labelVec.DominatedBy(e.LabelVec) && sig.features.dominatedBy(e.Features) {
+				sub = append(sub, e)
+				continue
+			}
+		}
+		// Super case h ⊑ q requires h to fit inside q.
+		if e.Graph.N() <= int(sig.fv.Vertices) && e.Graph.M() <= int(sig.fv.Edges) {
+			c.mon.hitFullChecks.Add(1)
+			if e.LabelVec.DominatedBy(sig.labelVec) && e.Features.dominatedBy(sig.features) {
+				super = append(super, e)
+			}
+		}
+	}
+	return sub, super
+}
+
+// confirmHits runs the budgeted VF2 confirmations over the ranked
+// candidate lists, returning the accepted hits and the number of q↔h iso
+// tests spent.
+func (c *Cache) confirmHits(q *graph.Graph, subCand, superCand []*Entry) (sub, super []*Entry, isoTests int) {
 	opts := iso.Options{MaxRecursions: c.cfg.HitIsoBudget}
 	attempts := 0
 	for _, e := range subCand {
-		if len(hs.sub) >= c.cfg.MaxSubHits || attempts >= 2*c.cfg.MaxSubHits {
+		if len(sub) >= c.cfg.MaxSubHits || attempts >= 2*c.cfg.MaxSubHits {
 			break
 		}
 		attempts++
-		hs.isoTests++
+		isoTests++
 		if ok, _ := iso.VF2(q, e.Graph, opts); ok {
-			hs.sub = append(hs.sub, e)
+			sub = append(sub, e)
 		}
 	}
 	attempts = 0
 	for _, e := range superCand {
-		if len(hs.super) >= c.cfg.MaxSuperHits || attempts >= 2*c.cfg.MaxSuperHits {
+		if len(super) >= c.cfg.MaxSuperHits || attempts >= 2*c.cfg.MaxSuperHits {
 			break
 		}
 		attempts++
-		hs.isoTests++
+		isoTests++
 		if ok, _ := iso.VF2(e.Graph, q, opts); ok {
-			hs.super = append(hs.super, e)
+			super = append(super, e)
 		}
 	}
-	return hs
+	return sub, super, isoTests
 }

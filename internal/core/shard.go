@@ -51,17 +51,18 @@ func (sh *shard) insertLocked(e *Entry) {
 }
 
 // removeLocked evicts e from the shard, preserving the order of the
-// remaining entries. Caller holds the shard write lock. The byFP list uses
-// swap-delete, mirroring the pre-sharding kernel so fingerprint-collision
-// scan order stays identical to the serialized engine's.
+// remaining entries. Caller holds the shard write lock. The entries slice
+// is ID-sorted by invariant, so the victim is located with a binary search
+// instead of a linear scan. The byFP list uses swap-delete, mirroring the
+// pre-sharding kernel so fingerprint-collision scan order stays identical
+// to the serialized engine's.
 func (sh *shard) removeLocked(e *Entry) {
-	for i, x := range sh.entries {
-		if x == e {
-			copy(sh.entries[i:], sh.entries[i+1:])
-			sh.entries[len(sh.entries)-1] = nil
-			sh.entries = sh.entries[:len(sh.entries)-1]
-			break
-		}
+	if i := sort.Search(len(sh.entries), func(i int) bool {
+		return sh.entries[i].ID >= e.ID
+	}); i < len(sh.entries) && sh.entries[i] == e {
+		copy(sh.entries[i:], sh.entries[i+1:])
+		sh.entries[len(sh.entries)-1] = nil
+		sh.entries = sh.entries[:len(sh.entries)-1]
 	}
 	list := sh.byFP[e.Fingerprint]
 	for i, x := range list {
@@ -114,13 +115,25 @@ func (c *Cache) gatherLocked() []*Entry {
 // entries, taking each shard read lock in turn. Entries evicted after the
 // snapshot remain safe to read: their graphs and answer sets are immutable
 // and still correct with respect to the immutable dataset.
+//
+// An empty cache returns nil without allocating or sorting, and a snapshot
+// that drained from a single shard (or a single-shard cache) skips the
+// sort — each shard is already ID-sorted. Indexed hit detection bypasses
+// this entirely (it reads the published feature index); the remaining
+// callers are Entries() and the IndexOff baseline scan.
 func (c *Cache) entriesSnapshot() []*Entry {
 	var all []*Entry
+	populated := 0
 	for _, sh := range c.shards {
 		sh.mu.RLock()
-		all = append(all, sh.entries...)
+		if len(sh.entries) > 0 {
+			populated++
+			all = append(all, sh.entries...)
+		}
 		sh.mu.RUnlock()
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	if populated > 1 {
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	}
 	return all
 }

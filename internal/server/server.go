@@ -114,10 +114,15 @@ type statsResponse struct {
 	TestsSaved        int64   `json:"testsSaved"`
 	TestSpeedup       float64 `json:"testSpeedup"`
 	HitDetectionTests int64   `json:"hitDetectionTests"`
+	HitScanEntries    int64   `json:"hitScanEntries"`
+	HitFullChecks     int64   `json:"hitFullChecks"`
+	HitIndexPruned    int64   `json:"hitIndexPruned"`
 	Admissions        int64   `json:"admissions"`
 	Evictions         int64   `json:"evictions"`
+	WindowTurns       int64   `json:"windowTurns"`
 	CachedEntries     int     `json:"cachedEntries"`
 	CacheBytes        int     `json:"cacheBytes"`
+	Shards            int     `json:"shards"`
 	Policy            string  `json:"policy"`
 }
 
@@ -134,10 +139,15 @@ func (s *Server) statsResponse() statsResponse {
 		TestsSaved:        snap.TestsSaved,
 		TestSpeedup:       snap.TestSpeedup(),
 		HitDetectionTests: snap.HitDetectionTests,
+		HitScanEntries:    snap.HitScanEntries,
+		HitFullChecks:     snap.HitFullChecks,
+		HitIndexPruned:    snap.HitIndexPruned,
 		Admissions:        snap.Admissions,
 		Evictions:         snap.Evictions,
+		WindowTurns:       snap.WindowTurns,
 		CachedEntries:     s.cache.Len(),
 		CacheBytes:        s.cache.Bytes(),
+		Shards:            s.cache.Shards(),
 		Policy:            s.cache.PolicyName(),
 	}
 }
