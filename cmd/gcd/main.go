@@ -7,6 +7,7 @@
 //	GET  /api/entries           cached queries and their utilities
 //	POST /api/query             execute a query: {"graph": "<gSpan text>", "type": "subgraph"}
 //	POST /api/query/batch       execute a batch: {"queries": [...], "workers": 8}
+//	                            (?stream=1 streams NDJSON outcomes as they finish)
 //	GET  /api/dataset/{id}      dataset graph as text, ?format=dot / ascii
 //
 // Requests are served concurrently: net/http spawns a goroutine per
@@ -17,7 +18,7 @@
 // Usage:
 //
 //	gcd -addr :8081 -dataset aids.txt
-//	gcd -addr :8081 -generate 1000 -policy hd -capacity 100 -shards 16
+//	gcd -addr :8081 -generate 1000 -policy hd -capacity 100 -shards 8
 package main
 
 import (
@@ -77,6 +78,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		shards     = fs.Int("shards", 0, "cache lock shards (0 = default)")
 		serialized = fs.Bool("serialized", false, "serialize all queries behind one lock (pre-sharding baseline)")
 		indexOff   = fs.Bool("index-off", false, "disable the hit-detection feature index (pre-index baseline)")
+		sharedWin  = fs.Bool("shared-window", false, "use one global admission window instead of per-shard windows (pre-decentralization baseline)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +118,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.Shards = *shards
 	cfg.Serialized = *serialized
 	cfg.IndexOff = *indexOff
+	cfg.SharedWindow = *sharedWin
 	cache, err := core.New(method, cfg)
 	if err != nil {
 		return err

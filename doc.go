@@ -35,32 +35,48 @@
 // Admitted entries are partitioned across Config.Shards lock shards keyed
 // by graph fingerprint (DefaultShards when zero), and the expensive query
 // stages — Method M filtering, hit-detection iso tests, candidate
-// verification — run without holding any lock. A small coordinator mutex
-// serializes only the genuinely global concerns: admission-window turns,
-// replacement-policy accounting and verification-cost statistics.
+// verification — run without holding any lock. No per-query code path
+// takes a global mutex: each shard owns its own admission window (staged
+// and exact-matched under that shard's lock alone), entry IDs come from
+// an atomic counter, and verification-cost statistics live in lock-free
+// CAS cells. Window turns are per-shard too — a full shard window ages,
+// evicts and admits under the policy mutex plus that one shard's write
+// lock, so queries owned by other shards never block. Capacity stays
+// global (an atomic resident account tells the turning shard how far
+// over budget the cache is; it evicts its own least-useful residents,
+// ranked against the whole cache, to pay it down). The only remaining
+// cross-shard serialization is the policy mutex guarding replacement-
+// policy state and per-entry utilities: hit crediting and window turns —
+// counter arithmetic, never iso tests.
 //
-// Sub/super hit detection consults a global feature index instead of
-// snapshotting the shards: a copy-on-write, ID-ordered array of immutable
+// Sub/super hit detection consults a feature index instead of
+// snapshotting the shards: per-shard, copy-on-write arrays of immutable
 // per-entry containment summaries (label/degree feature vectors plus a
-// path-feature bloom), published through one atomic pointer. Writers
-// republish it inside the same critical section that mutates the entries
-// (window turns, state restores) while holding the coordinator mutex and
-// every shard lock; readers take a single atomic load and never lock.
-// Entries whose summaries cannot contain (or be contained in) the query's
-// are skipped before any dominance merge or iso test — the summaries are
-// necessary conditions for containment, so answers are provably unchanged.
-// Config.IndexOff restores the snapshot-scanning engine as a baseline.
-// QueryAll drives a whole batch through a bounded worker pool:
+// path-feature bloom), each published through an atomic pointer; a
+// turning shard republishes only its own slice, and readers load the
+// slices lock-free and scan their union. Entries whose summaries cannot
+// contain (or be contained in) the query's are skipped before any
+// dominance merge or iso test — the summaries are necessary conditions
+// for containment, so answers are provably unchanged. Config.IndexOff
+// restores the snapshot-scanning engine as a baseline. QueryAll drives a
+// whole batch through a bounded worker pool, and QueryAllStream delivers
+// outcomes over a channel as workers finish — the pipeline behind the
+// server's NDJSON batch streaming:
 //
 //	outs := graphcache.QueryAll(cache, reqs, 8)
+//	for so := range graphcache.QueryAllStream(cache, reqs, 8) { ... }
 //
-// Sequential streams produce identical results and cache contents at any
-// shard count under timing-independent policies (LRU, FIFO, POP, PIN);
-// PINC and the default HD rank eviction victims by measured verification
-// cost, so their cache contents can differ between physical runs — a
-// property of those policies, not of the sharding. Concurrent submission
-// keeps every answer set exact but makes admission order
-// scheduling-dependent. Config.Serialized restores the
+// Sequential streams are deterministic at any fixed shard count, and
+// answer sets are byte-identical across engines and shard counts.
+// Config.SharedWindow restores the previous engine — one global
+// admission window whose turns stop the world — as a measurable
+// baseline; under it, cache contents are additionally identical to a
+// single-shard cache at any shard count for timing-independent policies
+// (LRU, FIFO, POP, PIN). PINC and the default HD rank eviction victims
+// by measured verification cost, so their cache contents can differ
+// between physical runs — a property of those policies, not of the
+// sharding. Concurrent submission keeps every answer set exact but makes
+// admission order scheduling-dependent. Config.Serialized restores the
 // one-query-at-a-time engine for baselines and reproducibility.
 //
 // # Extending

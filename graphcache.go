@@ -73,6 +73,12 @@ type (
 	Request = core.Request
 	// Outcome pairs one batch query's Result with its error.
 	Outcome = core.Outcome
+	// StreamOutcome is one QueryAllStream delivery: an Outcome tagged
+	// with its position in the submitted batch.
+	StreamOutcome = core.StreamOutcome
+	// ShardStat is one shard's occupancy snapshot (entries, pending
+	// window, per-shard window turns, resident bytes).
+	ShardStat = core.ShardStat
 )
 
 // DefaultShards is the lock-shard count selected when Config.Shards is 0.
@@ -169,6 +175,13 @@ func NewCache(method *Method, cfg Config) (*Cache, error) { return core.New(meth
 // contents deterministic.
 func QueryAll(c *Cache, reqs []Request, workers int) []Outcome {
 	return c.ExecuteAll(reqs, workers)
+}
+
+// QueryAllStream processes a batch like QueryAll but delivers each
+// outcome on the returned channel as soon as its query finishes, tagged
+// with the request index; the channel closes when the batch has drained.
+func QueryAllStream(c *Cache, reqs []Request, workers int) <-chan StreamOutcome {
+	return c.ExecuteAllStream(reqs, workers)
 }
 
 // Bundled replacement policies.

@@ -38,6 +38,7 @@ func RunHeadline(seed int64, datasetSize, queries int) (*HeadlineResult, error) 
 	base := RunBasePass(method, w.Queries)
 
 	cfg := core.DefaultConfig()
+	cfg.Shards = 1 // sequential reproduction: independent of sharding and window engine
 	cfg.Capacity = 100
 	cfg.Window = 10
 	c, err := core.New(method, cfg)

@@ -52,6 +52,7 @@ func RunIndexComparison(seed int64, datasetSize, queries int) (*IndexComparison,
 			return core.Snapshot{}, nil, 0, err
 		}
 		cfg := core.DefaultConfig()
+		cfg.Shards = 1 // sequential reproduction: independent of sharding and window engine
 		cfg.Policy = p
 		cfg.IndexOff = indexOff
 		c, err := core.New(method, cfg)

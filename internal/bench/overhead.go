@@ -102,6 +102,7 @@ func RunGCOverhead(seed int64, datasetSize, queries, cacheCap int) (*GCOverheadR
 	base := RunBasePass(method, w.Queries)
 
 	cfg := core.DefaultConfig()
+	cfg.Shards = 1 // sequential reproduction: independent of sharding and window engine
 	cfg.Capacity = cacheCap
 	cfg.Window = 10
 	c, err := core.New(method, cfg)

@@ -19,23 +19,46 @@ type ThroughputPoint struct {
 	QPS     float64
 }
 
-// ThroughputComparison reports the sharded engine against the serialized
-// baseline over the identical mixed workload at each worker count.
+// ThroughputComparison reports the three engines over the identical mixed
+// workload at each worker count: the serialized single-lock baseline, the
+// lock-striped kernel with the SHARED admission window (every miss
+// funnels into one coordinator-guarded buffer — the PR-2 engine), and the
+// default per-shard-window kernel, where no per-query code path takes a
+// global mutex.
 type ThroughputComparison struct {
 	WorkerCounts []int
 	// Serialized drives a Config{Shards: 1, Serialized: true} cache — the
 	// pre-sharding engine that takes one global lock per query.
 	Serialized []ThroughputPoint
-	// Sharded drives the lock-striped engine at the default shard count.
-	Sharded []ThroughputPoint
+	// SharedWindow drives the lock-striped engine with
+	// Config.SharedWindow: sharded queries, but one global admission
+	// window whose turns stop the world.
+	SharedWindow []ThroughputPoint
+	// PerShard drives the default engine: per-shard admission windows and
+	// per-shard window turns.
+	PerShard []ThroughputPoint
 }
 
-// SpeedupAt returns sharded QPS over serialized QPS at the given worker
-// count (>1 means the sharded engine wins); 0 if the count was not run.
+// SpeedupAt returns per-shard-window QPS over serialized QPS at the given
+// worker count (>1 means the decentralized engine wins); 0 if the count
+// was not run.
 func (t *ThroughputComparison) SpeedupAt(workers int) float64 {
 	for i, w := range t.WorkerCounts {
 		if w == workers && t.Serialized[i].QPS > 0 {
-			return t.Sharded[i].QPS / t.Serialized[i].QPS
+			return t.PerShard[i].QPS / t.Serialized[i].QPS
+		}
+	}
+	return 0
+}
+
+// WindowSpeedupAt returns per-shard-window QPS over shared-window QPS at
+// the given worker count — the admission-decentralization payoff in
+// isolation (both engines shard the entries; only the window differs); 0
+// if the count was not run.
+func (t *ThroughputComparison) WindowSpeedupAt(workers int) float64 {
+	for i, w := range t.WorkerCounts {
+		if w == workers && t.SharedWindow[i].QPS > 0 {
+			return t.PerShard[i].QPS / t.SharedWindow[i].QPS
 		}
 	}
 	return 0
@@ -45,13 +68,19 @@ func (t *ThroughputComparison) SpeedupAt(workers int) float64 {
 // reports: the sequential floor, a small pool, and the target scale.
 func DefaultThroughputWorkers() []int { return []int{1, 4, 8} }
 
-// ParallelThroughput measures end-to-end queries/sec of the sharded engine
-// against the serialized baseline. One dataset, one GGSX index and one
-// mixed subgraph/supergraph workload are generated up front and shared by
-// every run (the filter index is immutable and concurrency-safe); each
-// (engine, workers) cell gets a fresh cache so no run warms another. The
-// workload is submitted through Cache.ExecuteAll with the cell's worker
-// count.
+// throughputRounds is how many times each (engine, workers) cell is
+// measured; the best round is reported. The engines differ by a few
+// percent while container scheduling jitters by more, so single-shot
+// numbers flip orderings run to run — the per-engine best is stable.
+const throughputRounds = 5
+
+// ParallelThroughput measures end-to-end queries/sec of the per-shard-
+// window engine against the shared-window and serialized baselines. One
+// dataset, one GGSX index and one mixed subgraph/supergraph workload are
+// generated up front and shared by every run (the filter index is
+// immutable and concurrency-safe); each (engine, workers) cell gets a
+// fresh cache so no run warms another. The workload is submitted through
+// Cache.ExecuteAll with the cell's worker count.
 func ParallelThroughput(seed int64, datasetSize, queries int, workerCounts []int) (*ThroughputComparison, error) {
 	if len(workerCounts) == 0 {
 		workerCounts = DefaultThroughputWorkers()
@@ -71,7 +100,7 @@ func ParallelThroughput(seed int64, datasetSize, queries int, workerCounts []int
 	}
 
 	cmp := &ThroughputComparison{WorkerCounts: workerCounts}
-	run := func(cfg core.Config, workers int) (ThroughputPoint, error) {
+	runOnce := func(cfg core.Config, workers int) (ThroughputPoint, error) {
 		c, err := core.New(method, cfg)
 		if err != nil {
 			return ThroughputPoint{}, err
@@ -92,22 +121,42 @@ func ParallelThroughput(seed int64, datasetSize, queries int, workerCounts []int
 		}, nil
 	}
 
-	for _, workers := range workerCounts {
-		serialCfg := core.DefaultConfig()
-		serialCfg.Shards = 1
-		serialCfg.Serialized = true
-		p, err := run(serialCfg, workers)
-		if err != nil {
-			return nil, err
-		}
-		cmp.Serialized = append(cmp.Serialized, p)
+	serialCfg := core.DefaultConfig()
+	serialCfg.Shards = 1
+	serialCfg.Serialized = true
+	sharedCfg := core.DefaultConfig()
+	sharedCfg.SharedWindow = true
+	perShardCfg := core.DefaultConfig()
 
-		shardCfg := core.DefaultConfig()
-		p, err = run(shardCfg, workers)
-		if err != nil {
-			return nil, err
+	for _, workers := range workerCounts {
+		// The three engines are measured in interleaved, rotating rounds
+		// — a fresh cache per run so no run warms another — and each cell
+		// reports its best round, after one unmeasured warmup pass per
+		// engine. Background load drifts on timescales longer than one
+		// round and the first pass pays one-time costs (page faults, heap
+		// growth), so rotation plus warmup exposes every engine to the
+		// same conditions instead of letting the measurement order decide
+		// comparisons that are within a few percent.
+		var serial, shared, perShard ThroughputPoint
+		cells := []struct {
+			cfg  core.Config
+			best *ThroughputPoint
+		}{{serialCfg, &serial}, {sharedCfg, &shared}, {perShardCfg, &perShard}}
+		for r := -1; r < throughputRounds; r++ {
+			for i := range cells {
+				cell := cells[(i+r+len(cells))%len(cells)]
+				p, err := runOnce(cell.cfg, workers)
+				if err != nil {
+					return nil, err
+				}
+				if r >= 0 && p.QPS > cell.best.QPS {
+					*cell.best = p
+				}
+			}
 		}
-		cmp.Sharded = append(cmp.Sharded, p)
+		cmp.Serialized = append(cmp.Serialized, serial)
+		cmp.SharedWindow = append(cmp.SharedWindow, shared)
+		cmp.PerShard = append(cmp.PerShard, perShard)
 	}
 	return cmp, nil
 }

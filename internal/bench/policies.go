@@ -92,6 +92,7 @@ func RunPolicyCompetition(seed int64, queries int, policies []string) ([]PolicyC
 				return nil, err
 			}
 			cfg := core.DefaultConfig()
+			cfg.Shards = 1 // sequential reproduction: independent of sharding and window engine
 			cfg.Capacity = 50
 			cfg.Window = 10
 			cfg.Policy = policy

@@ -44,6 +44,7 @@ func RunCapacitySweep(seed int64, queries int, capacities []int) ([]SweepPoint, 
 	var out []SweepPoint
 	for _, cap := range capacities {
 		cfg := core.DefaultConfig()
+		cfg.Shards = 1 // sequential reproduction: independent of sharding and window engine
 		cfg.Capacity = cap
 		cfg.Window = 10
 		c, err := core.New(method, cfg)
@@ -80,6 +81,7 @@ func RunWindowSweep(seed int64, queries int, windows []int) ([]SweepPoint, error
 	var out []SweepPoint
 	for _, wsize := range windows {
 		cfg := core.DefaultConfig()
+		cfg.Shards = 1 // sequential reproduction: independent of sharding and window engine
 		cfg.Capacity = 50
 		cfg.Window = wsize
 		c, err := core.New(method, cfg)
@@ -115,6 +117,7 @@ func RunHitBudgetSweep(seed int64, queries int, budgets []int) ([]SweepPoint, er
 	var out []SweepPoint
 	for _, b := range budgets {
 		cfg := core.DefaultConfig()
+		cfg.Shards = 1 // sequential reproduction: independent of sharding and window engine
 		cfg.Capacity = 50
 		cfg.Window = 10
 		cfg.MaxSubHits = b

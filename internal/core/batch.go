@@ -22,22 +22,39 @@ type Outcome struct {
 	Err    error
 }
 
-// ExecuteAll processes a batch of queries through the cache with a pool of
-// workers goroutines, returning outcomes positionally (outcome i belongs
-// to reqs[i]). workers < 2 executes the batch sequentially on the calling
-// goroutine — useful when reproducibility of cache contents matters more
-// than throughput, since concurrent submission makes admission order
+// StreamOutcome is one streamed batch outcome: the position of the query
+// in the submitted slice plus its Outcome fields.
+type StreamOutcome struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// ExecuteAllStream processes a batch of queries through the cache with a
+// pool of workers goroutines, delivering each outcome on the returned
+// channel as soon as its query finishes — the streaming pipeline behind
+// POST /api/query/batch?stream=1. Outcomes arrive in completion order,
+// tagged with the request index; the channel is closed once the whole
+// batch has drained. The channel is buffered to the batch size, so an
+// abandoned consumer never wedges the workers. workers < 2 executes the
+// batch sequentially (on one goroutine, still streaming) in submission
+// order — useful when reproducibility of cache contents matters more than
+// throughput, since concurrent submission makes admission order
 // scheduling-dependent. Individual answer sets are exact either way.
-func (c *Cache) ExecuteAll(reqs []Request, workers int) []Outcome {
-	out := make([]Outcome, len(reqs))
+func (c *Cache) ExecuteAllStream(reqs []Request, workers int) <-chan StreamOutcome {
+	out := make(chan StreamOutcome, len(reqs))
 	if len(reqs) == 0 {
+		close(out)
 		return out
 	}
 	if workers < 2 || len(reqs) == 1 {
-		for i, r := range reqs {
-			res, err := c.Execute(r.Graph, r.Type)
-			out[i] = Outcome{Result: res, Err: err}
-		}
+		go func() {
+			defer close(out)
+			for i, r := range reqs {
+				res, err := c.Execute(r.Graph, r.Type)
+				out <- StreamOutcome{Index: i, Result: res, Err: err}
+			}
+		}()
 		return out
 	}
 	if workers > len(reqs) {
@@ -51,14 +68,31 @@ func (c *Cache) ExecuteAll(reqs []Request, workers int) []Outcome {
 			defer wg.Done()
 			for i := range jobs {
 				res, err := c.Execute(reqs[i].Graph, reqs[i].Type)
-				out[i] = Outcome{Result: res, Err: err}
+				out <- StreamOutcome{Index: i, Result: res, Err: err}
 			}
 		}()
 	}
-	for i := range reqs {
-		jobs <- i
+	go func() {
+		for i := range reqs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// ExecuteAll processes a batch of queries through the cache with a pool of
+// workers goroutines, returning outcomes positionally (outcome i belongs
+// to reqs[i]) once the whole batch has drained. It is the collecting
+// wrapper over ExecuteAllStream; use the stream directly to pipeline
+// results as they finish. workers < 2 executes the batch sequentially in
+// submission order.
+func (c *Cache) ExecuteAll(reqs []Request, workers int) []Outcome {
+	out := make([]Outcome, len(reqs))
+	for so := range c.ExecuteAllStream(reqs, workers) {
+		out[so.Index] = Outcome{Result: so.Result, Err: so.Err}
 	}
-	close(jobs)
-	wg.Wait()
 	return out
 }

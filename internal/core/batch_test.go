@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// streamReqs builds a small mixed request batch over the dataset.
+func streamReqs(t *testing.T, dataset []*gen.Query) []Request {
+	t.Helper()
+	reqs := make([]Request, len(dataset))
+	for i, q := range dataset {
+		reqs[i] = Request{Graph: q.G, Type: q.Type}
+	}
+	return reqs
+}
+
+// Every request must be delivered exactly once, tagged with its index,
+// and the channel must close when the batch drains — under a worker pool.
+func TestExecuteAllStreamDeliversAll(t *testing.T) {
+	dataset := testDataset(101, 25)
+	c := testCache(t, dataset, func(cfg *Config) {
+		cfg.Capacity = 10
+		cfg.Window = 4
+		cfg.SelfCheck = false
+	})
+	w, err := gen.NewWorkload(rand.New(rand.NewSource(102)), dataset, gen.WorkloadConfig{
+		Size: 40, Mixed: true, PoolSize: 15,
+		ZipfS: 1.2, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*gen.Query, len(w.Queries))
+	for i := range w.Queries {
+		queries[i] = &w.Queries[i]
+	}
+	reqs := streamReqs(t, queries)
+
+	seen := make([]bool, len(reqs))
+	n := 0
+	for so := range c.ExecuteAllStream(reqs, 4) {
+		if so.Index < 0 || so.Index >= len(reqs) {
+			t.Fatalf("outcome index %d out of range", so.Index)
+		}
+		if seen[so.Index] {
+			t.Fatalf("index %d delivered twice", so.Index)
+		}
+		seen[so.Index] = true
+		n++
+		if so.Err != nil {
+			t.Fatalf("query %d: %v", so.Index, so.Err)
+		}
+		base := c.Method().Run(reqs[so.Index].Graph, reqs[so.Index].Type)
+		if !base.Answers.Equal(so.Result.Answers) {
+			t.Fatalf("query %d: streamed answers diverge from base", so.Index)
+		}
+	}
+	if n != len(reqs) {
+		t.Fatalf("delivered %d outcomes, want %d", n, len(reqs))
+	}
+}
+
+// workers < 2 must stream sequentially in submission order, with errors
+// delivered positionally and the rest of the batch unharmed.
+func TestExecuteAllStreamSequentialOrder(t *testing.T) {
+	dataset := testDataset(103, 12)
+	c := testCache(t, dataset, nil)
+	reqs := []Request{
+		{Graph: dataset[0], Type: ftv.Subgraph},
+		{Graph: nil, Type: ftv.Subgraph}, // must fail positionally
+		{Graph: dataset[1], Type: ftv.Supergraph},
+	}
+	want := 0
+	for so := range c.ExecuteAllStream(reqs, 1) {
+		if so.Index != want {
+			t.Fatalf("sequential stream delivered index %d, want %d", so.Index, want)
+		}
+		want++
+		if so.Index == 1 {
+			if so.Err == nil {
+				t.Error("nil graph should error")
+			}
+		} else if so.Err != nil {
+			t.Errorf("query %d: %v", so.Index, so.Err)
+		}
+	}
+	if want != 3 {
+		t.Fatalf("delivered %d outcomes, want 3", want)
+	}
+}
+
+// An empty batch closes immediately.
+func TestExecuteAllStreamEmpty(t *testing.T) {
+	dataset := testDataset(104, 8)
+	c := testCache(t, dataset, nil)
+	if _, ok := <-c.ExecuteAllStream(nil, 4); ok {
+		t.Fatal("empty batch delivered an outcome")
+	}
+}
+
+// An abandoned consumer must not wedge the workers: the channel is
+// buffered to the batch size, so the batch drains (and its queries count)
+// even when nobody reads.
+func TestExecuteAllStreamAbandonedConsumer(t *testing.T) {
+	dataset := testDataset(105, 10)
+	c := testCache(t, dataset, nil)
+	reqs := []Request{
+		{Graph: dataset[0], Type: ftv.Subgraph},
+		{Graph: dataset[1], Type: ftv.Subgraph},
+		{Graph: dataset[2], Type: ftv.Subgraph},
+	}
+	ch := c.ExecuteAllStream(reqs, 2)
+	// Read exactly one outcome, then walk away.
+	<-ch
+	// ExecuteAll on the same cache proves the kernel is not wedged.
+	outs := c.ExecuteAll(reqs, 2)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("follow-up batch query %d: %v", i, o.Err)
+		}
+	}
+}

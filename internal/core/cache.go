@@ -11,7 +11,6 @@ import (
 	"graphcache/internal/bitset"
 	"graphcache/internal/ftv"
 	"graphcache/internal/graph"
-	"graphcache/internal/stats"
 )
 
 // Cache is the GraphCache kernel deployed over a Method M, safe for
@@ -24,42 +23,63 @@ import (
 // expensive stages of a query — Method M filtering, hit-detection iso
 // tests and candidate verification — run without holding any lock at all:
 // they operate on the immutable dataset, on immutable entry fields (Graph,
-// Answers, signatures) and on point-in-time shard snapshots. What remains
-// serialized sits behind coordMu, a single coordinator mutex guarding the
-// genuinely cross-shard state: the admission window, ID assignment, the
-// replacement policy (and the mutable per-entry utility fields it
-// updates), and the verification-cost EMAs. These critical sections are
-// short — counter arithmetic, never iso tests or dataset scans — except
-// for window turns, which additionally take every shard write lock to age,
-// evict and admit atomically. The lock hierarchy is coordMu → shard locks;
-// the reverse nesting never occurs. Operational counters (Monitor) are
-// atomics and bypass locks entirely.
+// Answers, signatures) and on the lock-free published feature index.
 //
-// Sub/super hit detection consults the global feature index (hitIndex): a
-// copy-on-write, ID-ordered summary array republished atomically at the
-// end of every window turn and state restore — inside the same
-// coordMu+all-shards critical section that mutates the entries — and read
-// with a single atomic load, so the hot path takes no shard lock at all.
-// Config.IndexOff restores the shard-snapshot scan as the measurable
-// baseline.
+// There is no global coordinator mutex on the per-query path. Each shard
+// owns its own admission window: admit stages the entry in the owning
+// shard under that shard's lock, and findExact consults only the owning
+// shard's admitted entries and pending window. Entry IDs come from an
+// atomic counter (claimed under the owning shard's lock, so each shard's
+// ID order stays monotonic), and the verification-cost EMAs are lock-free
+// CAS cells. The two cross-shard serialization points that remain are
+// policyMu — the replacement policy and the per-entry utility fields it
+// mutates are one shared structure, so hit crediting (counter arithmetic,
+// only on queries that actually hit) and window turns take it — and the
+// Serialized escape hatch.
 //
-// Entries are kept globally ordered by ID (admission order) when gathered
-// across shards, so policy decisions — and therefore cache contents — are
-// identical to a single-shard cache when queries are issued sequentially,
-// regardless of the shard count (property-tested in equivalence_test.go).
-// That guarantee is exact for timing-independent policies (LRU, FIFO,
-// POP, PIN); PINC and the default HD additionally rank victims by
-// measured verification nanoseconds, so their eviction choices can vary
-// between physical runs — any two runs, independent of sharding. Under
-// concurrent submission the admission order (and hence eviction choices)
-// depends on goroutine scheduling, but every individual answer set
-// remains exact.
+// Window turns are per-shard: a full shard window turns under policyMu
+// plus that single shard's write lock, aging and evicting only the
+// turning shard's residents (capacity itself stays global, tracked in an
+// atomic resident account), then republishing only that shard's
+// copy-on-write slice of the feature index — hit detection reads the
+// union of the per-shard slices, so no other shard blocks or rebuilds
+// (see index.go for the publication rules). The lock hierarchy is
+// windowMu → policyMu → shard locks; reverse nestings never occur.
+// Operational counters (Monitor) are atomics and bypass locks entirely.
+//
+// Config.SharedWindow restores the previous admission engine as the
+// measurable baseline (like Serialized and IndexOff): one global window
+// guarded by windowMu, turned under policyMu plus every shard write lock
+// with global capacity accounting.
+//
+// # Determinism
+//
+// A graph's fingerprint pins it to one shard, so for a sequential query
+// stream the per-shard admission order — and hence every answer set — is
+// deterministic at any fixed shard count. Per-shard and shared-window
+// engines stage and turn at different moments, so they may classify
+// sub/super hits differently and age different cache contents, but both
+// always return byte-identical, exact answer sets
+// (equivalence_test.go). With SharedWindow set, entries gathered across
+// shards are globally ID-ordered, so cache contents are additionally
+// identical to a single-shard cache at any shard count; at Shards: 1 the
+// two window engines coincide exactly. Those guarantees are exact for
+// timing-independent policies (LRU, FIFO, POP, PIN); PINC and the default
+// HD rank victims by measured verification nanoseconds, so their eviction
+// choices can vary between physical runs — any two runs, independent of
+// sharding. Under concurrent submission admission order (and hence
+// eviction choices) depends on goroutine scheduling, but every individual
+// answer set remains exact.
 type Cache struct {
 	method *ftv.Method
 	cfg    Config
 	policy Policy
 
 	shards []*shard
+	// shardWindow is the per-shard admission-window size:
+	// ceil(Window/Shards), at least 1, so the total pending admissions
+	// stay close to the configured W regardless of the shard count.
+	shardWindow int
 
 	// serialMu is taken for the whole of Execute when cfg.Serialized is
 	// set — the pre-sharding engine's behavior, kept as the measurable
@@ -67,37 +87,53 @@ type Cache struct {
 	// configuration for equivalence tests.
 	serialMu sync.Mutex
 
-	// coordMu guards window, nextID, the policy and the per-entry utility
-	// fields it mutates, and the cost EMAs.
-	coordMu sync.Mutex
-	window  []*Entry
-	nextID  int
+	// windowMu guards the shared admission window — only used with
+	// Config.SharedWindow; the per-shard engine stages in shard.window
+	// under the shard lock instead.
+	windowMu sync.Mutex
+	window   []*Entry
+
+	// policyMu guards the replacement policy and the mutable per-entry
+	// utility fields it reads and writes (Hits, LastUsed, SavedTests,
+	// SavedCostNs): hit crediting, utility aging, and eviction accounting.
+	// Never held across iso tests or dataset scans. Hierarchy: windowMu →
+	// policyMu → shard locks.
+	policyMu sync.Mutex
+
+	// nextID assigns entry IDs. Claimed under the owning shard's lock
+	// (per-shard windows) or windowMu (shared window), so each window's
+	// staging order is ascending in ID.
+	nextID atomic.Int64
 
 	// tick is the global query sequence number (atomic: assigned at query
 	// start, before any lock).
 	tick atomic.Int64
 
-	// costEMA tracks per-dataset-graph verification cost (ns); globalCost
-	// backs graphs never verified. Both feed PINC's saved-cost estimates.
-	// The EMA structs are mutated only in recordCosts under coordMu;
-	// costVal/globalVal mirror their current values as float bits so the
-	// hit-credit paths read estimates lock-free (0 bits = no estimate yet).
-	costEMA    []*stats.EMA
-	globalCost *stats.EMA
-	costVal    []atomic.Uint64
-	globalVal  atomic.Uint64
+	// costVal and globalVal are lock-free EMA cells tracking per-dataset-
+	// graph (and overall) verification cost in float64 ns, stored as bits
+	// (0 bits = no estimate yet). Updates are CAS loops; reads are single
+	// atomic loads, so neither hit crediting nor cost recording takes any
+	// lock.
+	costVal   []atomic.Uint64
+	globalVal atomic.Uint64
 
-	// idx is the global cache-entry feature index consulted by hit
-	// detection: a copy-on-write, ID-ordered array of containment
-	// summaries published atomically by every shard mutation (see
-	// hitIndex for the publication rules). Unused when cfg.IndexOff.
-	idx hitIndex
+	// res tracks cache-wide resident entries/bytes atomically, letting a
+	// turning shard enforce the global capacity and memory budget without
+	// other shards' locks (see residency).
+	res residency
 
 	mon Monitor
 }
 
 // defaultCostNs seeds cost estimates before any verification ran.
 const defaultCostNs = 50_000
+
+// costAlpha and globalCostAlpha are the EMA smoothing factors for the
+// per-graph and overall verification-cost estimates.
+const (
+	costAlpha       = 0.3
+	globalCostAlpha = 0.05
+)
 
 // New builds a Cache over the method. The config is validated; a nil
 // Policy defaults to a fresh HD instance.
@@ -112,13 +148,15 @@ func New(method *ftv.Method, cfg Config) (*Cache, error) {
 		cfg.Shards = DefaultShards
 	}
 	c := &Cache{
-		method:     method,
-		cfg:        cfg,
-		policy:     cfg.Policy,
-		shards:     newShards(cfg.Shards),
-		costEMA:    make([]*stats.EMA, method.DatasetSize()),
-		globalCost: stats.NewEMA(0.05),
-		costVal:    make([]atomic.Uint64, method.DatasetSize()),
+		method:  method,
+		cfg:     cfg,
+		policy:  cfg.Policy,
+		costVal: make([]atomic.Uint64, method.DatasetSize()),
+	}
+	c.shards = newShards(cfg.Shards, &c.res)
+	c.shardWindow = (cfg.Window + cfg.Shards - 1) / cfg.Shards
+	if c.shardWindow < 1 {
+		c.shardWindow = 1
 	}
 	return c, nil
 }
@@ -142,7 +180,14 @@ func (c *Cache) PolicyName() string { return c.policy.Name() }
 // Shards returns the number of lock shards the cache was built with.
 func (c *Cache) Shards() int { return len(c.shards) }
 
-// Len returns the number of admitted entries (excluding the window).
+// newID claims the next entry ID. Callers hold the owning shard's lock
+// (per-shard windows) or windowMu (shared window), which keeps each
+// window's staging order ascending in ID.
+func (c *Cache) newID() int {
+	return int(c.nextID.Add(1) - 1)
+}
+
+// Len returns the number of admitted entries (excluding the windows).
 func (c *Cache) Len() int {
 	n := 0
 	for _, sh := range c.shards {
@@ -153,11 +198,21 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// WindowLen returns the number of entries pending admission.
+// WindowLen returns the number of entries pending admission across all
+// admission windows.
 func (c *Cache) WindowLen() int {
-	c.coordMu.Lock()
-	defer c.coordMu.Unlock()
-	return len(c.window)
+	if c.cfg.SharedWindow {
+		c.windowMu.Lock()
+		defer c.windowMu.Unlock()
+		return len(c.window)
+	}
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		n += len(sh.window)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Bytes returns the estimated resident size of admitted entries.
@@ -176,15 +231,44 @@ func (c *Cache) Stats() Snapshot {
 	return c.mon.Snapshot()
 }
 
+// ShardStat is one shard's occupancy snapshot: resident entries, pending
+// admissions in the shard's window, per-shard window turns and resident
+// bytes. Turns stays 0 in shared-window mode, where turns are global and
+// counted only by the Monitor's aggregate WindowTurns.
+type ShardStat struct {
+	Entries   int
+	WindowLen int
+	Turns     int64
+	Bytes     int
+}
+
+// ShardStats reports each shard's occupancy in shard order. Each shard is
+// read under its own read lock; the set is approximate under concurrent
+// load, exactly like the Monitor counters.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i, sh := range c.shards {
+		sh.mu.RLock()
+		out[i] = ShardStat{
+			Entries:   len(sh.entries),
+			WindowLen: len(sh.window),
+			Turns:     sh.turns.Load(),
+			Bytes:     sh.memBytes,
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // Entries returns the admitted entries in admission order as defensive
-// copies: the Entry structs are snapshots taken under the coordinator
-// lock (so the mutable utility fields are read race-free), while Graph,
-// Answers and the signature fields still alias the cache's immutable
-// originals. Intended for demonstrators and tests inspecting cache
-// contents.
+// copies: the Entry structs are snapshots taken under policyMu (so the
+// mutable utility fields are read race-free; admissions and evictions
+// also serialize on policyMu), while Graph, Answers and the signature
+// fields still alias the cache's immutable originals. Intended for
+// demonstrators and tests inspecting cache contents.
 func (c *Cache) Entries() []*Entry {
-	c.coordMu.Lock()
-	defer c.coordMu.Unlock()
+	c.policyMu.Lock()
+	defer c.policyMu.Unlock()
 	all := c.entriesSnapshot()
 	out := make([]*Entry, len(all))
 	for i, e := range all {
@@ -224,9 +308,9 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 			SavedCostNs: float64(saved) * c.estimatedMeanCost(),
 			Tick:        tick,
 		}
-		c.coordMu.Lock()
+		c.policyMu.Lock()
 		c.policy.UpdateCacheStaInfo(ev)
-		c.coordMu.Unlock()
+		c.policyMu.Unlock()
 		c.mon.exactHits.Add(1)
 		c.mon.testsSaved.Add(int64(saved))
 		c.mon.hitNs.Add(hitTime.Nanoseconds())
@@ -273,7 +357,7 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	}
 
 	// Saved-test sets and their cost estimates are computed lock-free (the
-	// cost mirror is atomic); only the policy updates run under coordMu,
+	// cost cells are atomic); only the policy updates run under policyMu,
 	// keeping the critical section to counter arithmetic per hit.
 	type hitCredit struct {
 		h     *Entry
@@ -308,11 +392,13 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		candPruned.And(h.Answers)
 	}
 	var hits []HitRef
-	c.coordMu.Lock()
-	for _, cr := range credits {
-		c.creditHit(cr.h, cr.kind, cr.saved, cr.cost, tick, &hits)
+	if len(credits) > 0 {
+		c.policyMu.Lock()
+		for _, cr := range credits {
+			c.creditHit(cr.h, cr.kind, cr.saved, cr.cost, tick, &hits)
+		}
+		c.policyMu.Unlock()
 	}
-	c.coordMu.Unlock()
 	excluded := cm.Clone()
 	excluded.AndNot(candPruned)
 
@@ -330,7 +416,7 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	}
 
 	// Stage 5: verification of the reduced candidate set (lock-free; cost
-	// samples are folded into the EMAs afterwards in one short section).
+	// samples fold into the EMA cells with CAS, no lock either).
 	tv := time.Now()
 	survivors, costs := c.verify(q, qt, cand)
 	verifyTime := time.Since(tv)
@@ -367,7 +453,7 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 }
 
 // creditHit updates policy utilities and the result's hit list. Caller
-// holds coordMu.
+// holds policyMu.
 func (c *Cache) creditHit(h *Entry, kind HitKind, savedTests int, savedCost float64, tick int64, hits *[]HitRef) {
 	ev := &HitEvent{
 		Entry:       h,
@@ -380,7 +466,7 @@ func (c *Cache) creditHit(h *Entry, kind HitKind, savedTests int, savedCost floa
 	*hits = append(*hits, HitRef{EntryID: h.ID, Kind: kind, SavedTests: savedTests})
 }
 
-// estimatedCost reads one graph's cost estimate from the lock-free mirror.
+// estimatedCost reads one graph's cost estimate from its lock-free cell.
 func (c *Cache) estimatedCost(gid int) float64 {
 	if bits := c.costVal[gid].Load(); bits != 0 {
 		return math.Float64frombits(bits)
@@ -388,13 +474,31 @@ func (c *Cache) estimatedCost(gid int) float64 {
 	return c.estimatedMeanCost()
 }
 
-// estimatedMeanCost reads the global cost estimate from the lock-free
-// mirror.
+// estimatedMeanCost reads the overall cost estimate from its lock-free
+// cell.
 func (c *Cache) estimatedMeanCost() float64 {
 	if bits := c.globalVal.Load(); bits != 0 {
 		return math.Float64frombits(bits)
 	}
 	return defaultCostNs
+}
+
+// emaAdd folds one observation into a lock-free EMA cell: the first
+// observation initializes the average directly (0 bits marks an empty
+// cell), later ones blend with factor alpha. Contended updates retry; the
+// arithmetic matches stats.EMA, so sequential streams produce the same
+// estimates the coordinator-locked engine did.
+func emaAdd(cell *atomic.Uint64, alpha, x float64) {
+	for {
+		old := cell.Load()
+		v := x
+		if old != 0 {
+			v = alpha*x + (1-alpha)*math.Float64frombits(old)
+		}
+		if cell.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
 }
 
 // costSample is one measured sub-iso verification.
@@ -405,7 +509,7 @@ type costSample struct {
 
 // verify runs the sub-iso tests over the candidate set, sequentially or
 // with a bounded worker pool. It holds no locks; measured costs are
-// returned for the caller to fold into the EMAs.
+// returned for the caller to fold into the EMA cells.
 func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) (*bitset.Set, []costSample) {
 	n := c.method.DatasetSize()
 	out := bitset.New(n)
@@ -468,49 +572,117 @@ func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) (*bit
 	return out, costs
 }
 
-// recordCosts folds measured verification costs into the EMAs.
+// recordCosts folds measured verification costs into the EMA cells —
+// entirely lock-free (CAS per sample).
 func (c *Cache) recordCosts(costs []costSample) {
-	if len(costs) == 0 {
+	for _, s := range costs {
+		ns := float64(s.dur.Nanoseconds())
+		emaAdd(&c.costVal[s.gid], costAlpha, ns)
+		emaAdd(&c.globalVal, globalCostAlpha, ns)
+	}
+}
+
+// admit stages the executed query for admission — in the owning shard's
+// window by default, or in the single shared window with
+// Config.SharedWindow — and turns the window when full (the Window
+// Manager). The default path touches only the owning shard's lock.
+func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) {
+	if c.cfg.SharedWindow {
+		c.admitShared(q, qt, answers, baseCandidates, sig, tick)
 		return
 	}
-	c.coordMu.Lock()
-	defer c.coordMu.Unlock()
-	for _, s := range costs {
-		if c.costEMA[s.gid] == nil {
-			c.costEMA[s.gid] = stats.NewEMA(0.3)
-		}
-		ns := float64(s.dur.Nanoseconds())
-		c.costEMA[s.gid].Add(ns)
-		c.globalCost.Add(ns)
-		c.costVal[s.gid].Store(math.Float64bits(c.costEMA[s.gid].Value()))
+	sh := c.shardFor(sig.fp)
+	sh.mu.Lock()
+	e := entryFromSig(c.newID(), q, qt, answers, baseCandidates, sig, tick)
+	sh.window = append(sh.window, e)
+	full := len(sh.window) >= c.shardWindow
+	sh.mu.Unlock()
+	if full {
+		c.turnShard(sh)
 	}
-	c.globalVal.Store(math.Float64bits(c.globalCost.Value()))
 }
 
-// admit stages the executed query in the admission window and turns the
-// window when full — the Window Manager.
-func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) {
-	c.coordMu.Lock()
-	defer c.coordMu.Unlock()
-	e := entryFromSig(c.nextID, q, qt, answers, baseCandidates, sig, tick)
-	c.nextID++
+// admitShared is the SharedWindow staging path: one global buffer under
+// windowMu, turned whole under every shard lock — the measurable
+// pre-decentralization baseline.
+func (c *Cache) admitShared(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) {
+	c.windowMu.Lock()
+	defer c.windowMu.Unlock()
+	e := entryFromSig(c.newID(), q, qt, answers, baseCandidates, sig, tick)
 	c.window = append(c.window, e)
 	if len(c.window) >= c.cfg.Window {
-		c.turnWindow()
+		c.turnWindowShared()
 	}
 }
 
-// turnWindow ages utilities, makes room and admits the pending window.
-// Victims are selected among the RESIDENT entries before admission — the
-// newly executed queries always get in, displacing the least-useful cached
-// graphs (Figure 2(c): "10 of which are replaced by the newly coming
-// queries"). Evicting after admission would instead throw away the
-// newcomers, whose utilities are necessarily still zero.
-//
-// Caller holds coordMu; turnWindow additionally takes every shard write
-// lock so aging, eviction and admission are one atomic transition.
-func (c *Cache) turnWindow() {
+// turnShard ages utilities, makes room and admits one shard's pending
+// window. Victims are selected among the shard's RESIDENT entries before
+// admission — the newly executed queries always get in, displacing the
+// least-useful cached graphs (Figure 2(c)); evicting after admission
+// would instead throw away the newcomers, whose utilities are necessarily
+// still zero. Capacity is enforced globally through the resident account
+// (exact here: only policyMu holders admit or evict), but victims come
+// only from the turning shard — capacity flows to the shards receiving
+// traffic, and if this shard alone cannot pay the excess down the
+// overshoot is cleared by the next turns of the shards that can. Aging,
+// eviction accounting and the policy callbacks run under policyMu; the
+// structural mutation holds only this shard's write lock, so queries
+// owned by other shards proceed untouched. The staging path releases the
+// shard lock before calling turnShard (hierarchy: policyMu → shard
+// locks), so a racing turn may drain the window first — the re-check
+// under both locks makes that benign.
+func (c *Cache) turnShard(sh *shard) {
+	c.policyMu.Lock()
+	defer c.policyMu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.window) < c.shardWindow {
+		return // another goroutine turned this shard first
+	}
 	c.mon.windowTurns.Add(1)
+	sh.turns.Add(1)
+	c.policy.OnWindowTurn()
+
+	for _, e := range sh.entries {
+		e.age(c.cfg.DecayFactor)
+	}
+	// The cross-shard ranking view is built once and reused by every
+	// eviction pass of this turn: it reflects the published summaries
+	// (stale with respect to this turn's own evictions and admissions),
+	// so victim selection re-checks residency against the live shard.
+	view := c.rankingView()
+	if excess := int(c.res.entries.Load()) + len(sh.window) - c.cfg.Capacity; excess > 0 {
+		c.evictShardLocked(sh, excess, view)
+	}
+	for _, e := range sh.window {
+		sh.insertLocked(e)
+		c.mon.admissions.Add(1)
+	}
+	sh.window = sh.window[:0]
+
+	// A window larger than the remaining capacity can still overflow.
+	if excess := int(c.res.entries.Load()) - c.cfg.Capacity; excess > 0 {
+		c.evictShardLocked(sh, excess, view)
+	}
+	for c.cfg.MemoryBudget > 0 && int(c.res.bytes.Load()) > c.cfg.MemoryBudget && len(sh.entries) > 1 {
+		c.evictShardLocked(sh, 1, view)
+	}
+
+	// Republish this shard's slice of the feature index before the shard
+	// lock drops, so queries never observe an index ahead of or behind
+	// the admitted entries. O(this shard) — the other shards' published
+	// slices remain valid as-is.
+	c.republishShardLocked(sh)
+}
+
+// turnWindowShared is the SharedWindow turn: age, evict and admit the
+// global window atomically under every shard write lock. Caller holds
+// windowMu; policyMu is taken for the policy callbacks and utility
+// mutations (hierarchy: windowMu → policyMu → shard locks).
+func (c *Cache) turnWindowShared() {
+	c.mon.windowTurns.Add(1)
+	c.policyMu.Lock()
+	defer c.policyMu.Unlock()
 	c.policy.OnWindowTurn()
 	c.lockAll()
 	defer c.unlockAll()
@@ -539,7 +711,7 @@ func (c *Cache) turnWindow() {
 
 	// Republish the feature index before the shard locks drop, so queries
 	// never observe an index ahead of or behind the admitted entries.
-	c.rebuildIndexLocked()
+	c.republishAllLocked()
 }
 
 // memBytesLocked sums shard byte accounts. Caller holds all shard locks.
@@ -551,16 +723,12 @@ func (c *Cache) memBytesLocked() int {
 	return b
 }
 
-// evictLocked removes x entries chosen by the policy from the ID-ordered
-// slice all (the canonical cross-shard view) and from their owning shards,
-// returning the surviving slice. The policy's returned positions are
-// sanitized defensively against buggy custom policies (duplicates or
-// out-of-range indices are dropped; a shortfall is filled FIFO). Caller
-// holds coordMu and all shard write locks.
-func (c *Cache) evictLocked(all []*Entry, x int) []*Entry {
-	if x <= 0 || len(all) == 0 {
-		return all
-	}
+// chooseVictims returns x distinct, in-range positions into the
+// ID-ordered slice all, as selected by the policy. The policy's returned
+// positions are sanitized defensively against buggy custom policies
+// (duplicates or out-of-range indices are dropped; a shortfall is filled
+// FIFO). Caller holds policyMu.
+func (c *Cache) chooseVictims(all []*Entry, x int) []int {
 	if x > len(all) {
 		x = len(all)
 	}
@@ -595,7 +763,117 @@ func (c *Cache) evictLocked(all []*Entry, x int) []*Entry {
 			}
 		}
 	}
+	return victims
+}
 
+// rankingView flattens the published per-shard summaries into the
+// cross-shard ranking input for eviction. Nil with IndexOff (no
+// published view). Caller holds policyMu.
+func (c *Cache) rankingView() []*Entry {
+	if c.cfg.IndexOff {
+		return nil
+	}
+	var view []*Entry
+	for _, part := range c.summariesView() {
+		for i := range part {
+			view = append(view, part[i].e)
+		}
+	}
+	return view
+}
+
+// evictShardLocked removes x policy-chosen victims from sh's residents.
+// Caller holds policyMu and sh's write lock; view is the caller's
+// rankingView (built once per turn and reused across eviction passes).
+//
+// The ranking context is global even though the victims are local: the
+// policy ranks the full admitted set off the published feature index,
+// and the x worst-ranked entries OWNED BY THIS SHARD are evicted. For
+// score policies whose utilities are per-entry (LRU, FIFO, POP, PIN,
+// PINC) this equals ranking the shard alone; for HD — whose score
+// normalizes against the min/max utilities of the slice it is shown —
+// it keeps victim choice consistent with what the shared-window engine
+// would pick among these entries. The view can be stale with respect to
+// the current turn (entries it already evicted, newcomers it admitted —
+// republish happens once at the end), so selection admits only entries
+// still resident in sh; with IndexOff (nil view) the ranking falls back
+// to the shard's own entries.
+func (c *Cache) evictShardLocked(sh *shard, x int, view []*Entry) {
+	if x <= 0 || len(sh.entries) == 0 {
+		return
+	}
+	if x > len(sh.entries) {
+		x = len(sh.entries)
+	}
+	es := make([]*Entry, 0, x)
+	if len(view) <= len(sh.entries) {
+		// No published view (IndexOff) or this shard is the whole cache:
+		// rank the shard alone.
+		victims := c.chooseVictims(sh.entries, x)
+		// Resolve positions to entries before the first removal shifts
+		// the slice underneath them.
+		for _, p := range victims {
+			es = append(es, sh.entries[p])
+		}
+	} else {
+		// Ask for progressively deeper prefixes of the global ranking
+		// until x of this shard's entries appear in it. ReplacedContent
+		// returns the k least-useful positions, so doubling k walks down
+		// the ranking; k = len(view) contains every entry, hence always
+		// enough. Start at x×shards — with fingerprint-uniform residency
+		// that prefix is expected to hold x of ours, so one ranking call
+		// usually suffices.
+		for k := x * len(c.shards); ; k *= 2 {
+			if k > len(view) {
+				k = len(view)
+			}
+			es = es[:0]
+			for _, p := range c.chooseVictims(view, k) {
+				if e := view[p]; sh.containsLocked(e) {
+					es = append(es, e)
+					if len(es) == x {
+						break
+					}
+				}
+			}
+			if len(es) == x || k == len(view) {
+				break
+			}
+		}
+		if len(es) < x {
+			// The view predates this turn's admissions, so an overflowing
+			// window can leave a shortfall: fill it ranking the shard's
+			// remainder.
+			chosen := make(map[*Entry]bool, len(es))
+			for _, e := range es {
+				chosen[e] = true
+			}
+			rest := make([]*Entry, 0, len(sh.entries))
+			for _, e := range sh.entries {
+				if !chosen[e] {
+					rest = append(rest, e)
+				}
+			}
+			for _, p := range c.chooseVictims(rest, x-len(es)) {
+				es = append(es, rest[p])
+			}
+		}
+	}
+	for _, e := range es {
+		sh.removeLocked(e)
+		c.mon.evictions.Add(1)
+	}
+}
+
+// evictLocked removes x entries chosen by the policy from the ID-ordered
+// slice all (the canonical cross-shard view) and from their owning shards,
+// returning the surviving slice. Caller holds policyMu and all shard
+// write locks (the SharedWindow turn and state restores).
+func (c *Cache) evictLocked(all []*Entry, x int) []*Entry {
+	if x <= 0 || len(all) == 0 {
+		return all
+	}
+	victims := c.chooseVictims(all, x)
 	evictSet := make(map[int]bool, len(victims))
 	for _, p := range victims {
 		evictSet[p] = true

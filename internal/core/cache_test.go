@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -305,7 +307,10 @@ func TestSuperCaseHitPrunes(t *testing.T) {
 
 func TestWindowAdmissionBoundary(t *testing.T) {
 	dataset := testDataset(15, 20)
-	c := testCache(t, dataset, func(cfg *Config) { cfg.Window = 5 })
+	// One shard: its admission window IS the configured W, so the classic
+	// boundary semantics (stage W-1, admit all at W) hold exactly. At
+	// higher shard counts the default engine splits W across the shards.
+	c := testCache(t, dataset, func(cfg *Config) { cfg.Window = 5; cfg.Shards = 1 })
 	rng := rand.New(rand.NewSource(16))
 	for i := 0; i < 4; i++ {
 		q := gen.ExtractConnectedSubgraph(rng, dataset[i], 4+i)
@@ -328,6 +333,58 @@ func TestWindowAdmissionBoundary(t *testing.T) {
 	}
 	if snap := c.Stats(); snap.WindowTurns != 1 || snap.Admissions != 5 {
 		t.Errorf("monitor: %+v", snap)
+	}
+}
+
+// The atomic residency account must track the true resident entry/byte
+// totals exactly through per-shard turns — including turns whose second
+// eviction pass or memory-budget loop runs against a stale ranking view
+// (regression: stale victims once double-decremented the account), and
+// through warm-cache state restores (regression: ReadState once cleared
+// the shards without resetting the account, double-counting forever).
+func TestResidencyAccountingStaysExact(t *testing.T) {
+	dataset := testDataset(23, 25)
+	check := func(c *Cache, at string) {
+		t.Helper()
+		if got, want := int(c.res.entries.Load()), c.Len(); got != want {
+			t.Fatalf("%s: residency account says %d entries, %d resident", at, got, want)
+		}
+		if got, want := int(c.res.bytes.Load()), c.Bytes(); got != want {
+			t.Fatalf("%s: residency account says %d bytes, %d resident", at, got, want)
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		c := testCache(t, dataset, func(cfg *Config) {
+			cfg.Capacity = 3 // tiny: every turn double-evicts
+			cfg.Window = 8
+			cfg.Shards = shards
+			cfg.SelfCheck = false
+		})
+		rng := rand.New(rand.NewSource(24))
+		for i := 0; i < 30; i++ {
+			q := gen.ExtractConnectedSubgraph(rng, dataset[i%len(dataset)], 3+i%5)
+			if _, err := c.Execute(q, ftv.Subgraph); err != nil {
+				t.Fatal(err)
+			}
+			check(c, fmt.Sprintf("shards=%d query %d", shards, i))
+		}
+		// Warm-cache restore: the account must be rebuilt, not added to.
+		var buf bytes.Buffer
+		if err := c.WriteState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ReadState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		check(c, fmt.Sprintf("shards=%d after warm restore", shards))
+		// And the account must still steer eviction correctly afterwards.
+		for i := 0; i < 10; i++ {
+			q := gen.ExtractConnectedSubgraph(rng, dataset[i%len(dataset)], 4+i%4)
+			if _, err := c.Execute(q, ftv.Subgraph); err != nil {
+				t.Fatal(err)
+			}
+			check(c, fmt.Sprintf("shards=%d post-restore query %d", shards, i))
+		}
 	}
 }
 
@@ -355,10 +412,15 @@ func TestCapacityEviction(t *testing.T) {
 
 func TestMemoryBudgetEviction(t *testing.T) {
 	dataset := testDataset(19, 20)
+	// One shard: the strict budget bound then holds after every turn.
+	// With more shards the budget is still global, but a turning shard
+	// evicts only its own residents (keeping at least one), so the bound
+	// is enforced only as the busy shards turn.
 	c := testCache(t, dataset, func(cfg *Config) {
 		cfg.Capacity = 100
 		cfg.Window = 2
 		cfg.MemoryBudget = 4096
+		cfg.Shards = 1
 	})
 	rng := rand.New(rand.NewSource(20))
 	for i := 0; i < 16; i++ {
@@ -553,10 +615,15 @@ func TestDifferentPoliciesEvictDifferently(t *testing.T) {
 	// compare the surviving entry sets; at least one pair must differ.
 	dataset := testDataset(35, 30)
 	run := func(p Policy) map[graph.Fingerprint]bool {
+		// One shard: the policy then ranks the full resident set at each
+		// turn — the canonical Figure 2(c) comparison. With more shards
+		// victims are ranked within the turning shard only, which blurs
+		// the inter-policy differences this test asserts.
 		c := testCache(t, dataset, func(cfg *Config) {
 			cfg.Capacity = 8
 			cfg.Window = 4
 			cfg.Policy = p
+			cfg.Shards = 1
 		})
 		rng := rand.New(rand.NewSource(36)) // same workload for all policies
 		w, err := gen.NewWorkload(rng, dataset, gen.WorkloadConfig{

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"graphcache/internal/ftv"
 	"graphcache/internal/gen"
@@ -117,8 +118,144 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	if snap.Queries != int64(len(w.Queries)) {
 		t.Errorf("monitor queries = %d, want %d", snap.Queries, len(w.Queries))
 	}
-	if got := c.Len(); got > 12 {
-		t.Errorf("capacity exceeded: %d entries resident", got)
+	// Capacity plus the transient per-shard overshoot bound (a turning
+	// shard evicts only its own residents; see Config.Capacity).
+	if bound := 12 + c.Shards()*c.shardWindow; c.Len() >= bound {
+		t.Errorf("capacity bound exceeded: %d entries resident, bound %d", c.Len(), bound)
+	}
+}
+
+// TestConcurrentPerShardTurns is the decentralized Window Manager's race
+// gauntlet: single-entry shard windows make EVERY miss a window turn, so
+// with many goroutines spraying distinct queries across 8 shards, turns
+// on different shards constantly overlap with each other (they serialize
+// only on policyMu, never on each other's shard locks) and with queries
+// reading the per-shard index slices mid-republish. Run under -race this
+// exercises every lock transition of the per-shard engine; answers must
+// stay exact throughout, and the turns must actually have been spread
+// across shards.
+func TestConcurrentPerShardTurns(t *testing.T) {
+	dataset := testDataset(61, 30)
+	c := testCache(t, dataset, func(cfg *Config) {
+		cfg.Capacity = 10 // tiny: every turn also evicts
+		cfg.Window = 8    // ceil(8/8) = 1: a turn per admitted miss
+		cfg.Shards = 8
+		cfg.SelfCheck = false // checked explicitly below, off the hot path
+	})
+	if c.shardWindow != 1 {
+		t.Fatalf("shardWindow = %d, want 1", c.shardWindow)
+	}
+
+	w, err := gen.NewWorkload(rand.New(rand.NewSource(62)), dataset, gen.WorkloadConfig{
+		Size: 500, Mixed: true, PoolSize: 120, // wide pool: misses dominate
+		ZipfS: 1.1, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 12
+	type outcome struct {
+		q   gen.Query
+		res *Result
+	}
+	outcomes := make(chan outcome, len(w.Queries))
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(w.Queries); i += workers {
+				q := w.Queries[i]
+				res, err := c.Execute(q.G, q.Type)
+				if err != nil {
+					t.Errorf("worker %d query %d: %v", g, i, err)
+					return
+				}
+				outcomes <- outcome{q, res}
+				if i%7 == 0 {
+					c.ShardStats() // read per-shard occupancy mid-churn
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(outcomes)
+
+	for o := range outcomes {
+		base := c.Method().Run(o.q.G, o.q.Type)
+		if !base.Answers.Equal(o.res.Answers) {
+			t.Fatalf("concurrent answer diverges from base for %s query %v", o.q.Type, o.q.G)
+		}
+	}
+	turned := 0
+	var total int64
+	for _, st := range c.ShardStats() {
+		if st.Turns > 0 {
+			turned++
+		}
+		total += st.Turns
+	}
+	if turned < 2 {
+		t.Fatalf("only %d shard(s) ever turned: per-shard turns not exercised", turned)
+	}
+	if got := c.Stats().WindowTurns; got != total {
+		t.Errorf("aggregate WindowTurns %d != sum of per-shard turns %d", got, total)
+	}
+	// Capacity plus the transient per-shard overshoot bound (a turning
+	// shard evicts only its own residents; see Config.Capacity).
+	if bound := 10 + c.Shards()*c.shardWindow; c.Len() >= bound {
+		t.Errorf("capacity bound exceeded after drain: %d entries resident, bound %d", c.Len(), bound)
+	}
+}
+
+// TestQueriesProceedUnderHeldPolicyMu pins the tentpole property of the
+// per-shard admission engine: neither findExact nor admit takes any
+// global mutex. The test grabs policyMu — the only cross-shard lock left
+// on the query path — and proves fresh misses still flow end to end
+// (stage 1 exact scan, filtering, hit detection over the published index,
+// verification, admission into the shard window). Only hit crediting and
+// window turns need policyMu, so the queries are distinct (no hits) and
+// the windows stay under their turn threshold.
+func TestQueriesProceedUnderHeldPolicyMu(t *testing.T) {
+	dataset := testDataset(63, 20)
+	c := testCache(t, dataset, func(cfg *Config) {
+		cfg.Window = 64 // far above the 8 queries below: no turn needed
+		cfg.Shards = 4
+		cfg.SelfCheck = false
+	})
+
+	c.policyMu.Lock()
+	defer c.policyMu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(64))
+		for i := 0; i < 8; i++ {
+			q := gen.ExtractConnectedSubgraph(rng, dataset[i], 3+i%4)
+			if _, err := c.Execute(q, ftv.Subgraph); err != nil {
+				done <- err
+				return
+			}
+		}
+		// Reads that must not need policyMu either.
+		c.Len()
+		c.Bytes()
+		c.WindowLen()
+		c.Stats()
+		c.ShardStats()
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("queries blocked while policyMu was held: a per-query path acquires the global mutex")
+	}
+	if got := c.WindowLen(); got != 8 {
+		t.Errorf("staged %d entries, want 8", got)
 	}
 }
 

@@ -21,8 +21,10 @@ func driveQueries(t *testing.T, c *Cache, seed int64, n int) {
 	}
 }
 
-// The published index must mirror the admitted entries exactly after every
-// sequential query — same IDs in the same (ascending) order.
+// The published index — the union of the per-shard summary slices — must
+// mirror the admitted entries exactly after every sequential query: the
+// same entry set, each shard's slice ID-ordered, each summary agreeing
+// with its entry.
 func TestIndexMirrorsAdmittedEntries(t *testing.T) {
 	dataset := testDataset(91, 20)
 	cfg := DefaultConfig()
@@ -31,20 +33,29 @@ func TestIndexMirrorsAdmittedEntries(t *testing.T) {
 	c := MustNew(ftv.NewGGSXMethod(dataset, 3), cfg)
 
 	check := func() {
-		idx := c.idx.load()
-		entries := c.Entries()
-		if len(idx) != len(entries) {
-			t.Fatalf("index has %d entries, cache %d", len(idx), len(entries))
+		byID := map[int]indexEntry{}
+		for _, part := range c.summariesView() {
+			for i, ie := range part {
+				if i > 0 && ie.e.ID <= part[i-1].e.ID {
+					t.Fatalf("shard summary slice not ID-ordered at %d", i)
+				}
+				if _, dup := byID[ie.e.ID]; dup {
+					t.Fatalf("entry %d published by two shards", ie.e.ID)
+				}
+				byID[ie.e.ID] = ie
+			}
 		}
-		for i := range idx {
-			if idx[i].e.ID != entries[i].ID {
-				t.Fatalf("index[%d] = entry %d, cache holds %d", i, idx[i].e.ID, entries[i].ID)
+		entries := c.Entries()
+		if len(byID) != len(entries) {
+			t.Fatalf("index has %d entries, cache %d", len(byID), len(entries))
+		}
+		for _, e := range entries {
+			ie, ok := byID[e.ID]
+			if !ok {
+				t.Fatalf("admitted entry %d missing from the index", e.ID)
 			}
-			if i > 0 && idx[i].e.ID <= idx[i-1].e.ID {
-				t.Fatalf("index not ID-ordered at %d", i)
-			}
-			if idx[i].fv != entries[i].FV || idx[i].featBits != entries[i].FeatureBits {
-				t.Fatalf("index[%d] summary diverges from entry", i)
+			if ie.fv != e.FV || ie.featBits != e.FeatureBits {
+				t.Fatalf("entry %d: index summary diverges from entry", e.ID)
 			}
 		}
 	}
@@ -92,8 +103,8 @@ func TestIndexOffBaseline(t *testing.T) {
 	cfg.IndexOff = true
 	c := MustNew(ftv.NewGGSXMethod(dataset, 3), cfg)
 	driveQueries(t, c, 96, 10)
-	if got := c.idx.load(); got != nil {
-		t.Errorf("IndexOff cache published an index of %d entries", len(got))
+	if got := c.summariesView(); len(got) != 0 {
+		t.Errorf("IndexOff cache published %d shard summary slices", len(got))
 	}
 	snap := c.Stats()
 	if snap.HitIndexPruned != 0 {

@@ -39,13 +39,13 @@ import (
 
 const stateVersion = 2
 
-// WriteState serializes the cache's admitted entries to w. It takes the
-// coordinator lock (the utility fields it records are mutated under it)
-// plus every shard lock, so the written state is one consistent snapshot
-// even under concurrent queries.
+// WriteState serializes the cache's admitted entries to w. It takes
+// policyMu (the utility fields it records are mutated under it) plus
+// every shard lock, so the written state is one consistent snapshot even
+// under concurrent queries.
 func (c *Cache) WriteState(w io.Writer) error {
-	c.coordMu.Lock()
-	defer c.coordMu.Unlock()
+	c.policyMu.Lock()
+	defer c.policyMu.Unlock()
 	c.lockAll()
 	defer c.unlockAll()
 
@@ -245,20 +245,30 @@ parse:
 		entries = append(entries, e)
 	}
 
-	c.coordMu.Lock()
-	defer c.coordMu.Unlock()
+	// Restores are stop-the-world: the full hierarchy windowMu → policyMu
+	// → every shard write lock, so no query observes a half-replaced
+	// cache and both window engines' pending buffers are cleared.
+	c.windowMu.Lock()
+	defer c.windowMu.Unlock()
+	c.policyMu.Lock()
+	defer c.policyMu.Unlock()
 	c.lockAll()
 	defer c.unlockAll()
 	for _, sh := range c.shards {
 		sh.entries = sh.entries[:0]
 		sh.byFP = make(map[graph.Fingerprint][]*Entry)
 		sh.memBytes = 0
+		sh.window = sh.window[:0]
 	}
+	// The shards were cleared directly, bypassing removeLocked: reset the
+	// residency account to match before insertLocked re-adds the restored
+	// entries (a warm-cache restore would otherwise double-count forever).
+	c.res.entries.Store(0)
+	c.res.bytes.Store(0)
 	c.window = c.window[:0]
 	tick := c.tick.Load()
 	for _, e := range entries {
-		e.ID = c.nextID
-		c.nextID++
+		e.ID = c.newID()
 		e.InsertedAt = tick
 		e.LastUsed = tick
 		c.shardFor(e.Fingerprint).insertLocked(e)
@@ -267,6 +277,6 @@ parse:
 	if excess := len(all) - c.cfg.Capacity; excess > 0 {
 		c.evictLocked(all, excess)
 	}
-	c.rebuildIndexLocked()
+	c.republishAllLocked()
 	return nil
 }

@@ -341,8 +341,12 @@ func TestStateFailedRestoreLeavesWarmCacheIntact(t *testing.T) {
 		t.Fatalf("failed restore changed the cache: %d entries, had %d", warm.Len(), before)
 	}
 	// The index still mirrors the surviving contents.
-	if got := len(warm.idx.load()); got != before {
-		t.Fatalf("index has %d entries after failed restore, cache %d", got, before)
+	indexed := 0
+	for _, part := range warm.summariesView() {
+		indexed += len(part)
+	}
+	if indexed != before {
+		t.Fatalf("index has %d entries after failed restore, cache %d", indexed, before)
 	}
 }
 

@@ -33,24 +33,38 @@ func (c *Cache) signatureOf(q *graph.Graph) querySig {
 // with the same query type, or nil. Fingerprint equality pre-filters;
 // VF2 confirms (fingerprints can collide, never the reverse).
 //
-// Only the owning shard (read lock) and the window (coordMu) are touched,
-// and only long enough to copy the colliding candidates; the confirming
-// iso tests run lock-free over immutable entry fields. Two identical
-// queries racing each other may therefore both miss and both be staged —
-// benign: exact-match scans return the first isomorphic entry either way.
+// Only the owning shard is touched, under one read lock covering both its
+// admitted entries and its pending window (isomorphic graphs share a
+// fingerprint, so a match can live nowhere else), and only long enough to
+// copy the colliding candidates; the confirming iso tests run lock-free
+// over immutable entry fields. With Config.SharedWindow the pending
+// entries live in the global window instead, copied under windowMu. Two
+// identical queries racing each other may therefore both miss and both be
+// staged — benign: exact-match scans return the first isomorphic entry
+// either way.
 func (c *Cache) findExact(q *graph.Graph, qt ftv.QueryType, sig querySig) *Entry {
 	sh := c.shardFor(sig.fp)
 	sh.mu.RLock()
 	cands := append([]*Entry(nil), sh.byFP[sig.fp]...)
+	if !c.cfg.SharedWindow {
+		for _, e := range sh.window {
+			if e.Fingerprint == sig.fp {
+				cands = append(cands, e)
+			}
+		}
+	}
 	sh.mu.RUnlock()
 	for _, e := range cands {
 		if e.Type == qt && iso.Isomorphic(q, e.Graph) {
 			return e
 		}
 	}
-	c.coordMu.Lock()
+	if !c.cfg.SharedWindow {
+		return nil
+	}
+	c.windowMu.Lock()
 	pending := append([]*Entry(nil), c.window...)
-	c.coordMu.Unlock()
+	c.windowMu.Unlock()
 	for _, e := range pending {
 		if e.Type == qt && e.Fingerprint == sig.fp && iso.Isomorphic(q, e.Graph) {
 			return e

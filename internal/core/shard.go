@@ -3,34 +3,80 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"graphcache/internal/graph"
 )
 
 // DefaultShards is the shard count selected when Config.Shards is zero.
-// Sixteen shards keep the per-shard lock hold times negligible well past
-// the worker counts the bundled benchmarks drive (8) without bloating the
-// per-cache footprint.
-const DefaultShards = 16
+// Four shards balance the two forces the per-shard window engine trades
+// off: more shards shrink lock contention, but they also shrink each
+// shard's admission window and eviction victim pool, degrading
+// replacement quality toward per-shard FIFO (a 50-entry cache split 16
+// ways leaves the policy ~3 candidates to rank). Per-query critical
+// sections are tiny — an append and a map-lookup copy — so four stripes
+// comfortably serve the 8-worker benchmarks; raise Config.Shards on
+// machines with more cores than that.
+const DefaultShards = 4
+
+// residency is the cache-wide resident-entry account: entry and byte
+// counts maintained atomically by every shard insert/remove, so a turning
+// shard can enforce the GLOBAL capacity and memory budget while holding
+// only its own lock. Turns serialize on policyMu — the only context that
+// admits or evicts — so the counts a turn reads are exact, not racy
+// approximations.
+type residency struct {
+	entries atomic.Int64
+	bytes   atomic.Int64
+}
 
 // shard is one lock-striped partition of the admitted entries. Entries are
 // assigned to shards by graph fingerprint, so the exact-match fast path
 // touches exactly one shard. Within a shard, entries is kept sorted by
-// ascending ID (admission order) — the invariant that lets gatherEntries
-// reconstruct the exact entry sequence a single-shard serialized cache
-// would hold, which in turn keeps replacement-policy decisions independent
-// of the shard count.
+// ascending ID (admission order) — the invariant that keeps candidate
+// enumeration, the feature-index merge and replacement-policy input
+// deterministic at any shard count.
+//
+// Each shard also owns its own admission window (the per-shard Window
+// Manager): executed queries are staged in window under mu and admitted
+// by turnShard when it fills. Capacity stays global — the resident
+// account tells a turning shard how far over budget the whole cache is,
+// and it evicts from its own residents to pay the excess down — so
+// capacity flows to the shards that actually receive traffic instead of
+// being split into fixed quotas. With Config.SharedWindow the per-shard
+// window sits idle and the Cache-level shared window is used instead.
 type shard struct {
 	mu       sync.RWMutex
 	entries  []*Entry
 	byFP     map[graph.Fingerprint][]*Entry
 	memBytes int
+
+	// res is the cache-wide resident account, shared by every shard.
+	res *residency
+
+	// window is this shard's pending-admission buffer (per-shard mode
+	// only). Guarded by mu; staged in ascending-ID order because IDs are
+	// claimed under mu.
+	window []*Entry
+
+	// turns counts this shard's window turns (atomic: read by ShardStats
+	// without the shard lock).
+	turns atomic.Int64
+
+	// summaries is this shard's published slice of the feature index:
+	// an immutable, ID-ordered array of containment summaries for the
+	// shard's admitted entries. Replaced (never mutated) under policyMu
+	// plus this shard's write lock; read lock-free by mergeIndex, which
+	// runs under policyMu — so a concurrent turn of ANOTHER shard can
+	// fold this shard's latest summaries into the global index without
+	// touching this shard's lock.
+	summaries atomic.Pointer[[]indexEntry]
 }
 
-func newShards(n int) []*shard {
+func newShards(n int, res *residency) []*shard {
 	ss := make([]*shard, n)
 	for i := range ss {
-		ss[i] = &shard{byFP: make(map[graph.Fingerprint][]*Entry)}
+		ss[i] = &shard{byFP: make(map[graph.Fingerprint][]*Entry), res: res}
 	}
 	return ss
 }
@@ -41,29 +87,46 @@ func (c *Cache) shardFor(fp graph.Fingerprint) *shard {
 }
 
 // insertLocked admits e into the shard. Caller holds the shard write lock.
-// Admissions arrive in ascending-ID order (IDs are assigned monotonically
-// and entries only ever move from the window into a shard), so appending
-// preserves the sorted-by-ID invariant.
+// Admissions arrive in ascending-ID order (IDs are claimed monotonically
+// under the lock that stages the entry, and entries only ever move from a
+// window into a shard), so appending preserves the sorted-by-ID invariant.
 func (sh *shard) insertLocked(e *Entry) {
 	sh.entries = append(sh.entries, e)
 	sh.byFP[e.Fingerprint] = append(sh.byFP[e.Fingerprint], e)
-	sh.memBytes += e.Bytes()
+	b := e.Bytes()
+	sh.memBytes += b
+	sh.res.entries.Add(1)
+	sh.res.bytes.Add(int64(b))
+}
+
+// containsLocked reports whether e is currently resident in the shard
+// (located by binary search on the ID-sorted entries, confirmed by
+// pointer identity). Caller holds the shard lock, read or write.
+func (sh *shard) containsLocked(e *Entry) bool {
+	i := sort.Search(len(sh.entries), func(i int) bool {
+		return sh.entries[i].ID >= e.ID
+	})
+	return i < len(sh.entries) && sh.entries[i] == e
 }
 
 // removeLocked evicts e from the shard, preserving the order of the
 // remaining entries. Caller holds the shard write lock. The entries slice
 // is ID-sorted by invariant, so the victim is located with a binary search
-// instead of a linear scan. The byFP list uses swap-delete, mirroring the
-// pre-sharding kernel so fingerprint-collision scan order stays identical
-// to the serialized engine's.
+// instead of a linear scan; a non-resident e (already evicted) is a no-op
+// so the byte and residency accounts can never be decremented twice. The
+// byFP list uses swap-delete, mirroring the pre-sharding kernel so
+// fingerprint-collision scan order stays identical to the serialized
+// engine's.
 func (sh *shard) removeLocked(e *Entry) {
-	if i := sort.Search(len(sh.entries), func(i int) bool {
+	i := sort.Search(len(sh.entries), func(i int) bool {
 		return sh.entries[i].ID >= e.ID
-	}); i < len(sh.entries) && sh.entries[i] == e {
-		copy(sh.entries[i:], sh.entries[i+1:])
-		sh.entries[len(sh.entries)-1] = nil
-		sh.entries = sh.entries[:len(sh.entries)-1]
+	})
+	if i >= len(sh.entries) || sh.entries[i] != e {
+		return
 	}
+	copy(sh.entries[i:], sh.entries[i+1:])
+	sh.entries[len(sh.entries)-1] = nil
+	sh.entries = sh.entries[:len(sh.entries)-1]
 	list := sh.byFP[e.Fingerprint]
 	for i, x := range list {
 		if x == e {
@@ -77,12 +140,17 @@ func (sh *shard) removeLocked(e *Entry) {
 	} else {
 		sh.byFP[e.Fingerprint] = list
 	}
-	sh.memBytes -= e.Bytes()
+	b := e.Bytes()
+	sh.memBytes -= b
+	sh.res.entries.Add(-1)
+	sh.res.bytes.Add(int64(-b))
 }
 
-// lockAll / unlockAll acquire every shard write lock in index order (the
-// lock hierarchy is coordMu → shard locks; the reverse nesting never
-// occurs, so the fixed acquisition order is deadlock-free).
+// lockAll / unlockAll acquire every shard write lock in index order. Only
+// the stop-the-world paths use them — SharedWindow turns and state
+// save/restore; the lock hierarchy is windowMu → policyMu → shard locks,
+// and reverse nestings never occur, so the fixed acquisition order is
+// deadlock-free.
 func (c *Cache) lockAll() {
 	for _, sh := range c.shards {
 		sh.mu.Lock()

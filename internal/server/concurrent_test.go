@@ -95,6 +95,19 @@ func TestConcurrentQueryRequests(t *testing.T) {
 	}
 }
 
+// answersEqual compares two answer-id slices element-wise.
+func answersEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestQueryBatchEndpoint exercises /api/query/batch: positional results,
 // per-item errors that do not abort the batch, and the workers cap.
 func TestQueryBatchEndpoint(t *testing.T) {
@@ -143,6 +156,50 @@ func TestQueryBatchEndpoint(t *testing.T) {
 		}
 		if !want && (item.Error == "" || item.Query != nil) {
 			t.Errorf("result %d: want error, got %+v", i, item.Query)
+		}
+	}
+
+	// The streaming variant must deliver the same outcomes as NDJSON —
+	// one JSON object per line, every index exactly once, malformed
+	// queries errored positionally — under the streaming content type.
+	req = httptest.NewRequest(http.MethodPost, "/api/query/batch?stream=1", strings.NewReader(string(body)))
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("stream delivered %d lines, want 4:\n%s", len(lines), rec.Body.String())
+	}
+	streamed := map[int]batchItem{}
+	for _, line := range lines {
+		var item batchItem
+		if err := json.Unmarshal([]byte(line), &item); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if _, dup := streamed[item.Index]; dup {
+			t.Fatalf("index %d streamed twice", item.Index)
+		}
+		streamed[item.Index] = item
+	}
+	for i, want := range []bool{true, false, true, false} {
+		item, ok := streamed[i]
+		if !ok {
+			t.Fatalf("index %d missing from the stream", i)
+		}
+		if want && (item.Error != "" || item.Query == nil) {
+			t.Errorf("stream result %d: want success, got error %q", i, item.Error)
+		}
+		if !want && item.Error == "" {
+			t.Errorf("stream result %d: want error", i)
+		}
+		// The streamed answers must match the buffered endpoint's.
+		if want && !answersEqual(item.Query.Answers, out.Results[i].Query.Answers) {
+			t.Errorf("stream result %d: answers diverge from buffered batch", i)
 		}
 	}
 

@@ -25,8 +25,8 @@ import (
 // maxBatchWorkers caps the per-request worker pool a /api/query/batch
 // caller may ask for, bounding the goroutines one request can spawn.
 // maxBatchQueries and maxBodyBytes bound how much work and memory one
-// unauthenticated request can pin (ExecuteAll only returns when the whole
-// batch drains).
+// unauthenticated request can pin (even the streaming variant buffers up
+// to the whole batch when the client reads slowly).
 const (
 	maxBatchWorkers = 32
 	maxBatchQueries = 256
@@ -124,10 +124,34 @@ type statsResponse struct {
 	CacheBytes        int     `json:"cacheBytes"`
 	Shards            int     `json:"shards"`
 	Policy            string  `json:"policy"`
+	// WindowPending is the total number of entries staged for admission.
+	// ShardWindows and ShardTurns break occupancy and window turns down
+	// per shard (turns stay zero per shard in shared-window mode, where
+	// only the aggregate windowTurns counts).
+	WindowPending int     `json:"windowPending"`
+	ShardWindows  []int   `json:"shardWindows"`
+	ShardTurns    []int64 `json:"shardTurns"`
 }
 
 func (s *Server) statsResponse() statsResponse {
 	snap := s.cache.Stats()
+	shardStats := s.cache.ShardStats()
+	windows := make([]int, len(shardStats))
+	turns := make([]int64, len(shardStats))
+	pending := 0
+	for i, st := range shardStats {
+		windows[i] = st.WindowLen
+		turns[i] = st.Turns
+		pending += st.WindowLen
+	}
+	if pending == 0 {
+		// Shared-window caches stage outside the shards (their per-shard
+		// windows stay empty); fall back to the cache-level count so the
+		// field is meaningful in both engines. In per-shard mode the sum
+		// above keeps windowPending consistent with shardWindows even
+		// under concurrent traffic.
+		pending = s.cache.WindowLen()
+	}
 	return statsResponse{
 		Queries:           snap.Queries,
 		ExactHits:         snap.ExactHits,
@@ -149,6 +173,9 @@ func (s *Server) statsResponse() statsResponse {
 		CacheBytes:        s.cache.Bytes(),
 		Shards:            s.cache.Shards(),
 		Policy:            s.cache.PolicyName(),
+		WindowPending:     pending,
+		ShardWindows:      windows,
+		ShardTurns:        turns,
 	}
 }
 
@@ -260,7 +287,10 @@ func toQueryResponse(res *core.Result) queryResponse {
 }
 
 // batchRequest is the POST /api/query/batch payload: a list of queries
-// processed through the cache's worker pool in one round trip.
+// processed through the cache's worker pool in one round trip. With
+// ?stream=1 the response is NDJSON — one batchItem per line, written and
+// flushed as each query completes — instead of a single buffered
+// batchResponse.
 type batchRequest struct {
 	Queries []queryRequest `json:"queries"`
 	// Workers sizes the worker pool; 0 defaults to 4, capped at
@@ -340,6 +370,12 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		reqs = append(reqs, core.Request{Graph: g, Type: qt})
 		slots = append(slots, i)
 	}
+
+	if streamRequested(r) {
+		s.streamBatch(w, items, reqs, slots, workers)
+		return
+	}
+
 	for j, out := range s.cache.ExecuteAll(reqs, workers) {
 		i := slots[j]
 		if out.Err != nil {
@@ -350,6 +386,61 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		items[i].Query = &resp
 	}
 	s.writeJSON(w, http.StatusOK, batchResponse{Results: items, Workers: workers})
+}
+
+// streamRequested reports whether the batch caller asked for the NDJSON
+// streaming variant (?stream=1 / true / yes).
+func streamRequested(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("stream")) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// streamBatch is the ?stream=1 pipeline: instead of buffering the whole
+// batch, each outcome is written as one NDJSON line — and flushed — the
+// moment its query finishes, so clients see the first answers while the
+// tail of the batch is still verifying. Malformed queries (already marked
+// in items) are emitted first; cache outcomes follow in completion order,
+// each tagged with its request index. A write failure stops the response
+// but lets the in-flight batch drain into the buffered stream channel.
+func (s *Server) streamBatch(w http.ResponseWriter, items []batchItem, reqs []core.Request, slots []int, workers int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Batch-Workers", strconv.Itoa(workers))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(item batchItem) bool {
+		if err := enc.Encode(item); err != nil {
+			s.logf("server: streaming batch item %d: %v", item.Index, err)
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, item := range items {
+		if item.Error == "" {
+			continue // reaches the cache; emitted on completion below
+		}
+		if !emit(item) {
+			return
+		}
+	}
+	for so := range s.cache.ExecuteAllStream(reqs, workers) {
+		item := batchItem{Index: slots[so.Index]}
+		if so.Err != nil {
+			item.Error = so.Err.Error()
+		} else {
+			resp := toQueryResponse(so.Result)
+			item.Query = &resp
+		}
+		if !emit(item) {
+			return
+		}
+	}
 }
 
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
@@ -390,7 +481,9 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <li>super-case hits: {{.SuperHits}} (queries: {{.SuperHitQueries}})</li>
 <li>tests executed / saved: {{.TestsExecuted}} / {{.TestsSaved}}</li>
 </ul>
-<p>API: GET /api/stats · GET /api/entries · POST /api/query · GET /api/dataset/{id}?format=dot|ascii|text</p>
+<p>API: GET /api/stats · GET /api/entries · POST /api/query
+· POST /api/query/batch (add ?stream=1 for NDJSON streaming)
+· GET /api/dataset/{id}?format=dot|ascii|text</p>
 </body></html>`))
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -146,6 +146,25 @@ func TestStatsAndEntries(t *testing.T) {
 	if stats.CachedEntries == 0 {
 		t.Error("no cached entries after window-1 executions")
 	}
+	// Per-shard window occupancy and turn counts are exposed alongside
+	// the aggregate windowTurns.
+	if len(stats.ShardWindows) != stats.Shards || len(stats.ShardTurns) != stats.Shards {
+		t.Errorf("per-shard stats sized %d/%d, want %d", len(stats.ShardWindows), len(stats.ShardTurns), stats.Shards)
+	}
+	var turns int64
+	for _, n := range stats.ShardTurns {
+		turns += n
+	}
+	if turns != stats.WindowTurns {
+		t.Errorf("per-shard turns sum %d != aggregate windowTurns %d", turns, stats.WindowTurns)
+	}
+	pending := 0
+	for _, n := range stats.ShardWindows {
+		pending += n
+	}
+	if pending != stats.WindowPending {
+		t.Errorf("per-shard occupancy sum %d != windowPending %d", pending, stats.WindowPending)
+	}
 
 	req = httptest.NewRequest(http.MethodGet, "/api/entries", nil)
 	rec = httptest.NewRecorder()
