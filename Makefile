@@ -11,7 +11,7 @@ GO ?= go
 # coverage fails CI. Raise it when the real number durably rises.
 COVER_BASELINE ?= 80.0
 
-.PHONY: build test race vet staticcheck cover bench bench-smoke throughput ci
+.PHONY: build test race vet staticcheck cover bench bench-smoke bench-json throughput churn ci
 
 build:
 	$(GO) build ./...
@@ -58,4 +58,17 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/workloadrun -throughput -throughput-dataset 100 -throughput-queries 200 -workers 1,2 -assert-index
 
-ci: vet staticcheck race bench-smoke
+# Live-mutation comparison: exact cache maintenance vs dropping the cache
+# at every dataset mutation.
+churn:
+	$(GO) run ./cmd/workloadrun -churn -assert-churn
+
+# Perf-trajectory artifact: throughput + churn results as JSON, uploaded
+# by CI per PR (BENCH_pr4.json seeds the file set).
+BENCH_JSON ?= BENCH_pr4.json
+bench-json:
+	$(GO) run ./cmd/workloadrun -bench-json $(BENCH_JSON) -assert-churn \
+		-throughput-dataset 120 -throughput-queries 300 -workers 1,4 \
+		-churn-dataset 120 -churn-queries 300 -churn-mutations 10
+
+ci: vet staticcheck race bench-smoke bench-json

@@ -1,8 +1,8 @@
 // Command gcbench regenerates the paper's evaluation artifacts (DESIGN.md
 // §4): Figure 3 (The Query Journey), Figure 2(b) (The Workload Run),
 // Figure 2(c) (cache replacement across policies), the §3.1.I policy
-// competition, the §3.1.II speedup-versus-overhead study and the headline
-// speedup run.
+// competition, the §3.1.II speedup-versus-overhead study, the headline
+// speedup run and the live-churn maintenance comparison.
 //
 // Usage:
 //
@@ -11,11 +11,14 @@
 //	gcbench -exp policies -queries 2000
 //	gcbench -exp overhead
 //	gcbench -exp headline -dataset 1000 -queries 5000
+//	gcbench -exp churn -dataset 150 -queries 400
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"graphcache/internal/bench"
@@ -23,35 +26,87 @@ import (
 )
 
 func main() {
-	var (
-		exp     = flag.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | all")
-		seed    = flag.Int64("seed", 2018, "random seed (all experiments are deterministic per seed)")
-		queries = flag.Int("queries", 1000, "workload size for policies/overhead/headline")
-		dataset = flag.Int("dataset", 400, "dataset size for overhead/headline")
-	)
-	flag.Parse()
-
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h printed usage; that is a clean exit
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "gcbench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println()
+		fmt.Fprintf(os.Stderr, "gcbench: %v\n", err)
+		os.Exit(1)
 	}
-
-	run("fig3", func() error { return runFig3(*seed) })
-	run("workloadrun", func() error { return runWorkload(*seed) })
-	run("fig2c", func() error { return runFig2c(*seed) })
-	run("policies", func() error { return runPolicies(*seed, *queries) })
-	run("overhead", func() error { return runOverhead(*seed, *dataset, *queries) })
-	run("headline", func() error { return runHeadline(*seed, *dataset, *queries) })
-	run("sweeps", func() error { return runSweeps(*seed, *queries) })
 }
 
-func runSweeps(seed int64, queries int) error {
+// run executes the selected experiments against args, writing reports to
+// stdout. It is main minus the process plumbing, so tests can drive it
+// directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gcbench", flag.ContinueOnError)
+	var (
+		exp       = fs.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | sweeps | churn | all")
+		seed      = fs.Int64("seed", 2018, "random seed (all experiments are deterministic per seed)")
+		queries   = fs.Int("queries", 1000, "workload size for policies/overhead/headline/churn")
+		dataset   = fs.Int("dataset", 400, "dataset size for overhead/headline/churn")
+		mutations = fs.Int("mutations", 12, "churn: interleaved dataset mutations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	known := map[string]bool{
+		"fig3": true, "workloadrun": true, "fig2c": true, "policies": true,
+		"overhead": true, "headline": true, "sweeps": true, "churn": true, "all": true,
+	}
+	if !known[*exp] {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	runExp := func(name string, fn func() error) error {
+		if *exp != "all" && *exp != name {
+			return nil
+		}
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(stdout)
+		return nil
+	}
+
+	for _, step := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"fig3", func() error { return runFig3(stdout, *seed) }},
+		{"workloadrun", func() error { return runWorkload(stdout, *seed) }},
+		{"fig2c", func() error { return runFig2c(stdout, *seed) }},
+		{"policies", func() error { return runPolicies(stdout, *seed, *queries) }},
+		{"overhead", func() error { return runOverhead(stdout, *seed, *dataset, *queries) }},
+		{"headline", func() error { return runHeadline(stdout, *seed, *dataset, *queries) }},
+		{"sweeps", func() error { return runSweeps(stdout, *seed, *queries) }},
+		{"churn", func() error { return runChurn(stdout, *seed, *dataset, *queries, *mutations) }},
+	} {
+		if err := runExp(step.name, step.fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runChurn(stdout io.Writer, seed int64, dataset, queries, mutations int) error {
+	cmp, err := bench.RunChurnComparison(seed, dataset, queries, mutations)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable("EXP-CHURN · Exact maintenance vs drop-and-rebuild under live mutations",
+		"strategy", "q/s", "dataset tests", "maintenance", "total", "exact hits")
+	t.AddRow("maintained", fmt.Sprintf("%.1f", cmp.Maintained.QPS), cmp.Maintained.DatasetTests,
+		cmp.Maintained.MaintenanceTests, cmp.Maintained.TotalTests(), cmp.Maintained.ExactHits)
+	t.AddRow("drop+rebuild", fmt.Sprintf("%.1f", cmp.Rebuild.QPS), cmp.Rebuild.DatasetTests,
+		cmp.Rebuild.MaintenanceTests, cmp.Rebuild.TotalTests(), cmp.Rebuild.ExactHits)
+	t.Render(stdout)
+	fmt.Fprintf(stdout, "%d queries, %d mutations: maintenance saves %.1f%% of the sub-iso bill; answers byte-identical.\n",
+		cmp.Queries, cmp.Mutations, 100*cmp.TestReduction())
+	return nil
+}
+
+func runSweeps(stdout io.Writer, seed int64, queries int) error {
 	cap, err := bench.RunCapacitySweep(seed, queries, nil)
 	if err != nil {
 		return err
@@ -60,7 +115,7 @@ func runSweeps(seed int64, queries int) error {
 	for _, p := range cap {
 		t.AddRow(p.Value, p.Speedups.Tests, p.Speedups.Time, p.HitRate)
 	}
-	t.Render(os.Stdout)
+	t.Render(stdout)
 
 	win, err := bench.RunWindowSweep(seed, queries, nil)
 	if err != nil {
@@ -70,7 +125,7 @@ func runSweeps(seed int64, queries int) error {
 	for _, p := range win {
 		t2.AddRow(p.Value, p.Speedups.Tests, p.Speedups.Time, p.HitRate)
 	}
-	t2.Render(os.Stdout)
+	t2.Render(stdout)
 
 	bud, err := bench.RunHitBudgetSweep(seed, queries, nil)
 	if err != nil {
@@ -80,11 +135,11 @@ func runSweeps(seed int64, queries int) error {
 	for _, p := range bud {
 		t3.AddRow(p.Value, p.Speedups.Tests, p.Speedups.Time, p.HitRate)
 	}
-	t3.Render(os.Stdout)
+	t3.Render(stdout)
 	return nil
 }
 
-func runFig3(seed int64) error {
+func runFig3(stdout io.Writer, seed int64) error {
 	res, err := bench.RunFig3(seed)
 	if err != nil {
 		return err
@@ -99,11 +154,11 @@ func runFig3(seed int64) error {
 	t.AddRow("3(h)", "|A| final answers", res.A)
 	t.AddRow("—", "test speedup C_M/C (paper: 1.74)", fmt.Sprintf("%.2f", res.TestSpeedup))
 	t.AddRow("—", "S member ids", fmt.Sprintf("%v", res.SureIDs))
-	t.Render(os.Stdout)
+	t.Render(stdout)
 	return nil
 }
 
-func runWorkload(seed int64) error {
+func runWorkload(stdout io.Writer, seed int64) error {
 	steps, c, err := bench.RunWorkload(seed, 10, "hd")
 	if err != nil {
 		return err
@@ -112,14 +167,14 @@ func runWorkload(seed int64) error {
 	for _, s := range steps {
 		t.AddRow(s.Index, s.ExactHit, s.SubHits, s.SuperHits, fmt.Sprintf("%.1f", s.HitPct), fmt.Sprintf("%.2f", s.TestSpeedup))
 	}
-	t.Render(os.Stdout)
+	t.Render(stdout)
 	snap := c.Stats()
-	fmt.Printf("cumulative: %d queries, %d tests executed, %d saved, speedup %.2f\n",
+	fmt.Fprintf(stdout, "cumulative: %d queries, %d tests executed, %d saved, speedup %.2f\n",
 		snap.Queries, snap.TestsExecuted, snap.TestsSaved, snap.TestSpeedup())
 	return nil
 }
 
-func runFig2c(seed int64) error {
+func runFig2c(stdout io.Writer, seed int64) error {
 	rs, err := bench.RunReplacement(seed, nil)
 	if err != nil {
 		return err
@@ -128,11 +183,11 @@ func runFig2c(seed int64) error {
 	for _, r := range rs {
 		t.AddRow(r.Policy, r.Kept, fmt.Sprintf("%v", r.Evicted))
 	}
-	t.Render(os.Stdout)
+	t.Render(stdout)
 	return nil
 }
 
-func runPolicies(seed int64, queries int) error {
+func runPolicies(stdout io.Writer, seed int64, queries int) error {
 	cells, err := bench.RunPolicyCompetition(seed, queries, nil)
 	if err != nil {
 		return err
@@ -144,12 +199,12 @@ func runPolicies(seed int64, queries int) error {
 			fmt.Sprintf("%.2f", c.Speedups.Time),
 			fmt.Sprintf("%.2f", c.HitRate))
 	}
-	t.Render(os.Stdout)
-	fmt.Println("take-away (paper): when in doubt, use HD — best or on par with the best alternative.")
+	t.Render(stdout)
+	fmt.Fprintln(stdout, "take-away (paper): when in doubt, use HD — best or on par with the best alternative.")
 	return nil
 }
 
-func runOverhead(seed int64, dataset, queries int) error {
+func runOverhead(stdout io.Writer, seed int64, dataset, queries int) error {
 	fs, err := bench.RunFeatureSize(seed, dataset, queries/2, 3)
 	if err != nil {
 		return err
@@ -160,7 +215,7 @@ func runOverhead(seed int64, dataset, queries int) error {
 	t.AddRow("avg query time", fs.AvgTimeBase, fs.AvgTimeBigger,
 		fmt.Sprintf("−%.1f%% (paper ≈ −10%%)", 100*fs.TimeReduction))
 	t.AddRow("avg |C_M|", fmt.Sprintf("%.1f", fs.AvgCandidatesBase), fmt.Sprintf("%.1f", fs.AvgCandidatesBigger), "")
-	t.Render(os.Stdout)
+	t.Render(stdout)
 
 	oh, err := bench.RunGCOverhead(seed, dataset, queries, 50)
 	if err != nil {
@@ -173,11 +228,11 @@ func runOverhead(seed int64, dataset, queries int) error {
 	t2.AddRow("test speedup", fmt.Sprintf("%.2f×", oh.Speedups.Tests), "up to 40×")
 	t2.AddRow("time speedup", fmt.Sprintf("%.2f×", oh.Speedups.Time), "up to 40×")
 	t2.AddRow("hit rate", fmt.Sprintf("%.2f", oh.HitRate), "")
-	t2.Render(os.Stdout)
+	t2.Render(stdout)
 	return nil
 }
 
-func runHeadline(seed int64, dataset, queries int) error {
+func runHeadline(stdout io.Writer, seed int64, dataset, queries int) error {
 	res, err := bench.RunHeadline(seed, dataset, queries)
 	if err != nil {
 		return err
@@ -190,6 +245,6 @@ func runHeadline(seed int64, dataset, queries int) error {
 	t.AddRow("max per-query test speedup", fmt.Sprintf("%.2f× (paper: up to 40×)", res.MaxQuerySpeedup))
 	t.AddRow("hit rate", fmt.Sprintf("%.2f", res.HitRate))
 	t.AddRow("cache bytes / index bytes", fmt.Sprintf("%s / %s", stats.FormatBytes(res.CacheBytes), stats.FormatBytes(res.IndexBytes)))
-	t.Render(os.Stdout)
+	t.Render(stdout)
 	return nil
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke: each single experiment renders its table through run() — the
+// same entry point main uses, so flag or wiring rot fails here first.
+func TestRunSingleExperiments(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-exp", "fig3"}, "EXP-F3"},
+		{[]string{"-exp", "fig2c"}, "EXP-F2C"},
+		{[]string{"-exp", "churn", "-dataset", "60", "-queries", "120"}, "EXP-CHURN"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.want, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatalf("%v\noutput:\n%s", err, out.String())
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out.String())
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

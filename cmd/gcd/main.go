@@ -79,6 +79,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		serialized = fs.Bool("serialized", false, "serialize all queries behind one lock (pre-sharding baseline)")
 		indexOff   = fs.Bool("index-off", false, "disable the hit-detection feature index (pre-index baseline)")
 		sharedWin  = fs.Bool("shared-window", false, "use one global admission window instead of per-shard windows (pre-decentralization baseline)")
+		lazyRec    = fs.Bool("lazy-reconcile", false, "reconcile cached answers lazily after dataset additions (per-entry epochs) instead of eagerly at mutation time")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +120,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.Serialized = *serialized
 	cfg.IndexOff = *indexOff
 	cfg.SharedWindow = *sharedWin
+	cfg.LazyReconcile = *lazyRec
 	cache, err := core.New(method, cfg)
 	if err != nil {
 		return err
@@ -132,7 +134,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		len(dataset), method.Name(), p.Name(), *capacity, *window, cache.Shards())
 	fmt.Fprintf(stdout, "gcd: listening on %s\n", ln.Addr())
 
-	srv := &http.Server{Handler: server.New(cache, dataset)}
+	srv := &http.Server{Handler: server.New(cache)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

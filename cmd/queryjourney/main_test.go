@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke: the journey renders all panels through run() — the same entry
+// point main uses.
+func TestRunRendersJourney(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "2018"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"The Query Journey", "C_M", "FOR SURE", "speedup in sub-iso test numbers",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "notanumber"}, &out); err == nil {
+		t.Error("bad seed accepted")
+	}
+}

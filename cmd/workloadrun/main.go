@@ -9,9 +9,17 @@
 // Adding -assert-index also runs the indexed-vs-unindexed hit-detection
 // comparison and exits non-zero unless the feature index strictly reduced
 // hit-detection work (the `make bench-smoke` CI gate).
+//
+// With -churn it drives a mixed query/add/remove stream twice — once over
+// one exactly-maintained cache, once dropping and rebuilding the cache at
+// every dataset mutation — and reports the sub-iso bill of each strategy
+// (-assert-churn turns the win into an exit code, the `make bench-json`
+// gate). -bench-json FILE runs throughput and churn and writes both
+// results to FILE for the CI perf-trajectory artifact.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,11 +56,37 @@ func run(args []string, stdout io.Writer) error {
 		queries     = fs.Int("throughput-queries", 1000, "throughput mode: workload size")
 		workerList  = fs.String("workers", "1,4,8", "throughput mode: comma-separated worker counts")
 		assertIndex = fs.Bool("assert-index", false, "throughput mode: also compare indexed vs unindexed hit detection and fail unless the index strictly reduced work")
+		churn       = fs.Bool("churn", false, "run the live-mutation comparison: exact cache maintenance vs drop-cache-and-rebuild over a mixed query/add/remove stream")
+		churnDS     = fs.Int("churn-dataset", 150, "churn mode: initial dataset size")
+		churnQs     = fs.Int("churn-queries", 400, "churn mode: query count")
+		churnMuts   = fs.Int("churn-mutations", 12, "churn mode: interleaved dataset mutations (alternating add/remove)")
+		assertChurn = fs.Bool("assert-churn", false, "churn mode: fail unless the maintained cache strictly beat drop-and-rebuild")
+		benchJSON   = fs.String("bench-json", "", "write the throughput and churn results to this JSON file (runs both modes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// Assertion flags must never be silently ignored: each belongs to one
+	// mode, validated up front regardless of which mode actually runs.
+	if *assertIndex && !*throughput {
+		return fmt.Errorf("-assert-index requires -throughput")
+	}
+	if *assertChurn && !*churn && *benchJSON == "" {
+		return fmt.Errorf("-assert-churn requires -churn or -bench-json")
+	}
+	if *benchJSON != "" {
+		if *assertIndex || *churn || *throughput {
+			return fmt.Errorf("-bench-json runs throughput and churn itself; combine it only with -assert-churn and the size flags")
+		}
+		return runBenchJSON(stdout, *benchJSON, *seed, *datasetSz, *queries, *workerList, *churnDS, *churnQs, *churnMuts, *assertChurn)
+	}
+	if *churn {
+		if *throughput {
+			return fmt.Errorf("-churn and -throughput are separate modes; use -bench-json to run both")
+		}
+		return runChurn(stdout, *seed, *churnDS, *churnQs, *churnMuts, *assertChurn)
+	}
 	if *throughput {
 		if err := runThroughput(stdout, *seed, *datasetSz, *queries, *workerList); err != nil {
 			return err
@@ -61,9 +95,6 @@ func run(args []string, stdout io.Writer) error {
 			return runIndexSmoke(stdout, *seed, *datasetSz, *queries)
 		}
 		return nil
-	}
-	if *assertIndex {
-		return fmt.Errorf("-assert-index requires -throughput")
 	}
 
 	steps, c, err := bench.RunWorkload(*seed, *size, *policy)
@@ -104,13 +135,9 @@ func run(args []string, stdout io.Writer) error {
 
 // runThroughput renders the parallel-throughput comparison as a table.
 func runThroughput(stdout io.Writer, seed int64, datasetSize, queries int, workerList string) error {
-	var workers []int
-	for _, f := range strings.Split(workerList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			return fmt.Errorf("bad worker count %q", f)
-		}
-		workers = append(workers, n)
+	workers, err := parseWorkers(workerList)
+	if err != nil {
+		return err
 	}
 	cmp, err := bench.ParallelThroughput(seed, datasetSize, queries, workers)
 	if err != nil {
@@ -133,6 +160,86 @@ func runThroughput(stdout io.Writer, seed int64, datasetSize, queries int, worke
 	fmt.Fprintln(stdout, "per-shard     = per-shard admission windows, no global mutex on any query path.")
 	fmt.Fprintln(stdout, "speedup = per-shard/serialized; window speedup = per-shard/shared-window.")
 	return nil
+}
+
+// runChurn renders the exact-maintenance-vs-rebuild comparison; with
+// assert it errors unless the maintained cache strictly won the total
+// sub-iso bill.
+func runChurn(stdout io.Writer, seed int64, datasetSize, queries, mutations int, assert bool) error {
+	cmp, err := bench.RunChurnComparison(seed, datasetSize, queries, mutations)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Live dataset churn — %d queries, %d mutations over %d molecules\n",
+		cmp.Queries, cmp.Mutations, cmp.DatasetSize)
+	fmt.Fprintln(stdout, strings.Repeat("=", 64))
+	t := stats.NewTable("", "strategy", "q/s", "dataset tests", "maintenance tests", "total tests", "exact hits", "tests saved")
+	row := func(name string, s bench.ChurnStats) {
+		t.AddRow(name, fmt.Sprintf("%.1f", s.QPS), s.DatasetTests, s.MaintenanceTests,
+			s.TotalTests(), s.ExactHits, s.TestsSaved)
+	}
+	row("maintained", cmp.Maintained)
+	row("drop+rebuild", cmp.Rebuild)
+	t.Render(stdout)
+	fmt.Fprintf(stdout, "\nanswers cross-checked byte-identical between both strategies after every mutation.\n")
+	fmt.Fprintf(stdout, "maintained cache spends %.1f%% fewer sub-iso tests than dropping the cache at every mutation.\n",
+		100*cmp.TestReduction())
+	if assert && !cmp.MaintainedWins() {
+		return fmt.Errorf("churn assertion failed: maintained %d total tests vs rebuild %d",
+			cmp.Maintained.TotalTests(), cmp.Rebuild.TotalTests())
+	}
+	return nil
+}
+
+// runBenchJSON runs the throughput and churn comparisons and writes both
+// to a JSON file — the perf-trajectory artifact CI uploads per PR. With
+// assertChurn it additionally fails unless the maintained cache won.
+func runBenchJSON(stdout io.Writer, path string, seed int64, datasetSize, queries int, workerList string, churnDS, churnQs, churnMuts int, assertChurn bool) error {
+	workers, err := parseWorkers(workerList)
+	if err != nil {
+		return err
+	}
+	tp, err := bench.ParallelThroughput(seed, datasetSize, queries, workers)
+	if err != nil {
+		return fmt.Errorf("throughput: %w", err)
+	}
+	churn, err := bench.RunChurnComparison(seed, churnDS, churnQs, churnMuts)
+	if err != nil {
+		return fmt.Errorf("churn: %w", err)
+	}
+	report := struct {
+		Seed       int64                       `json:"seed"`
+		Throughput *bench.ThroughputComparison `json:"throughput"`
+		Churn      *bench.ChurnComparison      `json:"churn"`
+	}{seed, tp, churn}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote throughput (%d worker counts) and churn (%d queries, %d mutations, %.1f%% test reduction) results to %s\n",
+		len(workers), churn.Queries, churn.Mutations, 100*churn.TestReduction(), path)
+	if assertChurn && !churn.MaintainedWins() {
+		return fmt.Errorf("churn assertion failed: maintained %d total tests vs rebuild %d",
+			churn.Maintained.TotalTests(), churn.Rebuild.TotalTests())
+	}
+	return nil
+}
+
+// parseWorkers parses a comma-separated worker-count list, shared by the
+// throughput and bench-json paths.
+func parseWorkers(workerList string) ([]int, error) {
+	var workers []int
+	for _, f := range strings.Split(workerList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		workers = append(workers, n)
+	}
+	return workers, nil
 }
 
 // runIndexSmoke renders the indexed-vs-unindexed hit-detection comparison

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,5 +49,66 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-assert-index"}, &out); err == nil {
 		t.Error("-assert-index without -throughput accepted")
+	}
+	if err := run([]string{"-assert-churn"}, &out); err == nil {
+		t.Error("-assert-churn without -churn accepted")
+	}
+	if err := run([]string{"-churn", "-assert-index"}, &out); err == nil {
+		t.Error("-assert-index with -churn silently accepted")
+	}
+	if err := run([]string{"-bench-json", "x.json", "-throughput"}, &out); err == nil {
+		t.Error("-bench-json combined with -throughput accepted")
+	}
+}
+
+// Smoke: churn mode with the maintenance assertion — the bench-json CI
+// artifact's core comparison — must pass on a tiny stream.
+func TestRunChurnWithAssertion(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-churn", "-churn-dataset", "60", "-churn-queries", "120",
+		"-churn-mutations", "6", "-assert-churn",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Live dataset churn", "maintained", "drop+rebuild", "byte-identical"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Smoke: -bench-json writes a parseable artifact with both sections.
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench-json", path,
+		"-throughput-dataset", "30", "-throughput-queries", "60", "-workers", "1",
+		"-churn-dataset", "60", "-churn-queries", "120", "-churn-mutations", "6",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Throughput struct {
+			WorkerCounts []int `json:"WorkerCounts"`
+		} `json:"throughput"`
+		Churn struct {
+			Queries   int `json:"Queries"`
+			Mutations int `json:"Mutations"`
+		} `json:"churn"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("bad JSON artifact: %v\n%s", err, raw)
+	}
+	if len(report.Throughput.WorkerCounts) != 1 || report.Churn.Queries != 120 || report.Churn.Mutations == 0 {
+		t.Fatalf("artifact content wrong:\n%s", raw)
 	}
 }

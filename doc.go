@@ -79,6 +79,34 @@
 // admission order scheduling-dependent. Config.Serialized restores the
 // one-query-at-a-time engine for baselines and reproducibility.
 //
+// # Live dataset mutations
+//
+// The paper specifies GC over a static dataset; this implementation also
+// serves live stores. Cache.AddGraph appends a graph under a fresh,
+// stable id and Cache.RemoveGraph tombstones one (ids are never reused),
+// with every cached answer set maintained EXACTLY — a mixed
+// add/remove/query stream returns answers byte-identical to the uncached
+// method after every mutation. The rules:
+//
+//   - Each query runs against one immutable dataset snapshot (an epoch-
+//     tagged, copy-on-write state behind an atomic pointer in the ftv
+//     layer); queries share a read lock, mutations take the write side,
+//     so no query ever observes a half-maintained cache.
+//   - Removals are stop-the-world and cheap: the gid's bit is cleared
+//     from every admitted and window entry's answer set (a pointer swap
+//     per entry, no iso tests) and the id is masked out of all future
+//     candidate sets.
+//   - Additions verify the new graph against each cached entry — eagerly
+//     at mutation time by default, or lazily (Config.LazyReconcile) where
+//     entries carry a dataset epoch and a hit on a stale entry verifies
+//     only the delta graphs recorded in the addition log before its
+//     answers are trusted.
+//
+// Per-graph cost statistics and per-query bitsets grow with the dataset;
+// the HTTP layer surfaces mutations as POST /api/dataset/graphs and
+// DELETE /api/dataset/graphs/{id}. Bundled methods are all mutation-
+// capable; custom static filters opt in via NewDynamicMethod.
+//
 // # Extending
 //
 // Replacement policies are pluggable (the Figure 2(d) developer interface):

@@ -32,6 +32,12 @@ type (
 	Filter = ftv.Filter
 	// VerifierFunc tests pattern ⊑ target.
 	VerifierFunc = ftv.VerifierFunc
+	// FilterFactory builds a Filter over a dataset slice (nil positions
+	// are tombstones); methods constructed with one take live AddGraph
+	// mutations by rebuilding their filter.
+	FilterFactory = ftv.FilterFactory
+	// DatasetView is one immutable snapshot of a method's live dataset.
+	DatasetView = ftv.DatasetView
 	// MethodResult reports an uncached Method M execution.
 	MethodResult = ftv.Result
 	// FeatureVector is a fixed-size, containment-safe graph summary; the
@@ -79,6 +85,9 @@ type (
 	// ShardStat is one shard's occupancy snapshot (entries, pending
 	// window, per-shard window turns, resident bytes).
 	ShardStat = core.ShardStat
+	// DatasetInfo is the live dataset's shape: id space, live graphs and
+	// mutation epoch (Cache.DatasetInfo).
+	DatasetInfo = core.DatasetInfo
 )
 
 // DefaultShards is the lock-shard count selected when Config.Shards is 0.
@@ -126,15 +135,18 @@ func NewGGSXMethod(dataset []*Graph, featureLen int) *Method {
 }
 
 // NewLabelMethod builds a cheap Method M that filters only by size and
-// label multiset.
+// label multiset. Like every bundled method it is dynamic: the dataset
+// takes live AddGraph/RemoveGraph mutations.
 func NewLabelMethod(dataset []*Graph) *Method {
-	return ftv.NewMethod("label/vf2", dataset, ftv.NewLabelFilter(dataset), nil)
+	return ftv.NewDynamicMethod("label/vf2", dataset,
+		func(ds []*Graph) Filter { return ftv.NewLabelFilter(ds) }, nil)
 }
 
 // NewStarMethod builds a tree-feature Method M: star subtrees with up to
 // maxLeaves leaves (the "tree" member of the paper's feature families).
 func NewStarMethod(dataset []*Graph, maxLeaves int) *Method {
-	return ftv.NewMethod("stars/vf2", dataset, ftv.NewStarFilter(dataset, maxLeaves), nil)
+	return ftv.NewDynamicMethod("stars/vf2", dataset,
+		func(ds []*Graph) Filter { return ftv.NewStarFilter(ds, maxLeaves) }, nil)
 }
 
 // NewGGSXFilter, NewStarFilter, NewLabelFilter and NewNoFilter expose the
@@ -149,13 +161,23 @@ var (
 // NewSIMethod builds a filterless Method M — a plain subgraph-isomorphism
 // algorithm in the paper's taxonomy.
 func NewSIMethod(dataset []*Graph) *Method {
-	return ftv.NewMethod("si/vf2", dataset, ftv.NewNoFilter(len(dataset)), nil)
+	return ftv.NewDynamicMethod("si/vf2", dataset,
+		func(ds []*Graph) Filter { return ftv.NewNoFilter(len(ds)) }, nil)
 }
 
 // NewMethod assembles a custom Method M from a filter and verifier
-// (nil verifier means VF2).
+// (nil verifier means VF2). The dataset is static: use NewDynamicMethod
+// when it must take live AddGraph mutations.
 func NewMethod(name string, dataset []*Graph, filter Filter, verify VerifierFunc) *Method {
 	return ftv.NewMethod(name, dataset, filter, verify)
+}
+
+// NewDynamicMethod assembles a Method M whose dataset takes live
+// mutations: Cache.AddGraph appends graphs under fresh stable ids
+// (rebuilding the filter through the factory) and Cache.RemoveGraph
+// tombstones them, with every cached answer set maintained exactly.
+func NewDynamicMethod(name string, dataset []*Graph, factory FilterFactory, verify VerifierFunc) *Method {
+	return ftv.NewDynamicMethod(name, dataset, factory, verify)
 }
 
 // DefaultConfig mirrors the paper's demo deployment (capacity 50, window

@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+func TestRunChurnComparison(t *testing.T) {
+	cmp, err := RunChurnComparison(2018, 80, 160, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Mutations < 4 {
+		t.Fatalf("only %d mutations fired", cmp.Mutations)
+	}
+	if cmp.Maintained.Queries != cmp.Rebuild.Queries || cmp.Maintained.Queries != 160 {
+		t.Fatalf("query counts diverge: %d vs %d", cmp.Maintained.Queries, cmp.Rebuild.Queries)
+	}
+	// The whole point: exact maintenance must beat cold rebuilds on the
+	// total sub-iso bill (answer equality is asserted inside the runner).
+	if !cmp.MaintainedWins() {
+		t.Fatalf("maintained cache did not win: %d tests (incl. %d maintenance) vs %d",
+			cmp.Maintained.TotalTests(), cmp.Maintained.MaintenanceTests, cmp.Rebuild.TotalTests())
+	}
+	if cmp.Maintained.MaintenanceTests == 0 {
+		t.Error("no maintenance tests recorded: additions never reconciled")
+	}
+	if cmp.TestReduction() <= 0 {
+		t.Errorf("test reduction %.3f, want > 0", cmp.TestReduction())
+	}
+}

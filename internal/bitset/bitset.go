@@ -123,6 +123,18 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// Grown returns a deep copy of s with capacity n ≥ s.Len(): existing bits
+// keep their positions, new bits start clear. It is how answer sets follow
+// a growing dataset — positions are stable, so growth never remaps ids.
+func (s *Set) Grown(n int) *Set {
+	if n < s.n {
+		panic(fmt.Sprintf("bitset: cannot grow capacity %d down to %d", s.n, n))
+	}
+	c := New(n)
+	copy(c.words, s.words)
+	return c
+}
+
 func (s *Set) sameCap(o *Set) {
 	if s.n != o.n {
 		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, o.n))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"graphcache/internal/ftv"
@@ -42,6 +43,17 @@ type StreamOutcome struct {
 // throughput, since concurrent submission makes admission order
 // scheduling-dependent. Individual answer sets are exact either way.
 func (c *Cache) ExecuteAllStream(reqs []Request, workers int) <-chan StreamOutcome {
+	return c.ExecuteAllStreamContext(context.Background(), reqs, workers)
+}
+
+// ExecuteAllStreamContext is ExecuteAllStream bounded by a context: once
+// ctx is cancelled, no further query is dispatched — queries already
+// executing run to completion (Execute is not interruptible mid-iso-test)
+// and deliver their outcomes, then the channel closes without the
+// remaining queries ever reaching the cache. The HTTP layer threads the
+// request context through here so a disconnected NDJSON client stops the
+// batch instead of burning verification work nobody will read.
+func (c *Cache) ExecuteAllStreamContext(ctx context.Context, reqs []Request, workers int) <-chan StreamOutcome {
 	out := make(chan StreamOutcome, len(reqs))
 	if len(reqs) == 0 {
 		close(out)
@@ -51,6 +63,9 @@ func (c *Cache) ExecuteAllStream(reqs []Request, workers int) <-chan StreamOutco
 		go func() {
 			defer close(out)
 			for i, r := range reqs {
+				if ctx.Err() != nil {
+					return
+				}
 				res, err := c.Execute(r.Graph, r.Type)
 				out <- StreamOutcome{Index: i, Result: res, Err: err}
 			}
@@ -67,14 +82,34 @@ func (c *Cache) ExecuteAllStream(reqs []Request, workers int) <-chan StreamOutco
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				// A job the dispatcher handed over in the same instant the
+				// context died is dropped, not executed: cancellation wins
+				// every dispatch race.
+				if ctx.Err() != nil {
+					continue
+				}
 				res, err := c.Execute(reqs[i].Graph, reqs[i].Type)
 				out <- StreamOutcome{Index: i, Result: res, Err: err}
 			}
 		}()
 	}
 	go func() {
+		// The dispatcher races job handoff against cancellation, so a
+		// cancelled batch stops after the in-flight queries — the jobs
+		// channel is unbuffered, hence every send is an actual pickup. The
+		// Err pre-check gives cancellation priority over the select's
+		// random choice when a worker is already waiting for the next job.
 		for i := range reqs {
-			jobs <- i
+			if ctx.Err() != nil {
+				break
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
 		}
 		close(jobs)
 		wg.Wait()

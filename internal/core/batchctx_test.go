@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+)
+
+// gateStar builds a star graph with the given number of leaves — distinct
+// sizes give distinct (never exact-hitting) queries.
+func gateStar(leaves int) *graph.Graph {
+	labels := make([]graph.Label, leaves+1)
+	labels[0] = 1
+	edges := make([][2]int, leaves)
+	for i := 1; i <= leaves; i++ {
+		labels[i] = graph.Label(1 + i%3)
+		edges[i-1] = [2]int{0, i}
+	}
+	return graph.MustNew(labels, edges)
+}
+
+// gateCache builds a cache over a single-graph dataset with the given
+// dataset verifier, plus 8 distinct star queries. NoFilter guarantees
+// every query runs the verifier exactly once (the dataset has one graph,
+// nothing is admitted within the default window, so no hit ever shrinks
+// the candidate set).
+func gateCache(t *testing.T, verify ftv.VerifierFunc) (*Cache, []Request) {
+	t.Helper()
+	dataset := []*graph.Graph{gateStar(9)}
+	method := ftv.NewMethod("gated/vf2", dataset, ftv.NewNoFilter(len(dataset)), verify)
+	cfg := DefaultConfig()
+	cfg.Shards = 1
+	c := MustNew(method, cfg)
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{Graph: gateStar(i + 1), Type: ftv.Subgraph}
+	}
+	return c, reqs
+}
+
+// TestStreamContextCancelledUpfront: a context cancelled before the call
+// dispatches nothing at all.
+func TestStreamContextCancelledUpfront(t *testing.T) {
+	c, reqs := gateCache(t, nil) // default VF2, never blocks
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		n := 0
+		for range c.ExecuteAllStreamContext(ctx, reqs, workers) {
+			n++
+		}
+		if n != 0 {
+			t.Fatalf("workers=%d: %d outcomes from a cancelled context", workers, n)
+		}
+	}
+	if got := c.Stats().Queries; got != 0 {
+		t.Fatalf("%d queries executed despite cancelled context", got)
+	}
+}
+
+// TestStreamContextStopsSequentialDispatch: cancelling mid-batch on the
+// sequential path stops after the in-flight query — the remaining ones
+// never reach the cache.
+func TestStreamContextStopsSequentialDispatch(t *testing.T) {
+	gate := make(chan struct{})
+	ready := make(chan struct{}, 16)
+	c, reqs := gateCache(t, func(pattern, target *graph.Graph) bool {
+		ready <- struct{}{}
+		<-gate
+		return ftv.VF2Verifier(pattern, target)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	out := c.ExecuteAllStreamContext(ctx, reqs, 1)
+	<-ready // query 0 is inside its verifier
+	cancel()
+	gate <- struct{}{} // release query 0; later queries must not start
+	var outcomes []StreamOutcome
+	for so := range out {
+		outcomes = append(outcomes, so)
+	}
+	if len(outcomes) != 1 || outcomes[0].Index != 0 {
+		t.Fatalf("outcomes %v, want exactly query 0", outcomes)
+	}
+	if got := c.Stats().Queries; got != 1 {
+		t.Fatalf("%d queries executed, want 1", got)
+	}
+}
+
+// TestStreamContextStopsWorkerDispatch: cancelling mid-batch on the
+// worker-pool path lets the in-flight queries finish and dispatches no
+// more.
+func TestStreamContextStopsWorkerDispatch(t *testing.T) {
+	gate := make(chan struct{})
+	ready := make(chan struct{}, 16)
+	c, reqs := gateCache(t, func(pattern, target *graph.Graph) bool {
+		ready <- struct{}{}
+		<-gate
+		return ftv.VF2Verifier(pattern, target)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	out := c.ExecuteAllStreamContext(ctx, reqs, 2)
+	<-ready // both workers are inside their verifiers
+	<-ready
+	cancel()
+	close(gate) // release everything that ever blocks
+	n := 0
+	for range out {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("%d outcomes after cancelling with 2 in flight, want 2", n)
+	}
+	if got := c.Stats().Queries; got != 2 {
+		t.Fatalf("%d queries executed, want 2", got)
+	}
+}

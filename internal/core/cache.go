@@ -44,8 +44,13 @@ import (
 // copy-on-write slice of the feature index — hit detection reads the
 // union of the per-shard slices, so no other shard blocks or rebuilds
 // (see index.go for the publication rules). The lock hierarchy is
-// windowMu → policyMu → shard locks; reverse nestings never occur.
-// Operational counters (Monitor) are atomics and bypass locks entirely.
+// dsMu → windowMu → policyMu → shard locks; reverse nestings never
+// occur. dsMu is the dataset RWMutex: queries hold its read side for
+// their whole run (pinning one dataset snapshot; queries never serialize
+// against each other on it), live dataset mutations
+// (AddGraph/RemoveGraph, see mutate.go) hold the write side while they
+// patch cached answer sets. Operational counters (Monitor) are atomics
+// and bypass locks entirely.
 //
 // Config.SharedWindow restores the previous admission engine as the
 // measurable baseline (like Serialized and IndexOff): one global window
@@ -86,6 +91,17 @@ type Cache struct {
 	// baseline for the parallel-throughput benchmarks and as the reference
 	// configuration for equivalence tests.
 	serialMu sync.Mutex
+
+	// dsMu orders queries against live dataset mutations: Execute (and the
+	// state save/restore paths) hold the read side for their whole
+	// duration, so every query runs against ONE dataset snapshot and its
+	// answer is exact for that snapshot; AddGraph/RemoveGraph take the
+	// write side, which both drains all in-flight queries before the
+	// mutation patches cached state and guarantees no query observes a
+	// half-maintained cache. It is an RWMutex, so queries still run
+	// against each other with no serialization — the outermost rung of the
+	// lock hierarchy: dsMu → windowMu → policyMu → shard locks.
+	dsMu sync.RWMutex
 
 	// windowMu guards the shared admission window — only used with
 	// Config.SharedWindow; the per-shard engine stages in shard.window
@@ -187,15 +203,11 @@ func (c *Cache) newID() int {
 	return int(c.nextID.Add(1) - 1)
 }
 
-// Len returns the number of admitted entries (excluding the windows).
+// Len returns the number of admitted entries (excluding the windows). It
+// reads the atomic residency account — every shard insert and removal
+// maintains it — instead of walking the shards under their locks.
 func (c *Cache) Len() int {
-	n := 0
-	for _, sh := range c.shards {
-		sh.mu.RLock()
-		n += len(sh.entries)
-		sh.mu.RUnlock()
-	}
-	return n
+	return int(c.res.entries.Load())
 }
 
 // WindowLen returns the number of entries pending admission across all
@@ -215,15 +227,11 @@ func (c *Cache) WindowLen() int {
 	return n
 }
 
-// Bytes returns the estimated resident size of admitted entries.
+// Bytes returns the estimated resident size of admitted entries, read
+// from the atomic residency account (the same totals the per-shard
+// memBytes fields sum to — asserted by TestResidencyAccountAgreement).
 func (c *Cache) Bytes() int {
-	b := 0
-	for _, sh := range c.shards {
-		sh.mu.RLock()
-		b += sh.memBytes
-		sh.mu.RUnlock()
-	}
-	return b
+	return int(c.res.bytes.Load())
 }
 
 // Stats returns a snapshot of the operational counters.
@@ -290,22 +298,46 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		c.serialMu.Lock()
 		defer c.serialMu.Unlock()
 	}
+	// The read side of the dataset mutex pins one dataset snapshot for the
+	// whole query: filtering, hit reconciliation, verification, self-check
+	// and admission all see the same epoch. Queries share the read side
+	// freely; only AddGraph/RemoveGraph take the write side.
+	c.dsMu.RLock()
+	defer c.dsMu.RUnlock()
+	view := c.method.View()
 
 	tick := c.tick.Add(1)
 	c.mon.queries.Add(1)
-	n := c.method.DatasetSize()
+	n := view.Size()
 	sig := c.signatureOf(q)
 
 	// Stage 1: exact-match fast path — zero dataset tests.
 	t0 := time.Now()
 	if e := c.findExact(q, qt, sig); e != nil {
+		ans := c.reconciledAnswers(e, view)
 		hitTime := time.Since(t0)
 		saved := e.BaseCandidates
+		// Price the savings like the sub/super path does: per-graph cost
+		// estimates over the entry's answer set, the overall mean only for
+		// the remainder of C_M (the candidates that verified negative).
+		// Pricing every saved test at the mean would under-credit entries
+		// whose savings concentrate on expensive graphs, skewing PINC/HD
+		// victim ranking against exactly the entries worth keeping.
+		cost := 0.0
+		inAnswers := 0
+		ans.ForEach(func(gid int) bool {
+			inAnswers++
+			cost += c.estimatedCost(gid)
+			return true
+		})
+		if rem := saved - inAnswers; rem > 0 {
+			cost += float64(rem) * c.estimatedMeanCost()
+		}
 		ev := &HitEvent{
 			Entry:       e,
 			Kind:        ExactHit,
 			SavedTests:  saved,
-			SavedCostNs: float64(saved) * c.estimatedMeanCost(),
+			SavedCostNs: cost,
 			Tick:        tick,
 		}
 		c.policyMu.Lock()
@@ -315,11 +347,11 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		c.mon.testsSaved.Add(int64(saved))
 		c.mon.hitNs.Add(hitTime.Nanoseconds())
 		res := &Result{
-			Answers:        e.Answers.Clone(),
+			Answers:        ans.Clone(),
 			BaseCandidates: saved,
 			Candidates:     0,
 			Tests:          0,
-			Sure:           e.Answers.Clone(),
+			Sure:           ans.Clone(),
 			Excluded:       bitset.New(n),
 			Survivors:      bitset.New(n),
 			Hits:           []HitRef{{EntryID: e.ID, Kind: ExactHit, SavedTests: saved}},
@@ -331,10 +363,10 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	}
 	hitTime := time.Since(t0)
 
-	// Stage 2: Method M filtering (lock-free: the filter index is
-	// immutable after construction).
+	// Stage 2: Method M filtering (lock-free: the view's filter index is
+	// immutable).
 	tf := time.Now()
-	cm := c.method.Candidates(q, qt)
+	cm := view.Candidates(q, qt)
 	filterTime := time.Since(tf)
 
 	// Stage 3: sub/super hit detection over a point-in-time snapshot of
@@ -374,22 +406,28 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		})
 		return saved, cost
 	}
+	// A hit's answers must first be brought to the query's dataset epoch:
+	// stale sets miss graphs added since the entry was last reconciled,
+	// which would silently shrink S (lost savings — sound) but also
+	// wrongly exclude candidates via S′ (lost answers — unsound).
 	credits := make([]hitCredit, 0, len(answerHits)+len(pruneHits))
 	sure := bitset.New(n)
 	for _, h := range answerHits {
-		s := h.Answers.Clone()
+		ha := c.reconciledAnswers(h, view)
+		s := ha.Clone()
 		s.And(cm)
 		saved, cost := costOf(s)
 		credits = append(credits, hitCredit{h, answerKind, saved, cost})
-		sure.Or(h.Answers)
+		sure.Or(ha)
 	}
 	candPruned := cm.Clone()
 	for _, h := range pruneHits {
+		ha := c.reconciledAnswers(h, view)
 		s := cm.Clone()
-		s.AndNot(h.Answers)
+		s.AndNot(ha)
 		saved, cost := costOf(s)
 		credits = append(credits, hitCredit{h, pruneKind, saved, cost})
-		candPruned.And(h.Answers)
+		candPruned.And(ha)
 	}
 	var hits []HitRef
 	if len(credits) > 0 {
@@ -418,7 +456,7 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	// Stage 5: verification of the reduced candidate set (lock-free; cost
 	// samples fold into the EMA cells with CAS, no lock either).
 	tv := time.Now()
-	survivors, costs := c.verify(q, qt, cand)
+	survivors, costs := c.verify(view, q, qt, cand)
 	verifyTime := time.Since(tv)
 	c.recordCosts(costs)
 
@@ -447,8 +485,11 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	}
 	c.selfCheck(q, qt, res)
 
-	// Stage 6: admission via the window manager.
-	c.admit(q, qt, answers.Clone(), cm.Count(), sig, tick)
+	// Stage 6: admission via the window manager. The entry carries the
+	// view's epoch: its answers are exact for that dataset state, and any
+	// later mutation either patches it (eager) or is reconciled from the
+	// addition log before the entry's answers are next trusted (lazy).
+	c.admit(q, qt, answers.Clone(), cm.Count(), sig, tick, view.Epoch())
 	return res, nil
 }
 
@@ -508,10 +549,11 @@ type costSample struct {
 }
 
 // verify runs the sub-iso tests over the candidate set, sequentially or
-// with a bounded worker pool. It holds no locks; measured costs are
-// returned for the caller to fold into the EMA cells.
-func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) (*bitset.Set, []costSample) {
-	n := c.method.DatasetSize()
+// with a bounded worker pool, against the query's dataset view. It holds
+// no locks; measured costs are returned for the caller to fold into the
+// EMA cells.
+func (c *Cache) verify(view ftv.DatasetView, q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) (*bitset.Set, []costSample) {
+	n := view.Size()
 	out := bitset.New(n)
 	ids := cand.Indices()
 	if len(ids) == 0 {
@@ -521,7 +563,7 @@ func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) (*bit
 	if c.cfg.VerifyWorkers < 2 || len(ids) < 4 {
 		for _, gid := range ids {
 			t0 := time.Now()
-			ok := c.method.VerifyCandidate(q, gid, qt)
+			ok := view.VerifyCandidate(q, gid, qt)
 			costs = append(costs, costSample{gid, time.Since(t0)})
 			if ok {
 				out.Add(gid)
@@ -557,7 +599,7 @@ func (c *Cache) verify(q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) (*bit
 			for i := lo; i < hi; i++ {
 				gid := ids[i]
 				t0 := time.Now()
-				ok := c.method.VerifyCandidate(q, gid, qt)
+				ok := view.VerifyCandidate(q, gid, qt)
 				results[i] = verdict{gid, ok, time.Since(t0)}
 			}
 		}(lo, hi)
@@ -586,14 +628,14 @@ func (c *Cache) recordCosts(costs []costSample) {
 // window by default, or in the single shared window with
 // Config.SharedWindow — and turns the window when full (the Window
 // Manager). The default path touches only the owning shard's lock.
-func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) {
+func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick, epoch int64) {
 	if c.cfg.SharedWindow {
-		c.admitShared(q, qt, answers, baseCandidates, sig, tick)
+		c.admitShared(q, qt, answers, baseCandidates, sig, tick, epoch)
 		return
 	}
 	sh := c.shardFor(sig.fp)
 	sh.mu.Lock()
-	e := entryFromSig(c.newID(), q, qt, answers, baseCandidates, sig, tick)
+	e := entryFromSig(c.newID(), q, qt, answers, baseCandidates, sig, tick, epoch)
 	sh.window = append(sh.window, e)
 	full := len(sh.window) >= c.shardWindow
 	sh.mu.Unlock()
@@ -605,10 +647,10 @@ func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, bas
 // admitShared is the SharedWindow staging path: one global buffer under
 // windowMu, turned whole under every shard lock — the measurable
 // pre-decentralization baseline.
-func (c *Cache) admitShared(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) {
+func (c *Cache) admitShared(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick, epoch int64) {
 	c.windowMu.Lock()
 	defer c.windowMu.Unlock()
-	e := entryFromSig(c.newID(), q, qt, answers, baseCandidates, sig, tick)
+	e := entryFromSig(c.newID(), q, qt, answers, baseCandidates, sig, tick, epoch)
 	c.window = append(c.window, e)
 	if len(c.window) >= c.cfg.Window {
 		c.turnWindowShared()
@@ -645,6 +687,11 @@ func (c *Cache) turnShard(sh *shard) {
 
 	for _, e := range sh.entries {
 		e.age(c.cfg.DecayFactor)
+		// True up this entry's byte charge: lazy reconciliation may have
+		// grown its answer set on the query path, where no account can be
+		// touched. O(1) per entry; keeps the memory-budget enforcement
+		// below honest in LazyReconcile mode.
+		c.rechargeLocked(sh, e)
 	}
 	// The cross-shard ranking view is built once and reused by every
 	// eviction pass of this turn: it reflects the published summaries
@@ -690,6 +737,7 @@ func (c *Cache) turnWindowShared() {
 	all := c.gatherLocked()
 	for _, e := range all {
 		e.age(c.cfg.DecayFactor)
+		c.rechargeLocked(c.shardFor(e.Fingerprint), e)
 	}
 	if excess := len(all) + len(c.window) - c.cfg.Capacity; excess > 0 {
 		all = c.evictLocked(all, excess)

@@ -62,7 +62,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 					c.Stats()
 				case 2:
 					for _, e := range c.Entries() {
-						_ = e.Answers.Count()
+						_ = e.Answers().Count()
 					}
 				case 3:
 					c.Bytes()

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// recordingPolicy captures every hit event so tests can assert the exact
+// savings the kernel credits. Eviction falls back to FIFO positions.
+type recordingPolicy struct {
+	events []*HitEvent
+}
+
+func (p *recordingPolicy) Name() string                    { return "recording" }
+func (p *recordingPolicy) UpdateCacheStaInfo(ev *HitEvent) { p.events = append(p.events, ev) }
+func (p *recordingPolicy) OnWindowTurn()                   {}
+func (p *recordingPolicy) ReplacedContent(entries []*Entry, x int) []int {
+	out := make([]int, 0, x)
+	for i := 0; i < x && i < len(entries); i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestExactHitCreditsPerGraphCosts is the regression test for the
+// exact-hit crediting bug: the exact path used to price every saved test
+// at the overall mean cost while the sub/super path sums per-graph
+// estimates — skewing PINC/HD victim ranking against entries whose
+// savings concentrate on expensive graphs. An exact hit must credit the
+// per-graph estimates over the entry's answer set, with the mean applied
+// only to the remainder of C_M.
+func TestExactHitCreditsPerGraphCosts(t *testing.T) {
+	dataset := testDataset(31, 10)
+	method := ftv.NewGGSXMethod(dataset, 3)
+	rec := &recordingPolicy{}
+	cfg := DefaultConfig()
+	cfg.Window = 1 // admit immediately
+	cfg.Shards = 1
+	cfg.Policy = rec
+	c := MustNew(method, cfg)
+
+	q := gen.ExtractConnectedSubgraph(rand.New(rand.NewSource(5)), dataset[0], 4)
+	res, err := c.Execute(q, ftv.Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := res.Answers.Indices()
+	if len(answers) == 0 || res.BaseCandidates <= len(answers) {
+		t.Fatalf("workload unsuitable: %d answers, %d base candidates", len(answers), res.BaseCandidates)
+	}
+
+	// Skew the cost estimates: answer graphs are expensive (1e6 ns), the
+	// overall mean is cheap (1e3 ns).
+	const expensive, mean = 1e6, 1e3
+	for _, gid := range answers {
+		c.costVal[gid].Store(math.Float64bits(expensive))
+	}
+	c.globalVal.Store(math.Float64bits(mean))
+
+	res2, err := c.Execute(q, ftv.Subgraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.ExactHit {
+		t.Fatal("expected an exact hit")
+	}
+	var ev *HitEvent
+	for _, e := range rec.events {
+		if e.Kind == ExactHit {
+			ev = e
+		}
+	}
+	if ev == nil {
+		t.Fatal("no exact-hit event recorded")
+	}
+	saved := res.BaseCandidates
+	if ev.SavedTests != saved {
+		t.Fatalf("credited %d saved tests, want %d", ev.SavedTests, saved)
+	}
+	want := float64(len(answers))*expensive + float64(saved-len(answers))*mean
+	if math.Abs(ev.SavedCostNs-want) > 1e-3 {
+		t.Fatalf("credited cost %.0f ns, want %.0f (per-graph over answers + mean remainder)", ev.SavedCostNs, want)
+	}
+	// The old formula — every saved test at the mean — must not survive.
+	if old := float64(saved) * mean; math.Abs(ev.SavedCostNs-old) < 1e-3 {
+		t.Fatalf("credited cost %.0f ns still equals the flat-mean pricing", ev.SavedCostNs)
+	}
+}

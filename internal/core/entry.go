@@ -1,10 +1,35 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"graphcache/internal/bitset"
 	"graphcache/internal/ftv"
 	"graphcache/internal/graph"
 )
+
+// answerState is one immutable (answer set, dataset epoch) pair: the set
+// is exact with respect to the dataset as of the epoch. Published whole
+// through answersCell so readers always see a matching pair.
+type answerState struct {
+	set   *bitset.Set
+	epoch int64
+}
+
+// answersCell is the atomic holder of an entry's answer state. It lives
+// behind a pointer in Entry so Entry values stay copyable (defensive
+// copies share the cell, like they share the immutable Graph).
+//
+// Publication rules: the set inside a published state is never mutated —
+// maintenance swaps in a freshly built set. Stop-the-world dataset
+// mutations (Cache.AddGraph eager mode, Cache.RemoveGraph) swap under the
+// full lock hierarchy with no queries in flight; lazy reconciliation swaps
+// from the query path, where racing reconcilers of the same entry compute
+// identical states (verification is deterministic), so last-write-wins is
+// benign.
+type answersCell struct {
+	p atomic.Pointer[answerState]
+}
 
 // Entry is one cached query: the pattern graph, its exact answer set and
 // the metadata consulted by hit detection and replacement policies.
@@ -17,8 +42,11 @@ type Entry struct {
 	Graph *graph.Graph
 	// Type is the query semantics the answers correspond to.
 	Type ftv.QueryType
-	// Answers is the exact answer set over dataset positions.
-	Answers *bitset.Set
+
+	// ans holds the entry's exact answer set over dataset positions,
+	// stamped with the dataset epoch it is exact up to. Read it through
+	// Answers/DatasetEpoch.
+	ans *answersCell
 
 	// Fingerprint, LabelVec and Features index the entry for hit
 	// detection: fingerprint equality pre-filters exact-match candidates;
@@ -40,6 +68,19 @@ type Entry struct {
 	// the number of sub-iso tests an exact-match hit on this entry saves.
 	BaseCandidates int
 
+	// staticBytes is the size of everything but the answer set — graph,
+	// signatures, struct overhead — computed once at construction so
+	// Bytes() is O(1) and can be re-evaluated cheaply whenever the answer
+	// set is swapped. Immutable.
+	staticBytes int
+
+	// resBytes is the entry's size as charged to the residency account at
+	// admission. Lazy reconciliation can grow the answer set on the query
+	// path without touching any account; the charge is trued up under the
+	// proper locks at the next window turn or stop-the-world maintenance
+	// pass (rechargeLocked). Guarded by the owning shard's lock.
+	resBytes int
+
 	// InsertedAt and LastUsed are query ticks (LRU/FIFO state).
 	InsertedAt int64
 	LastUsed   int64
@@ -53,16 +94,37 @@ type Entry struct {
 	SavedCostNs float64
 }
 
+// Answers returns the entry's current answer set — exact with respect to
+// the dataset as of DatasetEpoch. The returned set is immutable; the cache
+// replaces it whole when dataset mutations are reconciled.
+func (e *Entry) Answers() *bitset.Set { return e.ans.p.Load().set }
+
+// DatasetEpoch returns the dataset epoch the entry's answers are exact up
+// to. An entry whose epoch trails the method's is stale only with respect
+// to graphs ADDED since (removals are always applied stop-the-world); the
+// cache verifies exactly that delta before trusting the answers.
+func (e *Entry) DatasetEpoch() int64 { return e.ans.p.Load().epoch }
+
+// answers returns the entry's (set, epoch) pair as one consistent load.
+func (e *Entry) answers() *answerState { return e.ans.p.Load() }
+
+// setAnswers publishes a new answer state. The set must not be mutated
+// after the call.
+func (e *Entry) setAnswers(set *bitset.Set, epoch int64) {
+	e.ans.p.Store(&answerState{set: set, epoch: epoch})
+}
+
 // entryFromSig builds an Entry from a precomputed query signature — the
 // single construction site for cache entries, shared by admission and
 // state restores so the signature-derived fields (fingerprint, vectors,
-// feature summaries) can never drift between the two paths.
-func entryFromSig(id int, q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick int64) *Entry {
-	return &Entry{
+// feature summaries) can never drift between the two paths. epoch stamps
+// the dataset state the answers were computed against.
+func entryFromSig(id int, q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick, epoch int64) *Entry {
+	e := &Entry{
 		ID:             id,
 		Graph:          q,
 		Type:           qt,
-		Answers:        answers,
+		ans:            &answersCell{},
 		Fingerprint:    sig.fp,
 		LabelVec:       sig.labelVec,
 		Features:       sig.features,
@@ -72,16 +134,16 @@ func entryFromSig(id int, q *graph.Graph, qt ftv.QueryType, answers *bitset.Set,
 		InsertedAt:     tick,
 		LastUsed:       tick,
 	}
+	e.staticBytes = 224 + // struct (incl. feature summary) + bookkeeping
+		q.Bytes() + 12*len(e.Features) + 8*len(e.LabelVec)
+	e.setAnswers(answers, epoch)
+	return e
 }
 
-// Bytes estimates the entry's resident size for the memory budget.
+// Bytes estimates the entry's resident size for the memory budget: the
+// immutable static part plus the current answer set. O(1).
 func (e *Entry) Bytes() int {
-	b := 224 // struct (incl. feature summary) + bookkeeping
-	b += e.Graph.Bytes()
-	b += e.Answers.Bytes()
-	b += 12 * len(e.Features)
-	b += 8 * len(e.LabelVec)
-	return b
+	return e.staticBytes + e.Answers().Bytes()
 }
 
 // age decays the adaptive utilities by factor.

@@ -112,7 +112,7 @@ func checkShardedEquivalence(t *testing.T, policy string, shards int, indexOff b
 		if es[i].ID != ep[i].ID {
 			t.Fatalf("entry %d: ID %d vs %d", i, es[i].ID, ep[i].ID)
 		}
-		if !es[i].Answers.Equal(ep[i].Answers) {
+		if !es[i].Answers().Equal(ep[i].Answers()) {
 			t.Fatalf("entry %d: answer sets diverge", i)
 		}
 		if es[i].Hits != ep[i].Hits || es[i].SavedTests != ep[i].SavedTests {
@@ -287,7 +287,7 @@ func TestPerShardWindowEquivalence(t *testing.T) {
 					t.Fatalf("resident entries diverge at 1 shard: %d vs %d", len(eb), len(ep))
 				}
 				for i := range eb {
-					if eb[i].ID != ep[i].ID || !eb[i].Answers.Equal(ep[i].Answers) {
+					if eb[i].ID != ep[i].ID || !eb[i].Answers().Equal(ep[i].Answers()) {
 						t.Fatalf("entry %d diverges at 1 shard", i)
 					}
 					if eb[i].Hits != ep[i].Hits || eb[i].SavedTests != ep[i].SavedTests {
@@ -350,7 +350,7 @@ func TestDeterministicAtFixedShardCount(t *testing.T) {
 		t.Fatalf("resident entries diverge: %d vs %d", len(ea), len(eb))
 	}
 	for i := range ea {
-		if ea[i].ID != eb[i].ID || !ea[i].Answers.Equal(eb[i].Answers) {
+		if ea[i].ID != eb[i].ID || !ea[i].Answers().Equal(eb[i].Answers()) {
 			t.Fatalf("entry %d diverges between runs", i)
 		}
 	}

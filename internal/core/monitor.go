@@ -13,24 +13,27 @@ import (
 // (each counter is individually consistent, the set is approximate under
 // concurrent load — exact once in-flight queries drain).
 type Monitor struct {
-	queries         atomic.Int64
-	exactHits       atomic.Int64 // queries answered purely from cache
-	subHitQueries   atomic.Int64 // queries with ≥1 sub-case hit
-	superHitQueries atomic.Int64 // queries with ≥1 super-case hit
-	subHits         atomic.Int64 // total hit contributions
-	superHits       atomic.Int64
-	testsExecuted   atomic.Int64
-	testsSaved      atomic.Int64
-	hitDetectIso    atomic.Int64 // iso tests against cached queries
-	hitScanEntries  atomic.Int64 // entries examined during hit detection
-	hitFullChecks   atomic.Int64 // label/path dominance merges run
-	hitIndexPruned  atomic.Int64 // entries the feature index rejected outright
-	admissions      atomic.Int64
-	evictions       atomic.Int64
-	windowTurns     atomic.Int64
-	filterNs        atomic.Int64
-	hitNs           atomic.Int64
-	verifyNs        atomic.Int64
+	queries          atomic.Int64
+	exactHits        atomic.Int64 // queries answered purely from cache
+	subHitQueries    atomic.Int64 // queries with ≥1 sub-case hit
+	superHitQueries  atomic.Int64 // queries with ≥1 super-case hit
+	subHits          atomic.Int64 // total hit contributions
+	superHits        atomic.Int64
+	testsExecuted    atomic.Int64
+	testsSaved       atomic.Int64
+	hitDetectIso     atomic.Int64 // iso tests against cached queries
+	hitScanEntries   atomic.Int64 // entries examined during hit detection
+	hitFullChecks    atomic.Int64 // label/path dominance merges run
+	hitIndexPruned   atomic.Int64 // entries the feature index rejected outright
+	admissions       atomic.Int64
+	evictions        atomic.Int64
+	windowTurns      atomic.Int64
+	datasetAdds      atomic.Int64 // live dataset graphs added
+	datasetRemoves   atomic.Int64 // live dataset graphs tombstoned
+	maintenanceTests atomic.Int64 // iso tests spent reconciling answer sets after additions
+	filterNs         atomic.Int64
+	hitNs            atomic.Int64
+	verifyNs         atomic.Int64
 }
 
 // Snapshot is an immutable copy of the monitor's counters.
@@ -58,6 +61,11 @@ type Snapshot struct {
 	HitScanEntries, HitFullChecks, HitIndexPruned int64
 	// Admissions / Evictions / WindowTurns are Cache-Manager counters.
 	Admissions, Evictions, WindowTurns int64
+	// DatasetAdds / DatasetRemoves count live dataset mutations;
+	// MaintenanceTests counts the containment tests spent reconciling
+	// cached answer sets after additions (eagerly at mutation time or
+	// lazily at hit time) — the maintenance side of the churn ledger.
+	DatasetAdds, DatasetRemoves, MaintenanceTests int64
 	// FilterTime, HitTime and VerifyTime split where query time went.
 	FilterTime, HitTime, VerifyTime time.Duration
 }
@@ -80,6 +88,9 @@ func (m *Monitor) Snapshot() Snapshot {
 		Admissions:        m.admissions.Load(),
 		Evictions:         m.evictions.Load(),
 		WindowTurns:       m.windowTurns.Load(),
+		DatasetAdds:       m.datasetAdds.Load(),
+		DatasetRemoves:    m.datasetRemoves.Load(),
+		MaintenanceTests:  m.maintenanceTests.Load(),
 		FilterTime:        time.Duration(m.filterNs.Load()),
 		HitTime:           time.Duration(m.hitNs.Load()),
 		VerifyTime:        time.Duration(m.verifyNs.Load()),

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"graphcache/internal/bitset"
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+)
+
+// Live dataset mutations with exact cache maintenance.
+//
+// The cache's correctness argument rests on answer sets being exact over
+// the dataset; when the dataset itself changes, the cached answer sets are
+// materialized views that must be maintained. The rules:
+//
+//   - Queries and mutations serialize through dsMu: every query holds the
+//     read side for its whole run (one dataset snapshot per query, shared
+//     freely between queries); AddGraph/RemoveGraph hold the write side,
+//     so mutations see a quiescent cache and queries never see a
+//     half-maintained one.
+//
+//   - REMOVALS are always stop-the-world and cheap: under the full lock
+//     hierarchy the tombstoned gid's bit is cleared from every admitted
+//     and window entry's answer set (a clone-and-clear pointer swap per
+//     affected entry — no iso tests), and the method masks the gid out of
+//     every future candidate set. Ids are never reused.
+//
+//   - ADDITIONS must decide, per cached entry, whether the new graph
+//     belongs in its answer set — one containment test per entry. Eager
+//     mode (the default) runs those tests at mutation time, bringing
+//     every entry to the new epoch before any query runs again. Lazy mode
+//     (Config.LazyReconcile) defers them: entries keep their epoch, and a
+//     hit on a stale entry verifies exactly the delta graphs recorded in
+//     the method's addition log before its answers are trusted — paid by
+//     the queries that actually touch the entry, never by ones that
+//     don't.
+//
+// Either way every individual answer set returned by Execute is exact for
+// the query's dataset snapshot — the SelfCheck oracle and the churn
+// equivalence suite assert byte-identical answers to the uncached method
+// after every mutation.
+
+// AddGraph appends g to the live dataset under a fresh stable id and
+// maintains the cached state exactly: the verification-cost EMA array and
+// all future per-query bitsets grow with the dataset, and cached answer
+// sets are reconciled eagerly (default) or lazily (Config.LazyReconcile).
+// It returns the new graph's id. The method must support AddGraph
+// (ftv.NewDynamicMethod or a bundled constructor).
+func (c *Cache) AddGraph(g *graph.Graph) (int, error) {
+	c.dsMu.Lock()
+	defer c.dsMu.Unlock()
+	gid, err := c.method.AddGraph(g)
+	if err != nil {
+		return 0, err
+	}
+	view := c.method.View()
+
+	// Grow the per-graph cost-EMA array. Cells are copied value-by-value
+	// (atomic.Uint64 must not be moved with copy/append); in-flight CAS
+	// updates cannot race this — every reader and writer of costVal runs
+	// under the read side of dsMu.
+	grown := make([]atomic.Uint64, view.Size())
+	for i := range c.costVal {
+		grown[i].Store(c.costVal[i].Load())
+	}
+	c.costVal = grown
+	c.mon.datasetAdds.Add(1)
+
+	if c.cfg.LazyReconcile {
+		return gid, nil
+	}
+	// Eager reconciliation: verify the new graph against every admitted
+	// and window entry now, under the full hierarchy (no queries are in
+	// flight — dsMu is held exclusively — so the swaps are unobservable).
+	c.withAllEntriesLocked(func(sh *shard, e *Entry) {
+		c.reconcileEntryLocked(sh, e, view)
+	})
+	return gid, nil
+}
+
+// RemoveGraph tombstones dataset graph gid and clears its bit from every
+// admitted and window entry's answer set — the stop-the-world maintenance
+// path (no iso tests; a pointer swap per affected entry). The id is never
+// reused, so all other answer-set positions stay valid as-is.
+func (c *Cache) RemoveGraph(gid int) error {
+	c.dsMu.Lock()
+	defer c.dsMu.Unlock()
+	if err := c.method.RemoveGraph(gid); err != nil {
+		return err
+	}
+	c.mon.datasetRemoves.Add(1)
+	c.withAllEntriesLocked(func(sh *shard, e *Entry) {
+		st := e.answers()
+		if gid < st.set.Len() && st.set.Contains(gid) {
+			s := st.set.Clone()
+			s.Remove(gid)
+			// The epoch is NOT advanced: entry epochs track the addition
+			// log only (removals apply to every entry right here), so an
+			// unchanged epoch cannot skip a pending addition record.
+			e.setAnswers(s, st.epoch)
+		}
+		// Clearing a bit never changes the set's size, but pending lazy
+		// growth from earlier additions is trued up while the locks are
+		// held anyway.
+		c.rechargeLocked(sh, e)
+	})
+	return nil
+}
+
+// withAllEntriesLocked runs fn over every admitted entry (with its owning
+// shard) and every window-pending entry (shard nil-checked via resBytes
+// being uncharged — fn receives the owning shard only for admitted
+// entries, nil for window entries, whose bytes are charged at insertion).
+// It takes the full lock hierarchy below dsMu; caller holds dsMu
+// exclusively.
+func (c *Cache) withAllEntriesLocked(fn func(sh *shard, e *Entry)) {
+	c.windowMu.Lock()
+	defer c.windowMu.Unlock()
+	c.policyMu.Lock()
+	defer c.policyMu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
+	for _, sh := range c.shards {
+		for _, e := range sh.entries {
+			fn(sh, e)
+		}
+		for _, e := range sh.window {
+			fn(nil, e)
+		}
+	}
+	for _, e := range c.window {
+		fn(nil, e)
+	}
+}
+
+// reconcileEntryLocked brings one entry to the view's epoch by verifying
+// the delta additions, adjusting the owning shard's byte account for any
+// answer-set growth (sh nil for window entries, charged at insertion).
+// Caller holds dsMu exclusively plus the full lock hierarchy.
+func (c *Cache) reconcileEntryLocked(sh *shard, e *Entry, view ftv.DatasetView) {
+	st := e.answers()
+	if st.epoch >= view.Epoch() && st.set.Len() == view.Size() {
+		return
+	}
+	set := c.patchedAnswers(e, st, view)
+	e.setAnswers(set, view.Epoch())
+	c.rechargeLocked(sh, e)
+}
+
+// rechargeLocked trues up the byte accounts for an entry whose answer set
+// may have been swapped (lazy reconciliation grows sets on the query path
+// without touching any account). O(1) — Entry.Bytes only re-reads the
+// answer set's word count. Caller holds the owning shard's write lock (sh
+// nil for window entries, whose bytes are charged at insertion).
+func (c *Cache) rechargeLocked(sh *shard, e *Entry) {
+	if sh == nil {
+		return
+	}
+	if nb := e.Bytes(); nb != e.resBytes {
+		sh.memBytes += nb - e.resBytes
+		c.res.bytes.Add(int64(nb - e.resBytes))
+		e.resBytes = nb
+	}
+}
+
+// reconciledAnswers returns e's answer set brought to the query view's
+// epoch, verifying only the graphs added since the entry's epoch (the
+// lazy-reconciliation read path; in eager mode entries are already
+// current, making this a single atomic load). It runs lock-free under the
+// read side of dsMu: racing reconcilers of the same entry compute
+// identical states, so the last published one wins benignly. Byte
+// accounts are deliberately NOT touched here (no shard lock is held);
+// they are trued up at the owning shard's next window turn and at
+// every stop-the-world maintenance pass (rechargeLocked).
+func (c *Cache) reconciledAnswers(e *Entry, view ftv.DatasetView) *bitset.Set {
+	st := e.answers()
+	if st.epoch >= view.Epoch() && st.set.Len() == view.Size() {
+		return st.set
+	}
+	set := c.patchedAnswers(e, st, view)
+	e.setAnswers(set, view.Epoch())
+	return set
+}
+
+// patchedAnswers computes e's answer set at the view's epoch from the
+// state st: grown to the view's id space, with each logged addition since
+// st.epoch verified for containment (tombstoned additions are skipped —
+// their bits were never set in st and must stay clear). Removal bits need
+// no handling: removals clear them from every entry at mutation time.
+func (c *Cache) patchedAnswers(e *Entry, st *answerState, view ftv.DatasetView) *bitset.Set {
+	recs := view.AddsSince(st.epoch)
+	set := st.set
+	switch {
+	case set.Len() != view.Size():
+		set = set.Grown(view.Size())
+	case len(recs) > 0:
+		set = set.Clone()
+	default:
+		return set // removals-only delta: the set is already exact
+	}
+	for _, r := range recs {
+		if view.Graph(r.GID) == nil {
+			continue // added then removed before this entry caught up
+		}
+		c.mon.maintenanceTests.Add(1)
+		if view.VerifyCandidate(e.Graph, r.GID, e.Type) {
+			set.Add(r.GID)
+		}
+	}
+	return set
+}
+
+// DatasetInfo is a snapshot of the live dataset's shape.
+type DatasetInfo struct {
+	// Size is the id space: positions including tombstones.
+	Size int
+	// Live is the number of queryable (non-tombstoned) graphs.
+	Live int
+	// Epoch counts mutations: 0 at construction, +1 per add or remove.
+	Epoch int64
+}
+
+// DatasetInfo reports the current dataset shape.
+func (c *Cache) DatasetInfo() DatasetInfo {
+	v := c.method.View()
+	return DatasetInfo{Size: v.Size(), Live: v.LiveCount(), Epoch: v.Epoch()}
+}

@@ -39,11 +39,18 @@ import (
 
 const stateVersion = 2
 
-// WriteState serializes the cache's admitted entries to w. It takes
-// policyMu (the utility fields it records are mutated under it) plus
-// every shard lock, so the written state is one consistent snapshot even
-// under concurrent queries.
+// WriteState serializes the cache's admitted entries to w. It takes the
+// read side of the dataset mutex (the recorded answer ids must belong to
+// one dataset snapshot) plus policyMu (the utility fields it records are
+// mutated under it) plus every shard lock, so the written state is one
+// consistent snapshot even under concurrent queries. Entries stale with
+// respect to dataset additions (LazyReconcile) are reconciled before
+// serialization — the on-disk format carries no epochs, so what it stores
+// must be exact at the header's dataset size.
 func (c *Cache) WriteState(w io.Writer) error {
+	c.dsMu.RLock()
+	defer c.dsMu.RUnlock()
+	view := c.method.View()
 	c.policyMu.Lock()
 	defer c.policyMu.Unlock()
 	c.lockAll()
@@ -51,11 +58,11 @@ func (c *Cache) WriteState(w io.Writer) error {
 
 	all := c.gatherLocked()
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "gcstate %d %d %d\n", stateVersion, c.method.DatasetSize(), len(all))
+	fmt.Fprintf(bw, "gcstate %d %d %d\n", stateVersion, view.Size(), len(all))
 	for _, e := range all {
 		fmt.Fprintf(bw, "entry %d %d %d %d %d %g %g\n",
 			e.Type, e.Graph.N(), e.Graph.M(), e.BaseCandidates, e.Hits, e.SavedTests, e.SavedCostNs)
-		ids := e.Answers.Indices()
+		ids := c.reconciledAnswers(e, view).Indices()
 		fmt.Fprintf(bw, "answers %d", len(ids))
 		for _, id := range ids {
 			fmt.Fprintf(bw, " %d", id)
@@ -89,6 +96,12 @@ func stateError(line int, format string, args ...any) error {
 // as it was (empty, when the load happens at boot). On success the feature
 // index is rebuilt before the locks drop.
 func (c *Cache) ReadState(r io.Reader) error {
+	// The read side of the dataset mutex pins the dataset for the whole
+	// restore (mutations are excluded; concurrent queries are not — they
+	// are fenced by the lock hierarchy below, exactly like before).
+	c.dsMu.RLock()
+	defer c.dsMu.RUnlock()
+	view := c.method.View()
 	br := bufio.NewReader(r)
 	lineNo := 1
 	header, err := br.ReadString('\n')
@@ -109,8 +122,8 @@ func (c *Cache) ReadState(r io.Reader) error {
 	if _, err := fmt.Sscanf(header, "gcstate %d %d %d", &version, &dsSize, &entryCount); err != nil {
 		return stateError(lineNo, "bad header %q", strings.TrimSpace(header))
 	}
-	if dsSize != c.method.DatasetSize() {
-		return stateError(lineNo, "state is for a %d-graph dataset, cache has %d", dsSize, c.method.DatasetSize())
+	if dsSize != view.Size() {
+		return stateError(lineNo, "state is for a %d-graph dataset, cache has %d", dsSize, view.Size())
 	}
 	if entryCount < 0 {
 		return stateError(lineNo, "negative entry count %d", entryCount)
@@ -238,7 +251,11 @@ parse:
 				it.vertices, it.edges, gs[0].N(), gs[0].M())
 		}
 		answers := bitset.FromIndices(dsSize, it.answers)
-		e := entryFromSig(0, gs[0], it.qt, answers, it.baseCandidates, c.signatureOf(gs[0]), 0)
+		// Ids tombstoned since the state was written are masked out: ids
+		// are never reused, so the remaining bits are still exact, and the
+		// restored entries are stamped with the current epoch.
+		answers.And(view.Live())
+		e := entryFromSig(0, gs[0], it.qt, answers, it.baseCandidates, c.signatureOf(gs[0]), 0, view.Epoch())
 		e.Hits = it.hits
 		e.SavedTests = it.savedTests
 		e.SavedCostNs = it.savedCost

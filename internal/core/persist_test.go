@@ -59,7 +59,7 @@ func TestStateRoundTrip(t *testing.T) {
 		if !res.ExactHit {
 			t.Fatalf("restored cache missed entry %d", e.ID)
 		}
-		if !res.Answers.Equal(e.Answers) {
+		if !res.Answers.Equal(e.Answers()) {
 			t.Fatalf("restored answers differ for entry %d", e.ID)
 		}
 	}

@@ -127,7 +127,7 @@ func (c *Cache) detectHits(q *graph.Graph, qt ftv.QueryType, sig querySig) hitSe
 	answersDeliverIsSub := qt == ftv.Subgraph
 	rank := func(cands []*Entry, largerFirst bool) {
 		sort.Slice(cands, func(i, j int) bool {
-			ai, aj := cands[i].Answers.Count(), cands[j].Answers.Count()
+			ai, aj := cands[i].Answers().Count(), cands[j].Answers().Count()
 			if ai != aj {
 				if largerFirst {
 					return ai > aj

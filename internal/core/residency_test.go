@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graphcache/internal/gen"
+)
+
+// shardWalk sums resident entries and bytes the slow way — walking every
+// shard under its read lock — the view Len/Bytes used to compute before
+// they switched to the atomic residency account.
+func shardWalk(c *Cache) (entries, memBytes int) {
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		entries += len(sh.entries)
+		memBytes += sh.memBytes
+		sh.mu.RUnlock()
+	}
+	return entries, memBytes
+}
+
+// TestResidencyAccountAgreement asserts that the atomic residency account
+// (now backing Cache.Len and Cache.Bytes) and the per-shard structures
+// agree after window turns, evictions, state save/restore cycles and live
+// dataset mutations in both reconciliation modes.
+func TestResidencyAccountAgreement(t *testing.T) {
+	check := func(t *testing.T, c *Cache, when string) {
+		t.Helper()
+		entries, memBytes := shardWalk(c)
+		if got := c.Len(); got != entries {
+			t.Fatalf("%s: Len() %d, shard walk %d", when, got, entries)
+		}
+		if got := c.Bytes(); got != memBytes {
+			t.Fatalf("%s: Bytes() %d, shard walk %d", when, got, memBytes)
+		}
+	}
+	for _, lazy := range []bool{false, true} {
+		t.Run(fmt.Sprintf("lazy=%v", lazy), func(t *testing.T) {
+			dataset := testDataset(41, 24)
+			extra := testDataset(42, 4)
+			w, err := gen.NewWorkload(rand.New(rand.NewSource(43)), dataset, gen.WorkloadConfig{
+				Size: 80, Mixed: true, PoolSize: 30,
+				ZipfS: 1.2, ChainFrac: 0.6, ChainLen: 3, MinEdges: 3, MaxEdges: 11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := testCache(t, dataset, func(cfg *Config) {
+				cfg.Capacity = 12 // small: forces turns and evictions
+				cfg.Window = 4
+				cfg.Shards = 4
+				cfg.LazyReconcile = lazy
+				cfg.SelfCheck = false
+			})
+			for i, q := range w.Queries {
+				if _, err := c.Execute(q.G, q.Type); err != nil {
+					t.Fatal(err)
+				}
+				if i%17 == 0 {
+					check(t, c, fmt.Sprintf("after query %d", i))
+				}
+			}
+			if c.Stats().Evictions == 0 || c.Stats().WindowTurns == 0 {
+				t.Fatal("workload too tame: no evictions or turns")
+			}
+			check(t, c, "after workload")
+
+			// Dataset mutations: additions grow answer sets (and, eagerly,
+			// the byte accounts); removals clear bits.
+			for i, g := range extra {
+				if _, err := c.AddGraph(g); err != nil {
+					t.Fatal(err)
+				}
+				check(t, c, fmt.Sprintf("after add %d", i))
+			}
+			if err := c.RemoveGraph(0); err != nil {
+				t.Fatal(err)
+			}
+			check(t, c, "after remove")
+			// RemoveGraph recharges every entry under the full hierarchy,
+			// so the accounts must now equal the TRUE resident footprint —
+			// in lazy mode too, where earlier hit-path growth went
+			// uncharged until this pass.
+			trueBytes := 0
+			for _, e := range c.Entries() {
+				trueBytes += e.Bytes()
+			}
+			if got := c.Bytes(); got != trueBytes {
+				t.Fatalf("after remove: Bytes() %d, true footprint %d", got, trueBytes)
+			}
+			// Touch entries so lazy reconciliation swaps answer sets, then
+			// re-check the accounts still agree.
+			for _, e := range c.Entries() {
+				if _, err := c.Execute(e.Graph, e.Type); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check(t, c, "after reconciling hits")
+
+			// Save/restore resets and rebuilds both views.
+			var buf bytes.Buffer
+			if err := c.WriteState(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.ReadState(&buf); err != nil {
+				t.Fatal(err)
+			}
+			check(t, c, "after restore")
+			if c.Len() == 0 {
+				t.Fatal("restore left the cache empty")
+			}
+		})
+	}
+}

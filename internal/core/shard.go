@@ -93,10 +93,14 @@ func (c *Cache) shardFor(fp graph.Fingerprint) *shard {
 func (sh *shard) insertLocked(e *Entry) {
 	sh.entries = append(sh.entries, e)
 	sh.byFP[e.Fingerprint] = append(sh.byFP[e.Fingerprint], e)
-	b := e.Bytes()
-	sh.memBytes += b
+	// The size charged at admission is remembered on the entry, so the
+	// accounts stay balanced even if the answer set is later swapped for a
+	// bigger one (lazy reconciliation after dataset additions; the
+	// stop-the-world maintenance paths re-charge the accounts explicitly).
+	e.resBytes = e.Bytes()
+	sh.memBytes += e.resBytes
 	sh.res.entries.Add(1)
-	sh.res.bytes.Add(int64(b))
+	sh.res.bytes.Add(int64(e.resBytes))
 }
 
 // containsLocked reports whether e is currently resident in the shard
@@ -140,10 +144,9 @@ func (sh *shard) removeLocked(e *Entry) {
 	} else {
 		sh.byFP[e.Fingerprint] = list
 	}
-	b := e.Bytes()
-	sh.memBytes -= b
+	sh.memBytes -= e.resBytes
 	sh.res.entries.Add(-1)
-	sh.res.bytes.Add(int64(-b))
+	sh.res.bytes.Add(int64(-e.resBytes))
 }
 
 // lockAll / unlockAll acquire every shard write lock in index order. Only

@@ -71,6 +71,10 @@ func NewLabelFilter(dataset []*graph.Graph) *LabelFilter {
 		sizes:   make([][2]int, len(dataset)),
 	}
 	for i, g := range dataset {
+		if g == nil { // tombstoned id: sentinel sizes match no query
+			f.sizes[i] = [2]int{-1, -1}
+			continue
+		}
 		f.vectors[i] = graph.LabelVectorOf(g)
 		f.sizes[i] = [2]int{g.N(), g.M()}
 		f.bytes += 8*len(f.vectors[i]) + 16
@@ -89,6 +93,9 @@ func (f *LabelFilter) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
 	qv := graph.LabelVectorOf(q)
 	out := bitset.New(f.n)
 	for i := 0; i < f.n; i++ {
+		if f.sizes[i][0] < 0 {
+			continue // tombstoned
+		}
 		switch qt {
 		case Subgraph:
 			if q.N() <= f.sizes[i][0] && q.M() <= f.sizes[i][1] && qv.DominatedBy(f.vectors[i]) {

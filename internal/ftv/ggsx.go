@@ -70,6 +70,9 @@ func NewGGSX(dataset []*graph.Graph, maxLen int) *GGSX {
 		forward: make([][]nodeCount, len(dataset)),
 	}
 	for gid, g := range dataset {
+		if g == nil { // tombstoned id: indexed as empty
+			continue
+		}
 		counts := x.countPaths(g)
 		fwd := make([]nodeCount, 0, len(counts))
 		for node, c := range counts {

@@ -2,6 +2,8 @@ package ftv
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphcache/internal/bitset"
@@ -23,52 +25,275 @@ func UllmannVerifier(pattern, target *graph.Graph) bool {
 	return ok
 }
 
+// FilterFactory builds a Filter over a dataset slice. Tombstoned positions
+// are nil and must be tolerated (indexed as empty — the bundled filters
+// all do); a Method constructed with a factory supports AddGraph, which
+// rebuilds the filter over the grown dataset.
+type FilterFactory func(dataset []*graph.Graph) Filter
+
 // Method is "Method M" of the paper: a dataset, a Filter and a Verifier.
 // It answers subgraph/supergraph queries exactly, and exposes its filter
 // and verifier so the GraphCache kernel can run the verification stage
 // over a pruned candidate set.
+//
+// # Dynamic datasets
+//
+// A Method built with NewDynamicMethod (or the bundled constructors, which
+// all use one) additionally takes live mutations: AddGraph appends a graph
+// under a fresh, stable id, and RemoveGraph tombstones an id without ever
+// reusing it. The whole dataset state — graph slice, filter, live-id set,
+// epoch and addition log — lives in one immutable snapshot behind an
+// atomic pointer: mutators build a new snapshot (copy-on-write) and
+// publish it with a single store, so readers never lock and never observe
+// a half-applied mutation. Every mutation bumps the epoch; the addition
+// log records (epoch, gid) per added graph so cache layers can reconcile
+// stale answer sets by verifying only the delta. Removals keep the old
+// filter (its postings for the dead id are masked by the live set — exact,
+// because Candidates intersects with live); additions rebuild the filter
+// through the factory.
+//
+// Readers that need a consistent multi-call view (size, candidates,
+// verification) must take one View and use it throughout; the plain Method
+// accessors re-snapshot per call.
 type Method struct {
 	name    string
-	dataset []*graph.Graph
-	filter  Filter
 	verify  VerifierFunc
+	factory FilterFactory // nil: static filter, AddGraph unsupported
+
+	// mu serializes mutators; readers go through the atomic state pointer
+	// and never take it.
+	mu    sync.Mutex
+	state atomic.Pointer[methodState]
 }
 
-// NewMethod assembles a method. Dataset graphs are identified by slice
-// position throughout (graph ids are not consulted). verify may be nil,
-// defaulting to VF2.
+// methodState is one immutable dataset snapshot. All fields are read-only
+// after publication.
+type methodState struct {
+	dataset   []*graph.Graph // by stable gid; tombstones are nil
+	filter    Filter
+	live      *bitset.Set // gids not tombstoned; capacity == len(dataset)
+	liveCount int
+	epoch     int64
+	adds      []AddRecord // ascending by Epoch; never mutated in place
+}
+
+// AddRecord is one dataset addition: the graph id it introduced and the
+// epoch at which it became visible. The log lets a holder of a stale
+// answer set verify exactly the delta graphs instead of rescanning the
+// dataset.
+type AddRecord struct {
+	Epoch int64
+	GID   int
+}
+
+// NewMethod assembles a static method. Dataset graphs are identified by
+// slice position throughout (graph ids are not consulted). verify may be
+// nil, defaulting to VF2. The returned method supports RemoveGraph but not
+// AddGraph (no filter factory); use NewDynamicMethod for a fully mutable
+// dataset.
 func NewMethod(name string, dataset []*graph.Graph, filter Filter, verify VerifierFunc) *Method {
-	if verify == nil {
-		verify = VF2Verifier
+	m := &Method{name: name, verify: defaultVerify(verify)}
+	m.state.Store(initialState(dataset, filter))
+	return m
+}
+
+// NewDynamicMethod assembles a method whose dataset takes live mutations:
+// the filter is built — and on every AddGraph rebuilt — by the factory.
+func NewDynamicMethod(name string, dataset []*graph.Graph, factory FilterFactory, verify VerifierFunc) *Method {
+	m := &Method{name: name, verify: defaultVerify(verify), factory: factory}
+	m.state.Store(initialState(dataset, factory(dataset)))
+	return m
+}
+
+func defaultVerify(v VerifierFunc) VerifierFunc {
+	if v == nil {
+		return VF2Verifier
 	}
-	return &Method{name: name, dataset: dataset, filter: filter, verify: verify}
+	return v
+}
+
+func initialState(dataset []*graph.Graph, filter Filter) *methodState {
+	live := bitset.New(len(dataset))
+	liveCount := 0
+	for i, g := range dataset {
+		if g != nil {
+			live.Add(i)
+			liveCount++
+		}
+	}
+	return &methodState{
+		dataset:   dataset,
+		filter:    filter,
+		live:      live,
+		liveCount: liveCount,
+	}
 }
 
 // Name returns the method's report name, e.g. "ggsx-L4/vf2".
 func (m *Method) Name() string { return m.name }
 
-// Dataset returns the underlying dataset slice. Callers must not modify it.
-func (m *Method) Dataset() []*graph.Graph { return m.dataset }
+// View returns the current immutable dataset snapshot. Use one View for
+// any computation that must be internally consistent (candidate sets,
+// sizes, delta reconciliation); the snapshot stays valid — and exact with
+// respect to its own epoch — forever, even after later mutations.
+func (m *Method) View() DatasetView { return DatasetView{s: m.state.Load(), verify: m.verify} }
 
-// DatasetSize returns the number of dataset graphs.
-func (m *Method) DatasetSize() int { return len(m.dataset) }
+// Dataset returns the current dataset slice (tombstoned positions are
+// nil). Callers must not modify it.
+func (m *Method) Dataset() []*graph.Graph { return m.state.Load().dataset }
 
-// Filter returns the method's filter.
-func (m *Method) Filter() Filter { return m.filter }
+// DatasetSize returns the dataset's id space — the number of positions,
+// including tombstones, hence the capacity answer bitsets are sized to.
+func (m *Method) DatasetSize() int { return len(m.state.Load().dataset) }
+
+// LiveCount returns the number of non-tombstoned dataset graphs.
+func (m *Method) LiveCount() int { return m.state.Load().liveCount }
+
+// Epoch returns the current dataset epoch: 0 at construction, +1 per
+// mutation (addition or removal).
+func (m *Method) Epoch() int64 { return m.state.Load().epoch }
+
+// Filter returns the method's current filter.
+func (m *Method) Filter() Filter { return m.state.Load().filter }
 
 // Candidates runs the filtering stage, returning the candidate set C_M.
 func (m *Method) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
-	return m.filter.Candidates(q, qt)
+	return m.View().Candidates(q, qt)
 }
 
 // VerifyCandidate runs one sub-iso test between the query and dataset
 // graph gid, oriented by query type: pattern=q for subgraph queries,
 // pattern=dataset graph for supergraph queries.
 func (m *Method) VerifyCandidate(q *graph.Graph, gid int, qt QueryType) bool {
-	if qt == Supergraph {
-		return m.verify(m.dataset[gid], q)
+	return m.View().VerifyCandidate(q, gid, qt)
+}
+
+// AddGraph appends g to the dataset under a fresh, stable id (the next
+// slice position — tombstoned ids are never reused) and publishes a new
+// snapshot with the filter rebuilt over the grown dataset. It returns the
+// new graph's id. Requires a filter factory (NewDynamicMethod or a bundled
+// constructor).
+func (m *Method) AddGraph(g *graph.Graph) (int, error) {
+	if g == nil || g.N() == 0 {
+		return 0, fmt.Errorf("ftv: cannot add an empty graph")
 	}
-	return m.verify(q, m.dataset[gid])
+	if m.factory == nil {
+		return 0, fmt.Errorf("ftv: method %q has a static filter (no factory); build it with NewDynamicMethod to support AddGraph", m.name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.state.Load()
+	gid := len(old.dataset)
+	dataset := make([]*graph.Graph, gid+1)
+	copy(dataset, old.dataset)
+	dataset[gid] = g
+	live := old.live.Grown(gid + 1)
+	live.Add(gid)
+	epoch := old.epoch + 1
+	// Full slice expression: a later append can never scribble over a log
+	// slice an older snapshot still exposes.
+	adds := append(old.adds[:len(old.adds):len(old.adds)], AddRecord{Epoch: epoch, GID: gid})
+	m.state.Store(&methodState{
+		dataset:   dataset,
+		filter:    m.factory(dataset),
+		live:      live,
+		liveCount: old.liveCount + 1,
+		epoch:     epoch,
+		adds:      adds,
+	})
+	return gid, nil
+}
+
+// RemoveGraph tombstones dataset graph gid: the id stays allocated forever
+// (answer-set positions remain stable) but the graph leaves the live set,
+// so it can never again appear in a candidate or answer set. The filter is
+// kept as-is — its postings for the dead id are masked by the live set —
+// making removals O(dataset) copying with no index rebuild.
+func (m *Method) RemoveGraph(gid int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.state.Load()
+	if gid < 0 || gid >= len(old.dataset) {
+		return fmt.Errorf("ftv: no dataset graph %d (id space [0,%d))", gid, len(old.dataset))
+	}
+	if old.dataset[gid] == nil {
+		return fmt.Errorf("ftv: dataset graph %d is already removed", gid)
+	}
+	dataset := make([]*graph.Graph, len(old.dataset))
+	copy(dataset, old.dataset)
+	dataset[gid] = nil
+	live := old.live.Clone()
+	live.Remove(gid)
+	m.state.Store(&methodState{
+		dataset:   dataset,
+		filter:    old.filter,
+		live:      live,
+		liveCount: old.liveCount - 1,
+		epoch:     old.epoch + 1,
+		adds:      old.adds,
+	})
+	return nil
+}
+
+// DatasetView is one immutable dataset snapshot: every accessor answers
+// with respect to the same epoch, no matter what mutations land after the
+// view was taken. The zero value is unusable; obtain views from
+// Method.View.
+type DatasetView struct {
+	s      *methodState
+	verify VerifierFunc
+}
+
+// Size returns the id space (positions including tombstones) — the
+// capacity candidate and answer bitsets are sized to.
+func (v DatasetView) Size() int { return len(v.s.dataset) }
+
+// LiveCount returns the number of non-tombstoned graphs.
+func (v DatasetView) LiveCount() int { return v.s.liveCount }
+
+// Epoch returns the snapshot's dataset epoch.
+func (v DatasetView) Epoch() int64 { return v.s.epoch }
+
+// Graph returns dataset graph gid, or nil if tombstoned.
+func (v DatasetView) Graph(gid int) *graph.Graph { return v.s.dataset[gid] }
+
+// Live returns the live-id set. Callers must treat it as read-only.
+func (v DatasetView) Live() *bitset.Set { return v.s.live }
+
+// AddsSince returns the addition records with Epoch > epoch, oldest
+// first — the delta a holder of an epoch-stamped answer set must verify.
+// The returned slice is shared and must not be modified.
+func (v DatasetView) AddsSince(epoch int64) []AddRecord {
+	adds := v.s.adds
+	// Epochs ascend; scan back from the tail (deltas are short-lived).
+	i := len(adds)
+	for i > 0 && adds[i-1].Epoch > epoch {
+		i--
+	}
+	return adds[i:]
+}
+
+// Candidates runs the filtering stage over the snapshot: the filter's
+// candidate set intersected with the live ids, so tombstoned graphs never
+// reach verification even when the (removal-surviving) filter still posts
+// them.
+func (v DatasetView) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
+	c := v.s.filter.Candidates(q, qt)
+	c.And(v.s.live)
+	return c
+}
+
+// VerifyCandidate runs one sub-iso test between the query and dataset
+// graph gid, oriented by query type. Tombstoned gids report false.
+func (v DatasetView) VerifyCandidate(q *graph.Graph, gid int, qt QueryType) bool {
+	g := v.s.dataset[gid]
+	if g == nil {
+		return false
+	}
+	if qt == Supergraph {
+		return v.verify(g, q)
+	}
+	return v.verify(q, g)
 }
 
 // Result reports one query execution.
@@ -89,18 +314,20 @@ type Result struct {
 // TotalTime returns filter plus verification time.
 func (r *Result) TotalTime() time.Duration { return r.FilterTime + r.VerifyTime }
 
-// Run executes the query with plain filter-then-verify (no cache).
+// Run executes the query with plain filter-then-verify (no cache) over
+// one consistent snapshot of the dataset.
 func (m *Method) Run(q *graph.Graph, qt QueryType) *Result {
+	v := m.View()
 	t0 := time.Now()
-	cands := m.Candidates(q, qt)
+	cands := v.Candidates(q, qt)
 	filterTime := time.Since(t0)
 
-	answers := bitset.New(len(m.dataset))
+	answers := bitset.New(v.Size())
 	tests := 0
 	t1 := time.Now()
 	cands.ForEach(func(gid int) bool {
 		tests++
-		if m.VerifyCandidate(q, gid, qt) {
+		if v.VerifyCandidate(q, gid, qt) {
 			answers.Add(gid)
 		}
 		return true
@@ -115,7 +342,9 @@ func (m *Method) Run(q *graph.Graph, qt QueryType) *Result {
 }
 
 // NewGGSXMethod is a convenience constructor for the demo deployment's
-// Method M: GGSX filtering with VF2 verification.
+// Method M: GGSX filtering with VF2 verification. The method is dynamic:
+// AddGraph rebuilds the GGSX trie over the grown dataset.
 func NewGGSXMethod(dataset []*graph.Graph, maxLen int) *Method {
-	return NewMethod(fmt.Sprintf("ggsx-L%d/vf2", maxLen), dataset, NewGGSX(dataset, maxLen), nil)
+	return NewDynamicMethod(fmt.Sprintf("ggsx-L%d/vf2", maxLen), dataset,
+		func(ds []*graph.Graph) Filter { return NewGGSX(ds, maxLen) }, nil)
 }

@@ -44,6 +44,9 @@ func NewStarFilter(dataset []*graph.Graph, maxLeaves int) *StarFilter {
 		forward:  make([][]nodeCount64, len(dataset)),
 	}
 	for gid, g := range dataset {
+		if g == nil { // tombstoned id: indexed as empty
+			continue
+		}
 		counts := starCounts(g, maxLeaves)
 		fwd := make([]nodeCount64, 0, len(counts))
 		for h, c := range counts {

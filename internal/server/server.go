@@ -33,27 +33,31 @@ const (
 	maxBodyBytes    = 8 << 20
 )
 
-// Server wires a cache and its dataset into an http.Handler. Handlers are
-// served concurrently by net/http; the sharded cache kernel processes the
-// resulting in-flight queries in parallel.
+// Server wires a cache and its live dataset into an http.Handler.
+// Handlers are served concurrently by net/http; the sharded cache kernel
+// processes the resulting in-flight queries in parallel. Dataset reads go
+// through the cache's method view, so graphs added or removed at runtime
+// (POST /api/dataset/graphs, DELETE /api/dataset/graphs/{id}) are visible
+// immediately and consistently.
 type Server struct {
-	cache   *core.Cache
-	dataset []*graph.Graph
-	mux     *http.ServeMux
+	cache *core.Cache
+	mux   *http.ServeMux
 	// logf records server-side failures (JSON encode errors and the like);
 	// defaults to log.Printf, overridable for tests.
 	logf func(format string, args ...any)
 }
 
-// New builds the handler. The dataset slice must be the one the cache's
-// method was built over.
-func New(cache *core.Cache, dataset []*graph.Graph) *Server {
-	s := &Server{cache: cache, dataset: dataset, mux: http.NewServeMux(), logf: log.Printf}
+// New builds the handler over the cache (whose method owns the live
+// dataset).
+func New(cache *core.Cache) *Server {
+	s := &Server{cache: cache, mux: http.NewServeMux(), logf: log.Printf}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/entries", s.handleEntries)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/query/batch", s.handleQueryBatch)
+	s.mux.HandleFunc("/api/dataset/graphs", s.handleDatasetGraphs)
+	s.mux.HandleFunc("/api/dataset/graphs/", s.handleDatasetGraphByID)
 	s.mux.HandleFunc("/api/dataset/", s.handleDataset)
 	return s
 }
@@ -131,10 +135,21 @@ type statsResponse struct {
 	WindowPending int     `json:"windowPending"`
 	ShardWindows  []int   `json:"shardWindows"`
 	ShardTurns    []int64 `json:"shardTurns"`
+	// DatasetSize is the number of live (queryable) dataset graphs;
+	// DatasetIDSpace additionally counts tombstoned ids. Epoch counts
+	// dataset mutations; DatasetAdds/DatasetRemoves split them and
+	// MaintenanceTests prices the answer-set reconciliation work.
+	DatasetSize      int   `json:"datasetSize"`
+	DatasetIDSpace   int   `json:"datasetIdSpace"`
+	Epoch            int64 `json:"epoch"`
+	DatasetAdds      int64 `json:"datasetAdds"`
+	DatasetRemoves   int64 `json:"datasetRemoves"`
+	MaintenanceTests int64 `json:"maintenanceTests"`
 }
 
 func (s *Server) statsResponse() statsResponse {
 	snap := s.cache.Stats()
+	ds := s.cache.DatasetInfo()
 	shardStats := s.cache.ShardStats()
 	windows := make([]int, len(shardStats))
 	turns := make([]int64, len(shardStats))
@@ -176,6 +191,12 @@ func (s *Server) statsResponse() statsResponse {
 		WindowPending:     pending,
 		ShardWindows:      windows,
 		ShardTurns:        turns,
+		DatasetSize:       ds.Live,
+		DatasetIDSpace:    ds.Size,
+		Epoch:             ds.Epoch,
+		DatasetAdds:       snap.DatasetAdds,
+		DatasetRemoves:    snap.DatasetRemoves,
+		MaintenanceTests:  snap.MaintenanceTests,
 	}
 }
 
@@ -211,7 +232,7 @@ func (s *Server) handleEntries(w http.ResponseWriter, r *http.Request) {
 			Type:       e.Type.String(),
 			Vertices:   e.Graph.N(),
 			Edges:      e.Graph.M(),
-			Answers:    e.Answers.Count(),
+			Answers:    e.Answers().Count(),
 			Hits:       e.Hits,
 			SavedTests: e.SavedTests,
 			LastUsed:   e.LastUsed,
@@ -372,7 +393,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if streamRequested(r) {
-		s.streamBatch(w, items, reqs, slots, workers)
+		s.streamBatch(w, r, items, reqs, slots, workers)
 		return
 	}
 
@@ -403,9 +424,12 @@ func streamRequested(r *http.Request) bool {
 // moment its query finishes, so clients see the first answers while the
 // tail of the batch is still verifying. Malformed queries (already marked
 // in items) are emitted first; cache outcomes follow in completion order,
-// each tagged with its request index. A write failure stops the response
-// but lets the in-flight batch drain into the buffered stream channel.
-func (s *Server) streamBatch(w http.ResponseWriter, items []batchItem, reqs []core.Request, slots []int, workers int) {
+// each tagged with its request index. The batch runs under the request
+// context: when the client disconnects (or a write fails, which cancels
+// the same context at the next flush), the kernel stops dispatching the
+// remaining queries — only the in-flight ones run to completion — instead
+// of verifying a whole batch nobody will read.
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, items []batchItem, reqs []core.Request, slots []int, workers int) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Batch-Workers", strconv.Itoa(workers))
 	w.WriteHeader(http.StatusOK)
@@ -429,7 +453,7 @@ func (s *Server) streamBatch(w http.ResponseWriter, items []batchItem, reqs []co
 			return
 		}
 	}
-	for so := range s.cache.ExecuteAllStream(reqs, workers) {
+	for so := range s.cache.ExecuteAllStreamContext(r.Context(), reqs, workers) {
 		item := batchItem{Index: slots[so.Index]}
 		if so.Err != nil {
 			item.Error = so.Err.Error()
@@ -443,18 +467,97 @@ func (s *Server) streamBatch(w http.ResponseWriter, items []batchItem, reqs []co
 	}
 }
 
+// datasetGraphRequest is the POST /api/dataset/graphs payload: one graph
+// in the text codec to append to the live dataset.
+type datasetGraphRequest struct {
+	Graph string `json:"graph"`
+}
+
+// datasetMutationResponse reports one dataset mutation: the affected id
+// and the dataset shape after the mutation.
+type datasetMutationResponse struct {
+	ID          int   `json:"id"`
+	DatasetSize int   `json:"datasetSize"`
+	Epoch       int64 `json:"epoch"`
+}
+
+// handleDatasetGraphs serves POST /api/dataset/graphs: append a graph to
+// the live dataset. Cached answer sets are maintained exactly by the
+// kernel (eagerly or lazily per its configuration).
+func (s *Server) handleDatasetGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req datasetGraphRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	gs, err := graph.ReadAll(strings.NewReader(req.Graph))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+	if len(gs) != 1 {
+		s.writeError(w, http.StatusBadRequest, "want exactly one graph, got %d", len(gs))
+		return
+	}
+	id, err := s.cache.AddGraph(gs[0])
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "add graph: %v", err)
+		return
+	}
+	ds := s.cache.DatasetInfo()
+	s.writeJSON(w, http.StatusCreated, datasetMutationResponse{ID: id, DatasetSize: ds.Live, Epoch: ds.Epoch})
+}
+
+// handleDatasetGraphByID serves DELETE /api/dataset/graphs/{id}: tombstone
+// a live dataset graph. Its bit is cleared from every cached answer set
+// before the call returns.
+func (s *Server) handleDatasetGraphByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		s.writeError(w, http.StatusMethodNotAllowed, "DELETE only")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/api/dataset/graphs/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "no dataset graph %q", idStr)
+		return
+	}
+	if err := s.cache.RemoveGraph(id); err != nil {
+		// An already-tombstoned id is 410 like the GET handler (a retried
+		// DELETE reads as "gone", not "never existed"); anything else is
+		// an unknown id.
+		view := s.cache.Method().View()
+		if id >= 0 && id < view.Size() && view.Graph(id) == nil {
+			s.writeError(w, http.StatusGone, "remove graph: %v", err)
+			return
+		}
+		s.writeError(w, http.StatusNotFound, "remove graph: %v", err)
+		return
+	}
+	ds := s.cache.DatasetInfo()
+	s.writeJSON(w, http.StatusOK, datasetMutationResponse{ID: id, DatasetSize: ds.Live, Epoch: ds.Epoch})
+}
+
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	view := s.cache.Method().View()
 	idStr := strings.TrimPrefix(r.URL.Path, "/api/dataset/")
 	id, err := strconv.Atoi(idStr)
-	if err != nil || id < 0 || id >= len(s.dataset) {
+	if err != nil || id < 0 || id >= view.Size() {
 		s.writeError(w, http.StatusNotFound, "no dataset graph %q", idStr)
 		return
 	}
-	g := s.dataset[id]
+	g := view.Graph(id)
+	if g == nil {
+		s.writeError(w, http.StatusGone, "dataset graph %d was removed", id)
+		return
+	}
 	switch r.URL.Query().Get("format") {
 	case "dot":
 		w.Header().Set("Content-Type", "text/vnd.graphviz")
@@ -480,10 +583,16 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <li>sub-case hits: {{.SubHits}} (queries: {{.SubHitQueries}})</li>
 <li>super-case hits: {{.SuperHits}} (queries: {{.SuperHitQueries}})</li>
 <li>tests executed / saved: {{.TestsExecuted}} / {{.TestsSaved}}</li>
+<li>dataset: {{.DatasetSize}} live graphs (epoch {{.Epoch}},
+{{.DatasetAdds}} added / {{.DatasetRemoves}} removed,
+{{.MaintenanceTests}} maintenance tests)</li>
 </ul>
 <p>API: GET /api/stats · GET /api/entries · POST /api/query
 · POST /api/query/batch (add ?stream=1 for NDJSON streaming)
-· GET /api/dataset/{id}?format=dot|ascii|text</p>
+· GET /api/dataset/{id}?format=dot|ascii|text
+· POST /api/dataset/graphs (append a graph to the live dataset)
+· DELETE /api/dataset/graphs/{id} (tombstone a graph; cached answers are
+maintained exactly)</p>
 </body></html>`))
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -27,7 +27,7 @@ func testServer(t *testing.T) (*Server, []*graph.Graph) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(c, dataset), dataset
+	return New(c), dataset
 }
 
 func graphText(t *testing.T, g *graph.Graph) string {
@@ -266,7 +266,7 @@ func ExampleServer() {
 	dataset := gen.Molecules(rng, 10, gen.MoleculeConfig{MinV: 8, MaxV: 10, RingFrac: 0, MaxDegree: 4, Labels: 4})
 	method := ftv.NewGGSXMethod(dataset, 2)
 	c, _ := core.New(method, core.DefaultConfig())
-	srv := httptest.NewServer(New(c, dataset))
+	srv := httptest.NewServer(New(c))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/api/stats")

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+)
+
+// TestStreamBatchClientDisconnect: when an NDJSON batch client drops the
+// connection, the request context cancels and the kernel stops
+// dispatching the remaining queries instead of executing the whole batch
+// for nobody.
+func TestStreamBatchClientDisconnect(t *testing.T) {
+	star := func(leaves int) *graph.Graph {
+		labels := make([]graph.Label, leaves+1)
+		labels[0] = 1
+		edges := make([][2]int, leaves)
+		for i := 1; i <= leaves; i++ {
+			labels[i] = graph.Label(1 + i%3)
+			edges[i-1] = [2]int{0, i}
+		}
+		return graph.MustNew(labels, edges)
+	}
+	// A gated verifier makes query progress observable: each dataset
+	// verification consumes one token. NoFilter over a one-graph dataset
+	// means exactly one verification per query.
+	gate := make(chan struct{}, 64)
+	verify := func(pattern, target *graph.Graph) bool {
+		<-gate
+		return ftv.VF2Verifier(pattern, target)
+	}
+	dataset := []*graph.Graph{star(9)}
+	method := ftv.NewMethod("gated/vf2", dataset, ftv.NewNoFilter(len(dataset)), verify)
+	cfg := core.DefaultConfig()
+	cfg.Shards = 1
+	cache := core.MustNew(method, cfg)
+	ts := httptest.NewServer(New(cache))
+	defer ts.Close()
+
+	const total = 8
+	queries := make([]map[string]string, total)
+	for i := range queries {
+		var sb strings.Builder
+		if err := graph.WriteGraph(&sb, star(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = map[string]string{"graph": sb.String(), "type": "subgraph"}
+	}
+	body, _ := json.Marshal(map[string]any{"queries": queries, "workers": 1})
+
+	// Pre-fund exactly one verification: the response headers are not
+	// flushed until the first outcome is emitted, so the token must be
+	// available before the request goes out.
+	gate <- struct{}{}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/query/batch?stream=1", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Read the first query's NDJSON line.
+	line, err := bufio.NewReader(resp.Body).ReadString('\n')
+	if err != nil || !strings.Contains(line, `"index"`) {
+		t.Fatalf("first stream line: %q, %v", line, err)
+	}
+	// Drop the connection mid-stream, give cancellation time to
+	// propagate, then release everything still blocked.
+	resp.Body.Close()
+	time.Sleep(300 * time.Millisecond)
+	close(gate)
+
+	// The executed-query count must settle strictly below the batch size:
+	// without context threading all 8 would run.
+	deadline := time.Now().Add(5 * time.Second)
+	var last, stable int64
+	for time.Now().Before(deadline) {
+		q := cache.Stats().Queries
+		if q == last {
+			stable++
+			if stable >= 5 {
+				break
+			}
+		} else {
+			last, stable = q, 0
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := cache.Stats().Queries; got >= total {
+		t.Fatalf("client disconnected after 1 outcome but %d/%d queries executed", got, total)
+	} else if got < 1 {
+		t.Fatalf("no query executed at all (%d)", got)
+	} else {
+		t.Logf("executed %d/%d queries after disconnect", got, total)
+	}
+}
