@@ -11,7 +11,7 @@ GO ?= go
 # coverage fails CI. Raise it when the real number durably rises.
 COVER_BASELINE ?= 80.0
 
-.PHONY: build test race vet staticcheck cover bench bench-smoke bench-json throughput churn ci
+.PHONY: build test race vet staticcheck cover bench bench-smoke bench-json fuzz-smoke throughput churn ci
 
 build:
 	$(GO) build ./...
@@ -59,16 +59,25 @@ bench-smoke:
 	$(GO) run ./cmd/workloadrun -throughput -throughput-dataset 100 -throughput-queries 200 -workers 1,2 -assert-index
 
 # Live-mutation comparison: exact cache maintenance vs dropping the cache
-# at every dataset mutation.
+# at every dataset mutation (incremental index inserts vs full rebuilds).
 churn:
 	$(GO) run ./cmd/workloadrun -churn -assert-churn
 
-# Perf-trajectory artifact: throughput + churn results as JSON, uploaded
-# by CI per PR (BENCH_pr4.json seeds the file set).
-BENCH_JSON ?= BENCH_pr4.json
+# Short native-fuzzing smoke pass over the persistence v2 parser. The
+# committed corpus under internal/core/testdata/fuzz replays in every
+# plain `go test`; this target additionally mutates for a few seconds so
+# CI keeps probing fresh inputs.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^FuzzReadState$$' -fuzz '^FuzzReadState$$' -fuzztime $(FUZZTIME) ./internal/core/
+
+# Perf-trajectory artifact: throughput + churn results (including the new
+# mutation-latency and filter-insert columns) as JSON, uploaded by CI per
+# PR (BENCH_pr4.json and BENCH_pr5.json seed the file set).
+BENCH_JSON ?= BENCH_pr5.json
 bench-json:
 	$(GO) run ./cmd/workloadrun -bench-json $(BENCH_JSON) -assert-churn \
 		-throughput-dataset 120 -throughput-queries 300 -workers 1,4 \
 		-churn-dataset 120 -churn-queries 300 -churn-mutations 10
 
-ci: vet staticcheck race bench-smoke bench-json
+ci: vet staticcheck race fuzz-smoke bench-smoke bench-json

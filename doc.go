@@ -101,11 +101,28 @@
 //     entries carry a dataset epoch and a hit on a stale entry verifies
 //     only the delta graphs recorded in the addition log before its
 //     answers are trusted.
+//   - Additions are O(graph), not O(dataset): every bundled filter
+//     implements the incremental-insert capability (ftv.InsertableFilter),
+//     so AddGraph patches the filter index through a copy-on-write
+//     per-touched-node insert — only the new graph's features are
+//     enumerated, untouched index structure is shared with the previous
+//     snapshot, and old snapshots keep answering for their own epoch.
+//     Custom factory-built filters without the capability fall back to a
+//     full rebuild (observable via the filterInserts/filterRebuilds
+//     counters).
+//   - The addition log is self-compacting: the kernel tracks the minimum
+//     dataset epoch across all resident and pending entries and, at
+//     window turns and every stop-the-world pass, drops the records every
+//     entry has already passed. In eager mode the log drains at each
+//     mutation; in lazy mode it holds exactly the records the coldest
+//     entry still needs — bounded state under unbounded churn.
 //
 // Per-graph cost statistics and per-query bitsets grow with the dataset;
 // the HTTP layer surfaces mutations as POST /api/dataset/graphs and
-// DELETE /api/dataset/graphs/{id}. Bundled methods are all mutation-
-// capable; custom static filters opt in via NewDynamicMethod.
+// DELETE /api/dataset/graphs/{id}, and /api/stats reports the maintenance
+// ledger (filterInserts, filterRebuilds, additionLogLen, logCompactions).
+// Bundled methods are all mutation-capable; custom static filters opt in
+// via NewDynamicMethod.
 //
 // # Extending
 //

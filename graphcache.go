@@ -34,8 +34,13 @@ type (
 	VerifierFunc = ftv.VerifierFunc
 	// FilterFactory builds a Filter over a dataset slice (nil positions
 	// are tombstones); methods constructed with one take live AddGraph
-	// mutations by rebuilding their filter.
+	// mutations — incrementally when the filter is an InsertableFilter,
+	// by rebuilding otherwise.
 	FilterFactory = ftv.FilterFactory
+	// InsertableFilter is the optional incremental-maintenance capability:
+	// filters implementing it make AddGraph O(graph) via copy-on-write
+	// inserts instead of O(dataset) rebuilds. All bundled filters do.
+	InsertableFilter = ftv.InsertableFilter
 	// DatasetView is one immutable snapshot of a method's live dataset.
 	DatasetView = ftv.DatasetView
 	// MethodResult reports an uncached Method M execution.
@@ -150,12 +155,16 @@ func NewStarMethod(dataset []*Graph, maxLeaves int) *Method {
 }
 
 // NewGGSXFilter, NewStarFilter, NewLabelFilter and NewNoFilter expose the
-// bundled filters for custom Method M assembly.
+// bundled filters for custom Method M assembly; RebuildOnly strips a
+// filter's InsertableFilter capability, forcing AddGraph down the full
+// factory-rebuild path (the measurable baseline for the incremental-
+// insert comparison).
 var (
 	NewGGSXFilter  = ftv.NewGGSX
 	NewStarFilter  = ftv.NewStarFilter
 	NewLabelFilter = ftv.NewLabelFilter
 	NewNoFilter    = ftv.NewNoFilter
+	RebuildOnly    = ftv.RebuildOnly
 )
 
 // NewSIMethod builds a filterless Method M — a plain subgraph-isomorphism
@@ -174,7 +183,8 @@ func NewMethod(name string, dataset []*Graph, filter Filter, verify VerifierFunc
 
 // NewDynamicMethod assembles a Method M whose dataset takes live
 // mutations: Cache.AddGraph appends graphs under fresh stable ids
-// (rebuilding the filter through the factory) and Cache.RemoveGraph
+// (patching the filter incrementally when it implements InsertableFilter,
+// rebuilding through the factory otherwise) and Cache.RemoveGraph
 // tombstones them, with every cached answer set maintained exactly.
 func NewDynamicMethod(name string, dataset []*Graph, factory FilterFactory, verify VerifierFunc) *Method {
 	return ftv.NewDynamicMethod(name, dataset, factory, verify)

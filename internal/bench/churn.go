@@ -25,26 +25,77 @@ type ChurnStats struct {
 	MaintenanceTests int64
 	TestsSaved       int64
 	ExactHits        int64
+	// Adds / Removes split the mutations; AddNs / RemoveNs total the wall
+	// time of each strategy's WHOLE mutation path — for the maintained
+	// cache that includes eager answer-set reconciliation against every
+	// resident entry, for the rebuild baseline only the method-level
+	// mutation (its maintenance bill lands in query-time re-warming
+	// instead). FilterMaintainNs isolates the one step both strategies
+	// perform identically — maintaining the filter index for the added
+	// graph — so ITS comparison is the O(graph) incremental insert against
+	// the O(dataset) rebuild over the same work.
+	Adds, Removes    int
+	AddNs, RemoveNs  int64
+	FilterMaintainNs int64
+	// FilterInserts / FilterRebuilds report how the strategy's method
+	// maintained its filter across the additions; MaxAdditionLog is the
+	// addition log's peak length, showing compaction keeping it bounded.
+	FilterInserts  int64
+	FilterRebuilds int64
+	MaxAdditionLog int
 }
 
 // TotalTests is the strategy's full sub-iso bill: query-time tests plus
 // maintenance tests.
 func (s ChurnStats) TotalTests() int64 { return s.DatasetTests + s.MaintenanceTests }
 
+// AvgAddLatency returns the mean wall time of one dataset addition along
+// the strategy's full mutation path (see the AddNs field for what each
+// strategy's path includes), 0 when no addition ran.
+func (s ChurnStats) AvgAddLatency() time.Duration {
+	if s.Adds == 0 {
+		return 0
+	}
+	return time.Duration(s.AddNs / int64(s.Adds))
+}
+
+// AvgFilterMaintain returns the mean wall time one addition spent
+// maintaining the filter index alone — identical work in both
+// strategies, hence the apples-to-apples insert-vs-rebuild column.
+func (s ChurnStats) AvgFilterMaintain() time.Duration {
+	if s.Adds == 0 {
+		return 0
+	}
+	return time.Duration(s.FilterMaintainNs / int64(s.Adds))
+}
+
+// AvgRemoveLatency returns the mean wall time of one dataset removal.
+func (s ChurnStats) AvgRemoveLatency() time.Duration {
+	if s.Removes == 0 {
+		return 0
+	}
+	return time.Duration(s.RemoveNs / int64(s.Removes))
+}
+
 // ChurnComparison reports exact cache maintenance against the naive
-// drop-cache-and-rebuild strategy over the identical mixed
-// query/add/remove stream. Answers are cross-checked byte-identical
-// between the two strategies inside RunChurnComparison.
+// drop-cache-and-rebuild strategy over the identical mixed, add-heavy
+// query/add/remove stream (two of every three mutations are additions —
+// the regime where incremental index maintenance matters). Answers are
+// cross-checked byte-identical between the two strategies inside
+// RunChurnComparison.
 type ChurnComparison struct {
 	DatasetSize int
 	Queries     int
 	Mutations   int
 	// Maintained keeps ONE cache across the whole stream: removals clear
 	// answer bits stop-the-world, additions verify the new graph against
-	// the cached entries (eager mode).
+	// the cached entries (eager mode) and patch the GGSX trie through the
+	// incremental O(graph) insert.
 	Maintained ChurnStats
-	// Rebuild drops the cache at every mutation and starts cold — the
-	// only correct strategy available without maintenance support.
+	// Rebuild is the pre-maintenance world: the cache is dropped at every
+	// mutation and starts cold, and every addition rebuilds the filter
+	// from scratch (ftv.RebuildOnly forces the O(dataset) factory path) —
+	// the only correct strategy available without maintenance support.
 	Rebuild ChurnStats
 }
 
@@ -64,9 +115,9 @@ func (c *ChurnComparison) TestReduction() float64 {
 }
 
 // churnPlan precomputes the interleaved stream: after every `interval`
-// queries one mutation fires, alternating additions (from the extras
-// pool) and removals (pseudo-random live gid — identical picks in both
-// strategies because the live sets evolve identically).
+// queries one mutation fires — add-heavy, two additions (from the extras
+// pool) for every removal (pseudo-random live gid — identical picks in
+// both strategies because the live sets evolve identically).
 type churnPlan struct {
 	queries []core.Request
 	extras  []*graph.Graph
@@ -76,6 +127,10 @@ type churnPlan struct {
 	interval     int
 	maxMutations int
 }
+
+// wantsAdd reports whether mutation m of the plan is an addition: two of
+// every three are, matching a dataset that mostly grows.
+func wantsAdd(m int) bool { return m%3 != 2 }
 
 // runChurnPass drives the plan through one strategy. rebuild == nil keeps
 // one maintained cache; otherwise rebuild is called at every mutation to
@@ -91,6 +146,7 @@ func runChurnPass(plan churnPlan, method *ftv.Method, cfg core.Config, drop bool
 	nextExtra := 0
 	mutations := 0
 
+	var stats ChurnStats
 	t0 := time.Now()
 	for i, req := range plan.queries {
 		res, err := cache.Execute(req.Graph, req.Type)
@@ -101,7 +157,8 @@ func runChurnPass(plan churnPlan, method *ftv.Method, cfg core.Config, drop bool
 		if (i+1)%plan.interval != 0 || mutations >= plan.maxMutations {
 			continue
 		}
-		if mutations%2 == 0 && nextExtra < len(plan.extras) {
+		if wantsAdd(mutations) && nextExtra < len(plan.extras) {
+			tm := time.Now()
 			if drop {
 				if _, err := method.AddGraph(plan.extras[nextExtra]); err != nil {
 					return ChurnStats{}, nil, err
@@ -109,6 +166,8 @@ func runChurnPass(plan churnPlan, method *ftv.Method, cfg core.Config, drop bool
 			} else if _, err := cache.AddGraph(plan.extras[nextExtra]); err != nil {
 				return ChurnStats{}, nil, err
 			}
+			stats.AddNs += time.Since(tm).Nanoseconds()
+			stats.Adds++
 			nextExtra++
 		} else {
 			view := method.View()
@@ -119,6 +178,7 @@ func runChurnPass(plan churnPlan, method *ftv.Method, cfg core.Config, drop bool
 			for view.Graph(gid) == nil {
 				gid = (gid + 1) % view.Size()
 			}
+			tm := time.Now()
 			if drop {
 				if err := method.RemoveGraph(gid); err != nil {
 					return ChurnStats{}, nil, err
@@ -126,8 +186,13 @@ func runChurnPass(plan churnPlan, method *ftv.Method, cfg core.Config, drop bool
 			} else if err := cache.RemoveGraph(gid); err != nil {
 				return ChurnStats{}, nil, err
 			}
+			stats.RemoveNs += time.Since(tm).Nanoseconds()
+			stats.Removes++
 		}
 		mutations++
+		if logLen := method.AdditionLogLen(); logLen > stats.MaxAdditionLog {
+			stats.MaxAdditionLog = logLen
+		}
 		if drop {
 			// The rebuild strategy has no maintenance: the only sound move
 			// after a mutation is an empty cache over the mutated dataset.
@@ -140,7 +205,6 @@ func runChurnPass(plan churnPlan, method *ftv.Method, cfg core.Config, drop bool
 	}
 	elapsed := time.Since(t0)
 
-	var stats ChurnStats
 	for _, c := range caches {
 		snap := c.Stats()
 		stats.DatasetTests += snap.TestsExecuted
@@ -148,6 +212,9 @@ func runChurnPass(plan churnPlan, method *ftv.Method, cfg core.Config, drop bool
 		stats.TestsSaved += snap.TestsSaved
 		stats.ExactHits += snap.ExactHits
 	}
+	stats.FilterInserts = method.FilterInserts()
+	stats.FilterRebuilds = method.FilterRebuilds()
+	stats.FilterMaintainNs = method.FilterMaintainNs()
 	stats.Queries = len(plan.queries)
 	stats.Mutations = mutations
 	stats.Elapsed = elapsed
@@ -156,17 +223,21 @@ func runChurnPass(plan churnPlan, method *ftv.Method, cfg core.Config, drop bool
 }
 
 // RunChurnComparison measures exact cache maintenance against
-// drop-cache-and-rebuild over one mixed query stream with `mutations`
-// interleaved dataset mutations, and cross-checks that both strategies
-// returned byte-identical answers for every query (they must: both are
-// exact). Reported errors include any answer divergence — the comparison
-// doubles as an end-to-end churn oracle.
+// drop-cache-and-rebuild over one add-heavy mixed query stream with
+// `mutations` interleaved dataset mutations, and cross-checks that both
+// strategies returned byte-identical answers for every query (they must:
+// both are exact). Reported errors include any answer divergence — the
+// comparison doubles as an end-to-end churn oracle. The maintained pass
+// runs the incremental-insert GGSX method; the rebuild pass wraps the
+// same filter in ftv.RebuildOnly, so the mutation-latency columns
+// compare O(graph) inserts against the O(dataset) rebuild baseline over
+// identical work.
 func RunChurnComparison(seed int64, datasetSize, queries, mutations int) (*ChurnComparison, error) {
 	if mutations < 2 {
 		mutations = 2
 	}
 	dataset := MoleculeDataset(seed, datasetSize)
-	extras := MoleculeDataset(seed+1, (mutations+1)/2)
+	extras := MoleculeDataset(seed+1, mutations) // oversupplied: at most ~2/3 are consumed
 	w, err := gen.NewWorkload(newRand(seed+9), dataset, gen.WorkloadConfig{
 		Size: queries, Mixed: true, PoolSize: max(queries/3, 8),
 		ZipfS: 1.2, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 12,
@@ -191,7 +262,9 @@ func RunChurnComparison(seed int64, datasetSize, queries, mutations int) (*Churn
 	if err != nil {
 		return nil, fmt.Errorf("maintained pass: %w", err)
 	}
-	rebuild, ansR, err := runChurnPass(plan, ftv.NewGGSXMethod(dataset, 3), cfg, true)
+	rebuildMethod := ftv.NewDynamicMethod("ggsx-rebuild/vf2", dataset,
+		func(ds []*graph.Graph) ftv.Filter { return ftv.RebuildOnly(ftv.NewGGSX(ds, 3)) }, nil)
+	rebuild, ansR, err := runChurnPass(plan, rebuildMethod, cfg, true)
 	if err != nil {
 		return nil, fmt.Errorf("rebuild pass: %w", err)
 	}

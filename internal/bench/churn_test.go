@@ -25,4 +25,30 @@ func TestRunChurnComparison(t *testing.T) {
 	if cmp.TestReduction() <= 0 {
 		t.Errorf("test reduction %.3f, want > 0", cmp.TestReduction())
 	}
+	// The stream is add-heavy and both passes mutate identically.
+	if cmp.Maintained.Adds <= cmp.Maintained.Removes {
+		t.Errorf("stream not add-heavy: %d adds vs %d removes", cmp.Maintained.Adds, cmp.Maintained.Removes)
+	}
+	if cmp.Maintained.Adds != cmp.Rebuild.Adds || cmp.Maintained.Removes != cmp.Rebuild.Removes {
+		t.Errorf("mutation mixes diverge: %d/%d vs %d/%d",
+			cmp.Maintained.Adds, cmp.Maintained.Removes, cmp.Rebuild.Adds, cmp.Rebuild.Removes)
+	}
+	// The maintained pass patches the GGSX trie incrementally; the rebuild
+	// baseline re-indexes the dataset on every addition.
+	if cmp.Maintained.FilterRebuilds != 0 || cmp.Maintained.FilterInserts != int64(cmp.Maintained.Adds) {
+		t.Errorf("maintained filter path: %d inserts / %d rebuilds, want %d / 0",
+			cmp.Maintained.FilterInserts, cmp.Maintained.FilterRebuilds, cmp.Maintained.Adds)
+	}
+	if cmp.Rebuild.FilterInserts != 0 || cmp.Rebuild.FilterRebuilds != int64(cmp.Rebuild.Adds) {
+		t.Errorf("rebuild filter path: %d inserts / %d rebuilds, want 0 / %d",
+			cmp.Rebuild.FilterInserts, cmp.Rebuild.FilterRebuilds, cmp.Rebuild.Adds)
+	}
+	// Compaction keeps the maintained log bounded (eager mode drains it at
+	// every mutation, so its peak is at most the in-flight record).
+	if cmp.Maintained.MaxAdditionLog > 1 {
+		t.Errorf("maintained addition log peaked at %d, want ≤ 1", cmp.Maintained.MaxAdditionLog)
+	}
+	if cmp.Maintained.AvgAddLatency() <= 0 {
+		t.Error("no addition latency recorded")
+	}
 }

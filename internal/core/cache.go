@@ -234,9 +234,16 @@ func (c *Cache) Bytes() int {
 	return int(c.res.bytes.Load())
 }
 
-// Stats returns a snapshot of the operational counters.
+// Stats returns a snapshot of the operational counters, supplemented
+// with the method-side filter-maintenance counters and the current
+// addition-log length (those live on the method, which outlives any one
+// cache).
 func (c *Cache) Stats() Snapshot {
-	return c.mon.Snapshot()
+	s := c.mon.Snapshot()
+	s.FilterInserts = c.method.FilterInserts()
+	s.FilterRebuilds = c.method.FilterRebuilds()
+	s.AdditionLogLen = c.method.AdditionLogLen()
+	return s
 }
 
 // ShardStat is one shard's occupancy snapshot: resident entries, pending
@@ -636,7 +643,7 @@ func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, bas
 	sh := c.shardFor(sig.fp)
 	sh.mu.Lock()
 	e := entryFromSig(c.newID(), q, qt, answers, baseCandidates, sig, tick, epoch)
-	sh.window = append(sh.window, e)
+	sh.stageLocked(e)
 	full := len(sh.window) >= c.shardWindow
 	sh.mu.Unlock()
 	if full {
@@ -705,7 +712,7 @@ func (c *Cache) turnShard(sh *shard) {
 		sh.insertLocked(e)
 		c.mon.admissions.Add(1)
 	}
-	sh.window = sh.window[:0]
+	sh.resetWindowLocked()
 
 	// A window larger than the remaining capacity can still overflow.
 	if excess := int(c.res.entries.Load()) - c.cfg.Capacity; excess > 0 {
@@ -720,6 +727,11 @@ func (c *Cache) turnShard(sh *shard) {
 	// the admitted entries. O(this shard) — the other shards' published
 	// slices remain valid as-is.
 	c.republishShardLocked(sh)
+
+	// Window boundaries are where the addition log gets compacted: every
+	// entry this turn admitted or evicted moved the minimum entry epoch,
+	// so recompute it and drop the records everyone has passed.
+	c.compactAdditions(sh)
 }
 
 // turnWindowShared is the SharedWindow turn: age, evict and admit the
@@ -760,6 +772,10 @@ func (c *Cache) turnWindowShared() {
 	// Republish the feature index before the shard locks drop, so queries
 	// never observe an index ahead of or behind the admitted entries.
 	c.republishAllLocked()
+
+	// Shared-window turns hold the full hierarchy, so the compaction floor
+	// sees every entry directly.
+	c.compactAdditionsLocked()
 }
 
 // memBytesLocked sums shard byte accounts. Caller holds all shard locks.

@@ -92,7 +92,11 @@ func TestChurnEquivalence(t *testing.T) {
 					}
 					// Eager mode: every admitted entry must be byte-exact
 					// against the mutated dataset the moment the mutation
-					// returns.
+					// returns — and with every entry current, compaction
+					// keeps the addition log empty across mutations.
+					if logLen := c.Stats().AdditionLogLen; logLen != 0 {
+						t.Fatalf("after mutation at query %d: %d addition records survive in eager mode", i, logLen)
+					}
 					for _, e := range c.Entries() {
 						want := method.Run(e.Graph, e.Type).Answers
 						if !e.Answers().Equal(want) {
@@ -127,6 +131,28 @@ func TestChurnEquivalence(t *testing.T) {
 					if c.Stats().MaintenanceTests == 0 && c.Stats().DatasetAdds > 0 {
 						t.Error("lazy mode: no maintenance tests recorded despite additions")
 					}
+				}
+				// The addition log stays bounded under the mixed stream:
+				// eager mode drains it at every mutation (asserted above);
+				// lazy mode must show compaction actually reclaiming
+				// records — the stream's hits reconcile entries and its
+				// mutations/turns compact behind them, so a silently
+				// broken compaction would leave every record resident.
+				snap := c.Stats()
+				if lazy && snap.DatasetAdds > 0 && snap.LogRecordsDropped == 0 {
+					t.Fatalf("lazy mode: none of the %d addition records were ever compacted away", snap.DatasetAdds)
+				}
+				if int64(snap.AdditionLogLen)+snap.LogRecordsDropped != snap.DatasetAdds {
+					t.Fatalf("log ledger out of balance: %d resident + %d dropped != %d adds",
+						snap.AdditionLogLen, snap.LogRecordsDropped, snap.DatasetAdds)
+				}
+				// Every addition maintained the GGSX filter incrementally:
+				// the factory rebuild path never ran.
+				if snap.FilterRebuilds != 0 {
+					t.Errorf("%d full filter rebuilds during churn, want 0", snap.FilterRebuilds)
+				}
+				if snap.FilterInserts != snap.DatasetAdds {
+					t.Errorf("filter inserts %d, want one per addition (%d)", snap.FilterInserts, snap.DatasetAdds)
 				}
 			})
 		}

@@ -13,27 +13,29 @@ import (
 // (each counter is individually consistent, the set is approximate under
 // concurrent load — exact once in-flight queries drain).
 type Monitor struct {
-	queries          atomic.Int64
-	exactHits        atomic.Int64 // queries answered purely from cache
-	subHitQueries    atomic.Int64 // queries with ≥1 sub-case hit
-	superHitQueries  atomic.Int64 // queries with ≥1 super-case hit
-	subHits          atomic.Int64 // total hit contributions
-	superHits        atomic.Int64
-	testsExecuted    atomic.Int64
-	testsSaved       atomic.Int64
-	hitDetectIso     atomic.Int64 // iso tests against cached queries
-	hitScanEntries   atomic.Int64 // entries examined during hit detection
-	hitFullChecks    atomic.Int64 // label/path dominance merges run
-	hitIndexPruned   atomic.Int64 // entries the feature index rejected outright
-	admissions       atomic.Int64
-	evictions        atomic.Int64
-	windowTurns      atomic.Int64
-	datasetAdds      atomic.Int64 // live dataset graphs added
-	datasetRemoves   atomic.Int64 // live dataset graphs tombstoned
-	maintenanceTests atomic.Int64 // iso tests spent reconciling answer sets after additions
-	filterNs         atomic.Int64
-	hitNs            atomic.Int64
-	verifyNs         atomic.Int64
+	queries           atomic.Int64
+	exactHits         atomic.Int64 // queries answered purely from cache
+	subHitQueries     atomic.Int64 // queries with ≥1 sub-case hit
+	superHitQueries   atomic.Int64 // queries with ≥1 super-case hit
+	subHits           atomic.Int64 // total hit contributions
+	superHits         atomic.Int64
+	testsExecuted     atomic.Int64
+	testsSaved        atomic.Int64
+	hitDetectIso      atomic.Int64 // iso tests against cached queries
+	hitScanEntries    atomic.Int64 // entries examined during hit detection
+	hitFullChecks     atomic.Int64 // label/path dominance merges run
+	hitIndexPruned    atomic.Int64 // entries the feature index rejected outright
+	admissions        atomic.Int64
+	evictions         atomic.Int64
+	windowTurns       atomic.Int64
+	datasetAdds       atomic.Int64 // live dataset graphs added
+	datasetRemoves    atomic.Int64 // live dataset graphs tombstoned
+	maintenanceTests  atomic.Int64 // iso tests spent reconciling answer sets after additions
+	logCompactions    atomic.Int64 // addition-log compactions that dropped ≥1 record
+	logRecordsDropped atomic.Int64 // addition records dropped by compaction
+	filterNs          atomic.Int64
+	hitNs             atomic.Int64
+	verifyNs          atomic.Int64
 }
 
 // Snapshot is an immutable copy of the monitor's counters.
@@ -66,6 +68,18 @@ type Snapshot struct {
 	// cached answer sets after additions (eagerly at mutation time or
 	// lazily at hit time) — the maintenance side of the churn ledger.
 	DatasetAdds, DatasetRemoves, MaintenanceTests int64
+	// FilterInserts / FilterRebuilds split how dataset additions
+	// maintained the method's filter: incremental copy-on-write inserts
+	// (O(graph)) versus full factory rebuilds (O(dataset)). Both read
+	// from the method, so they survive across caches sharing one.
+	FilterInserts, FilterRebuilds int64
+	// AdditionLogLen is the method's current addition-log length;
+	// LogCompactions counts the compactions that dropped at least one
+	// record and LogRecordsDropped the records they reclaimed. Together
+	// they show the log staying bounded: records enter with DatasetAdds
+	// and leave once every resident entry has passed them.
+	AdditionLogLen                    int
+	LogCompactions, LogRecordsDropped int64
 	// FilterTime, HitTime and VerifyTime split where query time went.
 	FilterTime, HitTime, VerifyTime time.Duration
 }
@@ -91,6 +105,8 @@ func (m *Monitor) Snapshot() Snapshot {
 		DatasetAdds:       m.datasetAdds.Load(),
 		DatasetRemoves:    m.datasetRemoves.Load(),
 		MaintenanceTests:  m.maintenanceTests.Load(),
+		LogCompactions:    m.logCompactions.Load(),
+		LogRecordsDropped: m.logRecordsDropped.Load(),
 		FilterTime:        time.Duration(m.filterNs.Load()),
 		HitTime:           time.Duration(m.hitNs.Load()),
 		VerifyTime:        time.Duration(m.verifyNs.Load()),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync/atomic"
 
 	"graphcache/internal/bitset"
@@ -68,11 +69,20 @@ func (c *Cache) AddGraph(g *graph.Graph) (int, error) {
 	c.mon.datasetAdds.Add(1)
 
 	if c.cfg.LazyReconcile {
+		// Nothing to reconcile now, but the stop-the-world maintenance
+		// pass (with a nil fn) still recomputes the compaction floor and
+		// drops the addition records every entry has already passed — an
+		// O(entries) epoch scan, no iso tests — so the log stays bounded
+		// by the staleness of the coldest entry, not by the add count.
+		c.withAllEntriesLocked(nil)
 		return gid, nil
 	}
 	// Eager reconciliation: verify the new graph against every admitted
 	// and window entry now, under the full hierarchy (no queries are in
 	// flight — dsMu is held exclusively — so the swaps are unobservable).
+	// Every entry leaves at the new epoch, so the trailing compaction
+	// drains the whole log: in eager mode it never holds a record past
+	// the mutation that appended it.
 	c.withAllEntriesLocked(func(sh *shard, e *Entry) {
 		c.reconcileEntryLocked(sh, e, view)
 	})
@@ -108,12 +118,16 @@ func (c *Cache) RemoveGraph(gid int) error {
 	return nil
 }
 
-// withAllEntriesLocked runs fn over every admitted entry (with its owning
-// shard) and every window-pending entry (shard nil-checked via resBytes
-// being uncharged — fn receives the owning shard only for admitted
-// entries, nil for window entries, whose bytes are charged at insertion).
-// It takes the full lock hierarchy below dsMu; caller holds dsMu
-// exclusively.
+// withAllEntriesLocked runs fn (when non-nil) over every admitted entry
+// (with its owning shard) and every window-pending entry (shard
+// nil-checked via resBytes being uncharged — fn receives the owning shard
+// only for admitted entries, nil for window entries, whose bytes are
+// charged at insertion). It takes the full lock hierarchy below dsMu;
+// caller holds dsMu exclusively. Before the locks drop it performs the
+// stop-the-world maintenance duties every such pass owes: the per-shard
+// window epoch floors are recomputed (fn may have raised pending entries'
+// epochs) and the addition log is compacted up to the minimum entry
+// epoch.
 func (c *Cache) withAllEntriesLocked(fn func(sh *shard, e *Entry)) {
 	c.windowMu.Lock()
 	defer c.windowMu.Unlock()
@@ -121,16 +135,114 @@ func (c *Cache) withAllEntriesLocked(fn func(sh *shard, e *Entry)) {
 	defer c.policyMu.Unlock()
 	c.lockAll()
 	defer c.unlockAll()
-	for _, sh := range c.shards {
-		for _, e := range sh.entries {
-			fn(sh, e)
+	if fn != nil {
+		for _, sh := range c.shards {
+			for _, e := range sh.entries {
+				fn(sh, e)
+			}
+			for _, e := range sh.window {
+				fn(nil, e)
+			}
 		}
-		for _, e := range sh.window {
+		for _, e := range c.window {
 			fn(nil, e)
 		}
 	}
+	for _, sh := range c.shards {
+		sh.refreshWindowFloorLocked()
+	}
+	c.compactAdditionsLocked()
+}
+
+// Addition-log compaction. The method's addition log lets a stale entry
+// reconcile by verifying only the graphs added since its epoch; once
+// EVERY outstanding epoch-stamped answer set has passed a record, that
+// record can never be consulted again and is dropped. The floor is the
+// minimum dataset epoch across all admitted and window-pending entries —
+// entries are the only holders of long-lived epochs (query-local views
+// die with their query, and ReadState stamps restored entries with the
+// current epoch), and entry epochs only ever rise, so a computed floor
+// can only be conservative by the time the compaction lands.
+
+// compactAdditionsLocked compacts with the full hierarchy held (the
+// stop-the-world passes: dataset mutations, shared-window turns, state
+// restores), reading every window directly.
+func (c *Cache) compactAdditionsLocked() {
+	if c.method.AdditionLogLen() == 0 {
+		return
+	}
+	floor := int64(math.MaxInt64)
+	lower := func(e *Entry) {
+		if ep := e.DatasetEpoch(); ep < floor {
+			floor = ep
+		}
+	}
+	for _, sh := range c.shards {
+		for _, e := range sh.entries {
+			lower(e)
+		}
+		for _, e := range sh.window {
+			lower(e)
+		}
+	}
 	for _, e := range c.window {
-		fn(nil, e)
+		lower(e)
+	}
+	c.compactTo(floor)
+}
+
+// compactAdditions is the per-shard window-turn variant: caller holds
+// policyMu and only the TURNING shard's write lock. The other shards'
+// admitted slices are safe to read — every structural shard mutation
+// (insertLocked/removeLocked callers: turns, restores, stop-the-world
+// passes) happens under policyMu, which the caller holds — and their
+// pending windows are summarized by the atomic windowFloor instead of
+// taking their locks (taking them here would break the fixed lockAll
+// acquisition order). A staging that races the floor read is benign: the
+// stager holds dsMu's read side, under which the dataset epoch cannot
+// advance, so its entry carries the CURRENT epoch and only ever needs
+// records above it — records this compaction, whose floor cannot exceed
+// the current epoch's records, never drops.
+func (c *Cache) compactAdditions(turning *shard) {
+	if c.method.AdditionLogLen() == 0 {
+		return
+	}
+	floor := int64(math.MaxInt64)
+	for _, sh := range c.shards {
+		for _, e := range sh.entries {
+			if ep := e.DatasetEpoch(); ep < floor {
+				floor = ep
+			}
+		}
+		if sh == turning {
+			// Just drained under our lock; scanned directly for the rare
+			// concurrent re-stage between the drain and this point.
+			for _, e := range sh.window {
+				if ep := e.DatasetEpoch(); ep < floor {
+					floor = ep
+				}
+			}
+		} else if f := sh.windowFloor.Load(); f < floor {
+			floor = f
+		}
+	}
+	// The shared window is unused in per-shard mode (per-shard turns only
+	// happen there), so c.window needs no scan.
+	c.compactTo(floor)
+}
+
+// compactTo drops the addition records at or below floor, counting the
+// compaction. A floor of 0 can drop nothing (records start at epoch 1);
+// MaxInt64 — an empty cache — drains the whole log, which is safe: every
+// future entry is stamped with at least the current epoch and only ever
+// reconciles records above it.
+func (c *Cache) compactTo(floor int64) {
+	if floor <= 0 {
+		return
+	}
+	if dropped := c.method.CompactAdditions(floor); dropped > 0 {
+		c.mon.logCompactions.Add(1)
+		c.mon.logRecordsDropped.Add(int64(dropped))
 	}
 }
 

@@ -275,7 +275,7 @@ parse:
 		sh.entries = sh.entries[:0]
 		sh.byFP = make(map[graph.Fingerprint][]*Entry)
 		sh.memBytes = 0
-		sh.window = sh.window[:0]
+		sh.resetWindowLocked()
 	}
 	// The shards were cleared directly, bypassing removeLocked: reset the
 	// residency account to match before insertLocked re-adds the restored
@@ -295,5 +295,11 @@ parse:
 		c.evictLocked(all, excess)
 	}
 	c.republishAllLocked()
+	// Restored entries are stamped with the current epoch (additions are
+	// impossible since the state was written — the id space would have
+	// grown, and a size mismatch is refused above — so the stamp can skip
+	// nothing), which usually lifts the compaction floor: a restore is a
+	// stop-the-world pass like any other.
+	c.compactAdditionsLocked()
 	return nil
 }

@@ -18,6 +18,8 @@
 package ftv
 
 import (
+	"fmt"
+
 	"graphcache/internal/bitset"
 	"graphcache/internal/graph"
 )
@@ -54,6 +56,41 @@ type Filter interface {
 	IndexBytes() int
 }
 
+// InsertableFilter is the optional incremental-maintenance capability of a
+// Filter: WithGraph returns a NEW filter whose candidate sets (after the
+// method's live-id mask) are identical to rebuilding the filter from
+// scratch over the dataset with g appended at position gid, without
+// re-indexing any existing graph. Implementations are copy-on-write: the
+// receiver is never modified, so snapshots holding it keep answering for
+// their own epoch, and the returned filter shares all untouched index
+// structure with the receiver.
+//
+// gid must be ≥ the filter's current dataset size (additions only ever
+// append — ids are never reused); positions between the old size and gid
+// are indexed as tombstones. Method.AddGraph prefers this path over the
+// FilterFactory rebuild whenever the current filter implements it: the
+// expensive work — feature extraction — is O(graph), never the O(dataset)
+// re-enumeration of every existing graph's features a rebuild pays. The
+// COW bookkeeping additionally costs at worst a flat, pointer-sized copy
+// of the index skeleton (GGSX clones its node-pointer array and the
+// touched posting lists; StarFilter clones its inverted map shallowly,
+// sharing every untouched posting list) — memcpy-class work, orders of
+// magnitude below re-extraction. All bundled filters implement
+// InsertableFilter.
+type InsertableFilter interface {
+	Filter
+	WithGraph(gid int, g *graph.Graph) Filter
+}
+
+// RebuildOnly wraps a filter so it no longer advertises the
+// InsertableFilter capability, forcing Method.AddGraph down the full
+// FilterFactory rebuild path. It is the measurable baseline for the
+// incremental-insert comparison (benchmarks and tests); Candidates,
+// Name and IndexBytes delegate unchanged.
+func RebuildOnly(f Filter) Filter { return rebuildOnly{f} }
+
+type rebuildOnly struct{ Filter }
+
 // LabelFilter prunes by vertex count, edge count and label-multiset
 // dominance. It needs only O(1) state per dataset graph.
 type LabelFilter struct {
@@ -87,6 +124,31 @@ func (f *LabelFilter) Name() string { return "label" }
 
 // IndexBytes implements Filter.
 func (f *LabelFilter) IndexBytes() int { return f.bytes }
+
+// WithGraph implements InsertableFilter: only the new graph's label vector
+// and sizes are computed; every existing row is carried over by a flat
+// copy.
+func (f *LabelFilter) WithGraph(gid int, g *graph.Graph) Filter {
+	if gid < f.n {
+		panic(fmt.Sprintf("ftv: LabelFilter.WithGraph gid %d is inside the indexed id space [0,%d) — additions only append", gid, f.n))
+	}
+	n := gid + 1
+	f2 := &LabelFilter{
+		n:       n,
+		vectors: make([]graph.LabelVector, n),
+		sizes:   make([][2]int, n),
+		bytes:   f.bytes,
+	}
+	copy(f2.vectors, f.vectors)
+	copy(f2.sizes, f.sizes)
+	for i := f.n; i < gid; i++ {
+		f2.sizes[i] = [2]int{-1, -1} // implicit tombstones: match no query
+	}
+	f2.vectors[gid] = graph.LabelVectorOf(g)
+	f2.sizes[gid] = [2]int{g.N(), g.M()}
+	f2.bytes += 8*len(f2.vectors[gid]) + 16
+	return f2
+}
 
 // Candidates implements Filter.
 func (f *LabelFilter) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
@@ -128,4 +190,13 @@ func (f *NoFilter) IndexBytes() int { return 0 }
 // Candidates implements Filter.
 func (f *NoFilter) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
 	return bitset.NewFull(f.n)
+}
+
+// WithGraph implements InsertableFilter: a NoFilter only tracks the id
+// space (tombstones are masked by the method's live set either way).
+func (f *NoFilter) WithGraph(gid int, g *graph.Graph) Filter {
+	if gid < f.n {
+		panic(fmt.Sprintf("ftv: NoFilter.WithGraph gid %d is inside the indexed id space [0,%d) — additions only append", gid, f.n))
+	}
+	return &NoFilter{n: gid + 1}
 }

@@ -1,6 +1,7 @@
 package ftv
 
 import (
+	"fmt"
 	"sort"
 
 	"graphcache/internal/bitset"
@@ -177,6 +178,150 @@ func (x *GGSX) queryCounts(q *graph.Graph) (counts map[int32]int32, missing bool
 		extend(v, child, 0)
 	}
 	return counts, missing
+}
+
+// WithGraph implements InsertableFilter: an incremental, copy-on-write
+// trie insert. Only g's own label paths are enumerated (the same walk
+// NewGGSX does for one dataset graph — O(graph)); every trie node the
+// walk touches is replaced by a private copy carrying the new posting,
+// and every untouched node, posting list and child map is shared with
+// the receiver, which is never modified. The per-touched-node copy keeps
+// old snapshots exact forever: a reader holding the receiver never
+// observes the new gid.
+//
+// Cost: O(paths(g)) feature enumeration plus, per touched node, one flat
+// posting-list copy (the new gid is the largest, so the append preserves
+// the sort order) — no other dataset graph is ever revisited, whereas
+// the factory rebuild re-enumerates the paths of the whole dataset.
+func (x *GGSX) WithGraph(gid int, g *graph.Graph) Filter {
+	if gid < x.n {
+		panic(fmt.Sprintf("ftv: GGSX.WithGraph gid %d is inside the indexed id space [0,%d) — additions only append", gid, x.n))
+	}
+	x2 := &GGSX{
+		maxLen:  x.maxLen,
+		n:       gid + 1,
+		nodes:   make([]*trieNode, len(x.nodes)),
+		forward: make([][]nodeCount, gid+1),
+		bytes:   x.bytes,
+	}
+	copy(x2.nodes, x.nodes)
+	copy(x2.forward, x.forward)
+	// Positions [x.n, gid) are implicit tombstones: indexed as empty, but
+	// still charged the empty forward-row overhead computeBytes counts.
+	x2.bytes += 24 * (gid - x.n)
+
+	// The root is always touched (every vertex starts a path); its private
+	// copy initially shares the child map, cloned only if g introduces a
+	// new first-step feature.
+	x2.root = &trieNode{id: -1, children: x.root.children, minCount: x.root.minCount}
+	ins := &ggsxInserter{
+		x2:   x2,
+		priv: map[int32]*trieNode{-1: x2.root},
+	}
+
+	counts := ins.insertPaths(g)
+	fwd := make([]nodeCount, 0, len(counts))
+	for node, c := range counts {
+		nd := ins.priv[node] // every counted node was stepped into, hence private
+		// Full slice expression: the append reallocates instead of
+		// scribbling over a posting array the receiver still exposes.
+		nd.postings = append(nd.postings[:len(nd.postings):len(nd.postings)], posting{int32(gid), c})
+		if c < nd.minCount {
+			nd.minCount = c
+		}
+		x2.bytes += 8
+		fwd = append(fwd, nodeCount{node, c})
+	}
+	sort.Slice(fwd, func(i, j int) bool { return fwd[i].node < fwd[j].node })
+	x2.forward[gid] = fwd
+	x2.bytes += 24 + 8*len(fwd)
+	return x2
+}
+
+// ggsxInserter carries the copy-on-write state of one WithGraph call:
+// priv maps node ids (-1 for the root) to their private copies, ownMap
+// marks private nodes whose child map has already been cloned (maps,
+// unlike slices, cannot be shared once written).
+type ggsxInserter struct {
+	x2     *GGSX
+	priv   map[int32]*trieNode
+	ownMap map[int32]bool
+}
+
+// step descends from the PRIVATE node nd along key k, returning a private
+// child: an existing shared child is copied (sharing its postings and
+// child map until they are written), a missing one is created fresh —
+// mirroring what NewGGSX's child() would have built.
+func (ins *ggsxInserter) step(nd *trieNode, k trieKey) *trieNode {
+	if c, ok := nd.children[k]; ok {
+		if p, ok := ins.priv[c.id]; ok {
+			return p
+		}
+		p := &trieNode{id: c.id, children: c.children, postings: c.postings, minCount: c.minCount}
+		ins.priv[c.id] = p
+		ins.x2.nodes[c.id] = p
+		ins.ownChildren(nd)[k] = p
+		return p
+	}
+	c := &trieNode{id: int32(len(ins.x2.nodes)), children: make(map[trieKey]*trieNode)}
+	ins.priv[c.id] = c
+	ins.setOwn(c.id)
+	ins.x2.nodes = append(ins.x2.nodes, c)
+	ins.ownChildren(nd)[k] = c
+	ins.x2.bytes += 64 + 16 // node struct + the parent's new map entry
+	c.minCount = 1 << 30    // no postings yet; the insert loop lowers it
+	return c
+}
+
+// ownChildren returns nd's child map, cloning it first if it is still
+// shared with the receiver. Caller is about to write into it.
+func (ins *ggsxInserter) ownChildren(nd *trieNode) map[trieKey]*trieNode {
+	if !ins.ownMap[nd.id] {
+		m := make(map[trieKey]*trieNode, len(nd.children)+1)
+		for k, v := range nd.children {
+			m[k] = v
+		}
+		nd.children = m
+		ins.setOwn(nd.id)
+	}
+	return nd.children
+}
+
+func (ins *ggsxInserter) setOwn(id int32) {
+	if ins.ownMap == nil {
+		ins.ownMap = make(map[int32]bool)
+	}
+	ins.ownMap[id] = true
+}
+
+// insertPaths is countPaths against the copy-on-write trie: identical
+// path enumeration, but descending from the private root through private
+// copies so the new postings never touch shared nodes.
+func (ins *ggsxInserter) insertPaths(g *graph.Graph) map[int32]int32 {
+	counts := make(map[int32]int32)
+	inPath := make([]bool, g.N())
+	var extend func(v int, node *trieNode, edges int)
+	extend = func(v int, node *trieNode, edges int) {
+		if edges == ins.x2.maxLen {
+			return
+		}
+		inPath[v] = true
+		for _, w := range g.OutNeighbors(v) {
+			if inPath[w] {
+				continue
+			}
+			child := ins.step(node, trieKey{g.EdgeLabel(v, int(w)), g.Label(int(w))})
+			counts[child.id]++
+			extend(int(w), child, edges+1)
+		}
+		inPath[v] = false
+	}
+	for v := 0; v < g.N(); v++ {
+		child := ins.step(ins.x2.root, trieKey{0, g.Label(v)})
+		counts[child.id]++
+		extend(v, child, 0)
+	}
+	return counts
 }
 
 // Name implements Filter.

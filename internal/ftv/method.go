@@ -2,6 +2,7 @@ package ftv
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,10 +48,12 @@ type FilterFactory func(dataset []*graph.Graph) Filter
 // publish it with a single store, so readers never lock and never observe
 // a half-applied mutation. Every mutation bumps the epoch; the addition
 // log records (epoch, gid) per added graph so cache layers can reconcile
-// stale answer sets by verifying only the delta. Removals keep the old
-// filter (its postings for the dead id are masked by the live set — exact,
-// because Candidates intersects with live); additions rebuild the filter
-// through the factory.
+// stale answer sets by verifying only the delta — and is compacted through
+// CompactAdditions once every outstanding answer set has passed a record.
+// Removals keep the old filter (its postings for the dead id are masked by
+// the live set — exact, because Candidates intersects with live);
+// additions patch the filter incrementally when it is an InsertableFilter
+// (every bundled filter is), falling back to a factory rebuild otherwise.
 //
 // Readers that need a consistent multi-call view (size, candidates,
 // verification) must take one View and use it throughout; the plain Method
@@ -61,9 +64,22 @@ type Method struct {
 	factory FilterFactory // nil: static filter, AddGraph unsupported
 
 	// mu serializes mutators; readers go through the atomic state pointer
-	// and never take it.
+	// and never take it. It is a leaf lock: nothing is acquired under it,
+	// so callers may hold arbitrary locks of their own (the cache kernel
+	// compacts the addition log from inside its window turns).
 	mu    sync.Mutex
 	state atomic.Pointer[methodState]
+
+	// filterInserts / filterRebuilds split how AddGraph maintained the
+	// filter: an incremental InsertableFilter.WithGraph insert (O(graph))
+	// versus a full FilterFactory rebuild (O(dataset)). All bundled
+	// filters are insertable, so rebuilds only happen for custom
+	// factory-built filters without the capability. filterMaintainNs
+	// accumulates the wall time of exactly that step — insert or rebuild,
+	// nothing else — so the two strategies compare over identical work.
+	filterInserts    atomic.Int64
+	filterRebuilds   atomic.Int64
+	filterMaintainNs atomic.Int64
 }
 
 // methodState is one immutable dataset snapshot. All fields are read-only
@@ -170,9 +186,13 @@ func (m *Method) VerifyCandidate(q *graph.Graph, gid int, qt QueryType) bool {
 
 // AddGraph appends g to the dataset under a fresh, stable id (the next
 // slice position — tombstoned ids are never reused) and publishes a new
-// snapshot with the filter rebuilt over the grown dataset. It returns the
-// new graph's id. Requires a filter factory (NewDynamicMethod or a bundled
-// constructor).
+// snapshot whose filter covers the grown dataset: incrementally patched
+// through InsertableFilter.WithGraph when the current filter supports it
+// (O(graph) — the default for every bundled filter), rebuilt through the
+// factory otherwise. It returns the new graph's id. Requires a filter
+// factory (NewDynamicMethod or a bundled constructor) — the factory stays
+// the dynamic-method contract and the fallback when an insert is
+// unavailable.
 func (m *Method) AddGraph(g *graph.Graph) (int, error) {
 	if g == nil || g.N() == 0 {
 		return 0, fmt.Errorf("ftv: cannot add an empty graph")
@@ -187,6 +207,16 @@ func (m *Method) AddGraph(g *graph.Graph) (int, error) {
 	dataset := make([]*graph.Graph, gid+1)
 	copy(dataset, old.dataset)
 	dataset[gid] = g
+	var filter Filter
+	tf := time.Now()
+	if ins, ok := old.filter.(InsertableFilter); ok {
+		filter = ins.WithGraph(gid, g)
+		m.filterInserts.Add(1)
+	} else {
+		filter = m.factory(dataset)
+		m.filterRebuilds.Add(1)
+	}
+	m.filterMaintainNs.Add(time.Since(tf).Nanoseconds())
 	live := old.live.Grown(gid + 1)
 	live.Add(gid)
 	epoch := old.epoch + 1
@@ -195,13 +225,67 @@ func (m *Method) AddGraph(g *graph.Graph) (int, error) {
 	adds := append(old.adds[:len(old.adds):len(old.adds)], AddRecord{Epoch: epoch, GID: gid})
 	m.state.Store(&methodState{
 		dataset:   dataset,
-		filter:    m.factory(dataset),
+		filter:    filter,
 		live:      live,
 		liveCount: old.liveCount + 1,
 		epoch:     epoch,
 		adds:      adds,
 	})
 	return gid, nil
+}
+
+// FilterInserts returns how many AddGraph calls maintained the filter
+// through an incremental InsertableFilter.WithGraph insert.
+func (m *Method) FilterInserts() int64 { return m.filterInserts.Load() }
+
+// FilterRebuilds returns how many AddGraph calls fell back to a full
+// FilterFactory rebuild (the filter did not support incremental inserts).
+func (m *Method) FilterRebuilds() int64 { return m.filterRebuilds.Load() }
+
+// FilterMaintainNs returns the cumulative wall time AddGraph spent
+// maintaining the filter (the insert or rebuild step alone — no dataset
+// copying, no cache-layer reconciliation), in nanoseconds.
+func (m *Method) FilterMaintainNs() int64 { return m.filterMaintainNs.Load() }
+
+// AdditionLogLen returns the current length of the addition log — the
+// records not yet dropped by CompactAdditions.
+func (m *Method) AdditionLogLen() int { return len(m.state.Load().adds) }
+
+// CompactAdditions drops every addition record with Epoch ≤ floor from
+// the log and publishes the trimmed snapshot (the dataset, filter, live
+// set and epoch are untouched — compaction is observable only through
+// AddsSince). It returns the number of records dropped.
+//
+// Safety is the caller's contract: floor must not exceed the minimum
+// epoch any outstanding epoch-stamped answer set is exact up to,
+// otherwise a holder of a lower epoch would silently skip the dropped
+// records when it reconciles. Records above the floor are untouched, and
+// snapshots taken before the call keep their full log — compaction can
+// never retroactively change what an already-obtained view reports.
+func (m *Method) CompactAdditions(floor int64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.state.Load()
+	// Epochs ascend: everything before the first record above the floor
+	// goes.
+	drop := sort.Search(len(old.adds), func(i int) bool { return old.adds[i].Epoch > floor })
+	if drop == 0 {
+		return 0
+	}
+	// A fresh allocation (not a re-slice) so the dropped prefix's backing
+	// array becomes collectable — the whole point of compaction is keeping
+	// the log's footprint bounded.
+	kept := make([]AddRecord, len(old.adds)-drop)
+	copy(kept, old.adds[drop:])
+	m.state.Store(&methodState{
+		dataset:   old.dataset,
+		filter:    old.filter,
+		live:      old.live,
+		liveCount: old.liveCount,
+		epoch:     old.epoch,
+		adds:      kept,
+	})
+	return drop
 }
 
 // RemoveGraph tombstones dataset graph gid: the id stays allocated forever
@@ -343,7 +427,8 @@ func (m *Method) Run(q *graph.Graph, qt QueryType) *Result {
 
 // NewGGSXMethod is a convenience constructor for the demo deployment's
 // Method M: GGSX filtering with VF2 verification. The method is dynamic:
-// AddGraph rebuilds the GGSX trie over the grown dataset.
+// AddGraph patches the GGSX trie in place through a copy-on-write
+// incremental insert (O(graph), never a full rebuild).
 func NewGGSXMethod(dataset []*graph.Graph, maxLen int) *Method {
 	return NewDynamicMethod(fmt.Sprintf("ggsx-L%d/vf2", maxLen), dataset,
 		func(ds []*graph.Graph) Filter { return NewGGSX(ds, maxLen) }, nil)

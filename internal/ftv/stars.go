@@ -1,6 +1,7 @@
 package ftv
 
 import (
+	"fmt"
 	"sort"
 
 	"graphcache/internal/bitset"
@@ -127,6 +128,50 @@ func starHash(center graph.Label, leaves []graph.Label) uint64 {
 	h ^= uint64(len(leaves)) << 48
 	h *= prime64
 	return h
+}
+
+// WithGraph implements InsertableFilter: only the new graph's stars are
+// counted (O(graph) combinatorics — no existing graph is revisited);
+// posting lists are extended through copy-on-write appends (the new gid
+// is the largest, preserving the gid sort) and the receiver is never
+// modified. The inverted map is cloned shallowly — O(distinct star
+// features) pointer-sized entries, sharing every untouched posting list —
+// the flat-bookkeeping cost the InsertableFilter contract allows; the
+// star re-COUNTING a rebuild would pay is what the insert avoids.
+func (f *StarFilter) WithGraph(gid int, g *graph.Graph) Filter {
+	if gid < f.n {
+		panic(fmt.Sprintf("ftv: StarFilter.WithGraph gid %d is inside the indexed id space [0,%d) — additions only append", gid, f.n))
+	}
+	n := gid + 1
+	counts := starCounts(g, f.maxLeafs)
+	f2 := &StarFilter{
+		n:        n,
+		maxLeafs: f.maxLeafs,
+		inverted: make(map[uint64][]posting, len(f.inverted)+len(counts)),
+		forward:  make([][]nodeCount64, n),
+		bytes:    f.bytes,
+	}
+	for h, ps := range f.inverted {
+		f2.inverted[h] = ps
+	}
+	copy(f2.forward, f.forward)
+
+	fwd := make([]nodeCount64, 0, len(counts))
+	for h, c := range counts {
+		ps := f2.inverted[h]
+		if len(ps) == 0 {
+			f2.bytes += 24 // fresh posting list header
+		}
+		// Full slice expression: the append reallocates instead of
+		// scribbling over a posting array the receiver still exposes.
+		f2.inverted[h] = append(ps[:len(ps):len(ps)], posting{int32(gid), c})
+		f2.bytes += 8
+		fwd = append(fwd, nodeCount64{h, c})
+	}
+	sort.Slice(fwd, func(i, j int) bool { return fwd[i].hash < fwd[j].hash })
+	f2.forward[gid] = fwd
+	f2.bytes += 16 + 12*len(fwd)
+	return f2
 }
 
 // Name implements Filter.

@@ -119,3 +119,43 @@ func mustJSON(v any) string {
 	b, _ := json.Marshal(v)
 	return string(b)
 }
+
+// TestStatsReportFilterMaintenance pins the PR-5 observability surface:
+// /api/stats exposes the incremental-insert counters and the addition-log
+// length, and they move with dataset mutations — additions are counted as
+// filter inserts (never rebuilds: the bundled GGSX filter is insertable)
+// and the eager-mode compaction keeps the log drained.
+func TestStatsReportFilterMaintenance(t *testing.T) {
+	srv, _ := testServer(t)
+	rng := rand.New(rand.NewSource(17))
+	extra := gen.Molecules(rng, 2, gen.MoleculeConfig{MinV: 10, MaxV: 14, RingFrac: 0.1, MaxDegree: 4, Labels: 6})
+
+	_, stats := doJSON(t, srv, http.MethodGet, "/api/stats", "")
+	for _, field := range []string{"filterInserts", "filterRebuilds", "additionLogLen", "logCompactions"} {
+		if _, ok := stats[field]; !ok {
+			t.Fatalf("/api/stats is missing %q: %s", field, mustJSON(stats))
+		}
+	}
+	if stats["filterInserts"].(float64) != 0 || stats["additionLogLen"].(float64) != 0 {
+		t.Fatalf("baseline maintenance stats not zero: %s", mustJSON(stats))
+	}
+
+	for _, g := range extra {
+		body, _ := json.Marshal(map[string]string{"graph": graphText(t, g)})
+		if rec, _ := doJSON(t, srv, http.MethodPost, "/api/dataset/graphs", string(body)); rec.Code != http.StatusCreated {
+			t.Fatalf("POST graph: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	_, stats = doJSON(t, srv, http.MethodGet, "/api/stats", "")
+	if stats["filterInserts"].(float64) != 2 || stats["filterRebuilds"].(float64) != 0 {
+		t.Fatalf("filter counters after 2 adds: %s", mustJSON(stats))
+	}
+	// The default engine reconciles eagerly: each mutation's stop-the-world
+	// pass compacts the record it appended.
+	if stats["additionLogLen"].(float64) != 0 {
+		t.Fatalf("addition log not drained in eager mode: %s", mustJSON(stats))
+	}
+	if stats["logCompactions"].(float64) == 0 {
+		t.Fatalf("no compaction recorded after additions: %s", mustJSON(stats))
+	}
+}

@@ -145,6 +145,14 @@ type statsResponse struct {
 	DatasetAdds      int64 `json:"datasetAdds"`
 	DatasetRemoves   int64 `json:"datasetRemoves"`
 	MaintenanceTests int64 `json:"maintenanceTests"`
+	// FilterInserts/FilterRebuilds split how additions maintained the
+	// method's filter (incremental O(graph) insert vs full O(dataset)
+	// rebuild); AdditionLogLen is the current reconciliation-log length
+	// and LogCompactions counts the compactions bounding it.
+	FilterInserts  int64 `json:"filterInserts"`
+	FilterRebuilds int64 `json:"filterRebuilds"`
+	AdditionLogLen int   `json:"additionLogLen"`
+	LogCompactions int64 `json:"logCompactions"`
 }
 
 func (s *Server) statsResponse() statsResponse {
@@ -197,6 +205,10 @@ func (s *Server) statsResponse() statsResponse {
 		DatasetAdds:       snap.DatasetAdds,
 		DatasetRemoves:    snap.DatasetRemoves,
 		MaintenanceTests:  snap.MaintenanceTests,
+		FilterInserts:     snap.FilterInserts,
+		FilterRebuilds:    snap.FilterRebuilds,
+		AdditionLogLen:    snap.AdditionLogLen,
+		LogCompactions:    snap.LogCompactions,
 	}
 }
 
@@ -586,6 +598,9 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <li>dataset: {{.DatasetSize}} live graphs (epoch {{.Epoch}},
 {{.DatasetAdds}} added / {{.DatasetRemoves}} removed,
 {{.MaintenanceTests}} maintenance tests)</li>
+<li>index maintenance: {{.FilterInserts}} incremental inserts /
+{{.FilterRebuilds}} rebuilds; addition log {{.AdditionLogLen}} records
+({{.LogCompactions}} compactions)</li>
 </ul>
 <p>API: GET /api/stats · GET /api/entries · POST /api/query
 · POST /api/query/batch (add ?stream=1 for NDJSON streaming)
