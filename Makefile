@@ -11,7 +11,7 @@ GO ?= go
 # coverage fails CI. Raise it when the real number durably rises.
 COVER_BASELINE ?= 80.0
 
-.PHONY: build test race vet staticcheck cover bench bench-smoke bench-json fuzz-smoke throughput churn ci
+.PHONY: build test race vet staticcheck cover bench bench-smoke bench-json fuzz-smoke throughput scaling profiles churn ci
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,23 @@ cover:
 		printf "coverage %.1f%% (baseline %.1f%%)\n", t, b }'
 
 # Parallel-throughput comparison: per-shard-window engine vs the
-# shared-window and serialized baselines.
+# shared-window and serialized baselines, swept to GOMAXPROCS workers.
 throughput:
 	$(GO) run ./cmd/workloadrun -throughput
+
+# Scaling tier: 10k graphs, 10k zipf-skewed mixed queries, full
+# GOMAXPROCS worker sweep (~2 min of wall-clock per core by design).
+scaling:
+	$(GO) run ./cmd/workloadrun -throughput -scale large
+
+# pprof artifacts: CPU + heap profiles of the scaling-tier run, uploaded
+# by CI so hot-path regressions are diagnosable from the artifacts alone.
+# Inspect with `go tool pprof profiles/scaling_cpu.pprof`.
+PROFILE_DIR ?= profiles
+profiles:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/gcbench -exp scaling \
+		-cpuprofile $(PROFILE_DIR)/scaling_cpu.pprof -memprofile $(PROFILE_DIR)/scaling_mem.pprof
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/bench/
@@ -71,13 +85,16 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^FuzzReadState$$' -fuzz '^FuzzReadState$$' -fuzztime $(FUZZTIME) ./internal/core/
 
-# Perf-trajectory artifact: throughput + churn results (including the new
-# mutation-latency and filter-insert columns) as JSON, uploaded by CI per
-# PR (BENCH_pr4.json and BENCH_pr5.json seed the file set).
-BENCH_JSON ?= BENCH_pr5.json
+# Perf-trajectory artifact: throughput (full GOMAXPROCS worker sweep),
+# large-tier scaling and churn results as JSON, stamped with the runtime
+# environment (GOMAXPROCS, CPU count, Go version) and uploaded by CI per
+# PR (BENCH_pr4.json and BENCH_pr5.json seed the file set; the scaling
+# and env sections start with BENCH_pr6.json). No -workers flag: the
+# sweep derives from GOMAXPROCS so the artifact reflects the hardware.
+BENCH_JSON ?= BENCH_pr6.json
 bench-json:
 	$(GO) run ./cmd/workloadrun -bench-json $(BENCH_JSON) -assert-churn \
-		-throughput-dataset 120 -throughput-queries 300 -workers 1,4 \
+		-throughput-dataset 120 -throughput-queries 300 \
 		-churn-dataset 120 -churn-queries 300 -churn-mutations 10
 
 ci: vet staticcheck race fuzz-smoke bench-smoke bench-json

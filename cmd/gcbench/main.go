@@ -12,6 +12,13 @@
 //	gcbench -exp overhead
 //	gcbench -exp headline -dataset 1000 -queries 5000
 //	gcbench -exp churn -dataset 150 -queries 400
+//	gcbench -exp scaling                      # large tier: 10k graphs, 10k queries, GOMAXPROCS sweep
+//	gcbench -exp scaling -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// -cpuprofile and -memprofile capture pprof profiles of whichever
+// experiments ran — the raw material for the hot-path memory discipline
+// work (internal/core/doc.go). -exp scaling is deliberately NOT part of
+// -exp all: it runs minutes of wall-clock by design.
 package main
 
 import (
@@ -20,6 +27,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"graphcache/internal/bench"
@@ -42,11 +52,14 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gcbench", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | sweeps | churn | all")
-		seed      = fs.Int64("seed", 2018, "random seed (all experiments are deterministic per seed)")
-		queries   = fs.Int("queries", 1000, "workload size for policies/overhead/headline/churn")
-		dataset   = fs.Int("dataset", 400, "dataset size for overhead/headline/churn")
-		mutations = fs.Int("mutations", 12, "churn: interleaved dataset mutations")
+		exp        = fs.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | sweeps | churn | scaling | all (scaling is excluded from all — it runs minutes by design)")
+		seed       = fs.Int64("seed", 2018, "random seed (all experiments are deterministic per seed)")
+		queries    = fs.Int("queries", 1000, "workload size for policies/overhead/headline/churn (overrides the scaling tier's when set)")
+		dataset    = fs.Int("dataset", 400, "dataset size for overhead/headline/churn (overrides the scaling tier's when set)")
+		mutations  = fs.Int("mutations", 12, "churn: interleaved dataset mutations")
+		workerList = fs.String("workers", "", "scaling: comma-separated worker counts; empty sweeps powers of two up to GOMAXPROCS")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (after the selected experiments) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,10 +67,53 @@ func run(args []string, stdout io.Writer) error {
 
 	known := map[string]bool{
 		"fig3": true, "workloadrun": true, "fig2c": true, "policies": true,
-		"overhead": true, "headline": true, "sweeps": true, "churn": true, "all": true,
+		"overhead": true, "headline": true, "sweeps": true, "churn": true,
+		"scaling": true, "all": true,
 	}
 	if !known[*exp] {
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// The heap profile is written after the experiments so it shows
+		// what the runs left resident, not the startup state.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gcbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gcbench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *exp == "scaling" {
+		tier := bench.LargeTier()
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["dataset"] {
+			tier.DatasetSize = *dataset
+		}
+		if explicit["queries"] {
+			tier.Queries = *queries
+			tier.PoolSize = max(*queries/3, 8)
+		}
+		return runScaling(stdout, *seed, tier, *workerList)
 	}
 	runExp := func(name string, fn func() error) error {
 		if *exp != "all" && *exp != name {
@@ -86,6 +142,45 @@ func run(args []string, stdout io.Writer) error {
 		if err := runExp(step.name, step.fn); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runScaling drives the scaling workload tier through the three engines
+// over the GOMAXPROCS worker sweep — the experiment behind ROADMAP open
+// item 1 ("make parallelism pay"). Pair with -cpuprofile/-memprofile to
+// see where the large tier actually spends its time and allocations.
+func runScaling(stdout io.Writer, seed int64, tier bench.ThroughputTier, workerList string) error {
+	var workers []int
+	if strings.TrimSpace(workerList) != "" {
+		for _, f := range strings.Split(workerList, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+				return fmt.Errorf("bad worker count %q", f)
+			}
+			workers = append(workers, n)
+		}
+	}
+	env := bench.CaptureEnvironment()
+	cmp, err := bench.ParallelThroughputTier(seed, tier, workers)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(fmt.Sprintf("EXP-SCALE · %s tier: %d mixed queries over %d graphs (GOMAXPROCS=%d, %d CPUs, %s)",
+		cmp.Tier, cmp.Queries, cmp.DatasetSize, env.GOMAXPROCS, env.NumCPU, env.GoVersion),
+		"workers", "serialized q/s", "shared-window q/s", "per-shard q/s", "speedup", "window speedup")
+	for i, w := range cmp.WorkerCounts {
+		t.AddRow(w,
+			fmt.Sprintf("%.1f", cmp.Serialized[i].QPS),
+			fmt.Sprintf("%.1f", cmp.SharedWindow[i].QPS),
+			fmt.Sprintf("%.1f", cmp.PerShard[i].QPS),
+			fmt.Sprintf("%.2f×", cmp.SpeedupAt(w)),
+			fmt.Sprintf("%.2f×", cmp.WindowSpeedupAt(w)))
+	}
+	t.Render(stdout)
+	fmt.Fprintln(stdout, "speedup = per-shard/serialized; window speedup = per-shard/shared-window.")
+	if env.GOMAXPROCS == 1 {
+		fmt.Fprintln(stdout, "note: GOMAXPROCS=1 — the sweep degenerates to a single point; scaling needs real cores.")
 	}
 	return nil
 }

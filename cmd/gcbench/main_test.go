@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -27,6 +29,33 @@ func TestRunSingleExperiments(t *testing.T) {
 				t.Errorf("output missing %q:\n%s", tc.want, out.String())
 			}
 		})
+	}
+}
+
+// Smoke: the scaling experiment (downsized) renders its table and the
+// profile flags write non-empty pprof files.
+func TestRunScalingWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "scaling", "-dataset", "30", "-queries", "60", "-workers", "1,2",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "EXP-SCALE") {
+		t.Errorf("output missing scaling table:\n%s", out.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+	if err := run([]string{"-exp", "scaling", "-workers", "zero"}, &out); err == nil {
+		t.Error("bad worker list accepted")
 	}
 }
 

@@ -9,6 +9,7 @@
 //	POST /api/query/batch       execute a batch: {"queries": [...], "workers": 8}
 //	                            (?stream=1 streams NDJSON outcomes as they finish)
 //	GET  /api/dataset/{id}      dataset graph as text, ?format=dot / ascii
+//	GET  /debug/pprof/          live CPU/heap/goroutine profiles (only with -pprof)
 //
 // Requests are served concurrently: net/http spawns a goroutine per
 // connection and the sharded cache kernel processes the in-flight queries
@@ -30,6 +31,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -80,6 +82,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		indexOff   = fs.Bool("index-off", false, "disable the hit-detection feature index (pre-index baseline)")
 		sharedWin  = fs.Bool("shared-window", false, "use one global admission window instead of per-shard windows (pre-decentralization baseline)")
 		lazyRec    = fs.Bool("lazy-reconcile", false, "reconcile cached answers lazily after dataset additions (per-entry epochs) instead of eagerly at mutation time")
+		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof profiling at /debug/pprof/ (off by default: profiles leak internals, enable only on trusted networks)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -134,7 +137,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		len(dataset), method.Name(), p.Name(), *capacity, *window, cache.Shards())
 	fmt.Fprintf(stdout, "gcd: listening on %s\n", ln.Addr())
 
-	srv := &http.Server{Handler: server.New(cache)}
+	var handler http.Handler = server.New(cache)
+	if *pprofOn {
+		// The profiling handlers are mounted on a wrapper mux rather than
+		// the blank-import DefaultServeMux route, so they exist ONLY when
+		// opted in and the API handler keeps owning every other path.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintln(stdout, "gcd: pprof profiling exposed at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -134,6 +134,38 @@ func TestDaemonIndexOffFlag(t *testing.T) {
 	}
 }
 
+// -pprof mounts the profiling endpoints without stealing any API route;
+// without the flag /debug/pprof/ must not exist.
+func TestDaemonPprofFlag(t *testing.T) {
+	base, _, shutdown := bootDaemon(t, "-pprof")
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/api/stats"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with -pprof: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	base, _, shutdown = bootDaemon(t)
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/debug/pprof/ served without -pprof; profiling must be opt-in")
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
 func TestDaemonRejectsBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{"-policy", "nope"}, &out); err == nil {

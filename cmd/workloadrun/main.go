@@ -53,9 +53,10 @@ func run(args []string, stdout io.Writer) error {
 		policy      = fs.String("policy", "hd", "replacement policy for the run")
 		policies    = fs.String("policies", "lru,pop,pin,pinc,hd", "policies for the replacement comparison; 'none' to skip")
 		throughput  = fs.Bool("throughput", false, "run the parallel-throughput comparison instead of the workload run")
-		datasetSz   = fs.Int("throughput-dataset", 200, "throughput mode: dataset size")
-		queries     = fs.Int("throughput-queries", 1000, "throughput mode: workload size")
-		workerList  = fs.String("workers", "1,4,8", "throughput mode: comma-separated worker counts")
+		scale       = fs.String("scale", "default", "throughput mode: workload tier (default | large; large = 10k+ graphs, 10k+ zipf-skewed mixed queries)")
+		datasetSz   = fs.Int("throughput-dataset", 200, "throughput mode: dataset size (overrides the tier's)")
+		queries     = fs.Int("throughput-queries", 1000, "throughput mode: workload size (overrides the tier's)")
+		workerList  = fs.String("workers", "", "throughput mode: comma-separated worker counts; empty sweeps powers of two up to GOMAXPROCS")
 		assertIndex = fs.Bool("assert-index", false, "throughput mode: also compare indexed vs unindexed hit detection and fail unless the index strictly reduced work")
 		churn       = fs.Bool("churn", false, "run the live-mutation comparison: exact cache maintenance vs drop-cache-and-rebuild over a mixed query/add/remove stream")
 		churnDS     = fs.Int("churn-dataset", 150, "churn mode: initial dataset size")
@@ -76,11 +77,27 @@ func run(args []string, stdout io.Writer) error {
 	if *assertChurn && !*churn && *benchJSON == "" {
 		return fmt.Errorf("-assert-churn requires -churn or -bench-json")
 	}
+	// The tier named by -scale shapes the throughput workload; explicit
+	// size flags override the tier's sizes (so the CI smoke gates keep
+	// their historical tiny scales without naming a tier).
+	tier, err := bench.TierByName(*scale)
+	if err != nil {
+		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["throughput-dataset"] {
+		tier.DatasetSize = *datasetSz
+	}
+	if explicit["throughput-queries"] {
+		tier.Queries = *queries
+		tier.PoolSize = max(*queries/3, 8)
+	}
 	if *benchJSON != "" {
 		if *assertIndex || *churn || *throughput {
 			return fmt.Errorf("-bench-json runs throughput and churn itself; combine it only with -assert-churn and the size flags")
 		}
-		return runBenchJSON(stdout, *benchJSON, *seed, *datasetSz, *queries, *workerList, *churnDS, *churnQs, *churnMuts, *assertChurn)
+		return runBenchJSON(stdout, *benchJSON, *seed, tier, *workerList, *churnDS, *churnQs, *churnMuts, *assertChurn)
 	}
 	if *churn {
 		if *throughput {
@@ -89,11 +106,11 @@ func run(args []string, stdout io.Writer) error {
 		return runChurn(stdout, *seed, *churnDS, *churnQs, *churnMuts, *assertChurn)
 	}
 	if *throughput {
-		if err := runThroughput(stdout, *seed, *datasetSz, *queries, *workerList); err != nil {
+		if err := runThroughput(stdout, *seed, tier, *workerList); err != nil {
 			return err
 		}
 		if *assertIndex {
-			return runIndexSmoke(stdout, *seed, *datasetSz, *queries)
+			return runIndexSmoke(stdout, *seed, tier.DatasetSize, tier.Queries)
 		}
 		return nil
 	}
@@ -135,16 +152,18 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runThroughput renders the parallel-throughput comparison as a table.
-func runThroughput(stdout io.Writer, seed int64, datasetSize, queries int, workerList string) error {
+func runThroughput(stdout io.Writer, seed int64, tier bench.ThroughputTier, workerList string) error {
 	workers, err := parseWorkers(workerList)
 	if err != nil {
 		return err
 	}
-	cmp, err := bench.ParallelThroughput(seed, datasetSize, queries, workers)
+	cmp, err := bench.ParallelThroughputTier(seed, tier, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "Parallel throughput — %d mixed queries over %d molecules\n", queries, datasetSize)
+	env := bench.CaptureEnvironment()
+	fmt.Fprintf(stdout, "Parallel throughput [%s tier] — %d mixed queries over %d molecules (GOMAXPROCS=%d, %d CPUs)\n",
+		cmp.Tier, cmp.Queries, cmp.DatasetSize, env.GOMAXPROCS, env.NumCPU)
 	fmt.Fprintln(stdout, strings.Repeat("=", 64))
 	t := stats.NewTable("", "workers", "serialized q/s", "shared-window q/s", "per-shard q/s", "speedup", "window speedup")
 	for i, w := range cmp.WorkerCounts {
@@ -205,17 +224,32 @@ func runChurn(stdout io.Writer, seed int64, datasetSize, queries, mutations int,
 	return nil
 }
 
-// runBenchJSON runs the throughput and churn comparisons and writes both
-// to a JSON file — the perf-trajectory artifact CI uploads per PR. With
-// assertChurn it additionally fails unless the maintained cache won.
-func runBenchJSON(stdout io.Writer, path string, seed int64, datasetSize, queries int, workerList string, churnDS, churnQs, churnMuts int, assertChurn bool) error {
+// runBenchJSON runs the throughput, large-tier scaling and churn
+// comparisons and writes all three to a JSON file — the perf-trajectory
+// artifact CI uploads per PR — together with the worker sweep and the
+// runtime environment (GOMAXPROCS, CPU count, Go version), so a flat
+// scaling curve measured in a 1-CPU container is distinguishable from a
+// real regression. With assertChurn it additionally fails unless the
+// maintained cache won.
+func runBenchJSON(stdout io.Writer, path string, seed int64, tier bench.ThroughputTier, workerList string, churnDS, churnQs, churnMuts int, assertChurn bool) error {
 	workers, err := parseWorkers(workerList)
 	if err != nil {
 		return err
 	}
-	tp, err := bench.ParallelThroughput(seed, datasetSize, queries, workers)
+	if len(workers) == 0 {
+		workers = bench.DefaultThroughputWorkers()
+	}
+	tp, err := bench.ParallelThroughputTier(seed, tier, workers)
 	if err != nil {
 		return fmt.Errorf("throughput: %w", err)
+	}
+	// The scaling section always measures the large tier; when -scale
+	// already selected it, the run is not repeated.
+	scaling := tp
+	if tier.Name != "large" {
+		if scaling, err = bench.ParallelThroughputTier(seed, bench.LargeTier(), workers); err != nil {
+			return fmt.Errorf("scaling: %w", err)
+		}
 	}
 	churn, err := bench.RunChurnComparison(seed, churnDS, churnQs, churnMuts)
 	if err != nil {
@@ -223,9 +257,12 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, datasetSize, querie
 	}
 	report := struct {
 		Seed       int64                       `json:"seed"`
+		Env        bench.Environment           `json:"env"`
+		Workers    []int                       `json:"workers"`
 		Throughput *bench.ThroughputComparison `json:"throughput"`
+		Scaling    *bench.ThroughputComparison `json:"scaling"`
 		Churn      *bench.ChurnComparison      `json:"churn"`
-	}{seed, tp, churn}
+	}{seed, bench.CaptureEnvironment(), workers, tp, scaling, churn}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -233,8 +270,9 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, datasetSize, querie
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote throughput (%d worker counts) and churn (%d queries, %d mutations, %.1f%% test reduction) results to %s\n",
-		len(workers), churn.Queries, churn.Mutations, 100*churn.TestReduction(), path)
+	fmt.Fprintf(stdout, "wrote throughput (%d worker counts), %s-tier scaling (%d graphs / %d queries) and churn (%d queries, %d mutations, %.1f%% test reduction) results to %s\n",
+		len(workers), scaling.Tier, scaling.DatasetSize, scaling.Queries,
+		churn.Queries, churn.Mutations, 100*churn.TestReduction(), path)
 	if assertChurn && !churn.MaintainedWins() {
 		return fmt.Errorf("churn assertion failed: maintained %d total tests vs rebuild %d",
 			churn.Maintained.TotalTests(), churn.Rebuild.TotalTests())
@@ -243,8 +281,12 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, datasetSize, querie
 }
 
 // parseWorkers parses a comma-separated worker-count list, shared by the
-// throughput and bench-json paths.
+// throughput and bench-json paths. An empty list means "let the
+// experiment sweep up to GOMAXPROCS" (bench.DefaultThroughputWorkers).
 func parseWorkers(workerList string) ([]int, error) {
+	if strings.TrimSpace(workerList) == "" {
+		return nil, nil
+	}
 	var workers []int
 	for _, f := range strings.Split(workerList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))

@@ -84,8 +84,11 @@ func TestRunChurnWithAssertion(t *testing.T) {
 func TestRunBenchJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	var out bytes.Buffer
+	// -scale large with explicit tiny size overrides keeps the test fast:
+	// the scaling section reuses the (downsized) large-tier run instead
+	// of measuring the full 10k×10k workload.
 	err := run([]string{
-		"-bench-json", path,
+		"-bench-json", path, "-scale", "large",
 		"-throughput-dataset", "30", "-throughput-queries", "60", "-workers", "1",
 		"-churn-dataset", "60", "-churn-queries", "120", "-churn-mutations", "6",
 	}, &out)
@@ -97,9 +100,19 @@ func TestRunBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var report struct {
+		Env struct {
+			GOMAXPROCS int
+			NumCPU     int
+			GoVersion  string
+		} `json:"env"`
+		Workers    []int `json:"workers"`
 		Throughput struct {
 			WorkerCounts []int `json:"WorkerCounts"`
 		} `json:"throughput"`
+		Scaling struct {
+			Tier         string
+			WorkerCounts []int `json:"WorkerCounts"`
+		} `json:"scaling"`
 		Churn struct {
 			Queries   int `json:"Queries"`
 			Mutations int `json:"Mutations"`
@@ -110,5 +123,26 @@ func TestRunBenchJSON(t *testing.T) {
 	}
 	if len(report.Throughput.WorkerCounts) != 1 || report.Churn.Queries != 120 || report.Churn.Mutations == 0 {
 		t.Fatalf("artifact content wrong:\n%s", raw)
+	}
+	if report.Env.GOMAXPROCS < 1 || report.Env.NumCPU < 1 || report.Env.GoVersion == "" {
+		t.Fatalf("artifact must record the runtime environment:\n%s", raw)
+	}
+	if len(report.Workers) != 1 || report.Workers[0] != 1 {
+		t.Fatalf("artifact must record the worker sweep:\n%s", raw)
+	}
+	if report.Scaling.Tier != "large" || len(report.Scaling.WorkerCounts) != 1 {
+		t.Fatalf("artifact must include the scaling section:\n%s", raw)
+	}
+}
+
+// An empty -workers list means "sweep up to GOMAXPROCS"; the sweep is
+// derived, never empty.
+func TestParseWorkersEmptyMeansAuto(t *testing.T) {
+	ws, err := parseWorkers("")
+	if err != nil || ws != nil {
+		t.Fatalf("parseWorkers(\"\") = %v, %v; want nil, nil", ws, err)
+	}
+	if ws, err = parseWorkers(" 2, 4 "); err != nil || len(ws) != 2 || ws[0] != 2 || ws[1] != 4 {
+		t.Fatalf("parseWorkers(\" 2, 4 \") = %v, %v", ws, err)
 	}
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"graphcache/internal/core"
@@ -26,6 +27,11 @@ type ThroughputPoint struct {
 // default per-shard-window kernel, where no per-query code path takes a
 // global mutex.
 type ThroughputComparison struct {
+	// Tier names the workload tier that was run; DatasetSize and Queries
+	// record its realized scale so the JSON artifact is self-describing.
+	Tier         string
+	DatasetSize  int
+	Queries      int
 	WorkerCounts []int
 	// Serialized drives a Config{Shards: 1, Serialized: true} cache — the
 	// pre-sharding engine that takes one global lock per query.
@@ -64,32 +70,126 @@ func (t *ThroughputComparison) WindowSpeedupAt(workers int) float64 {
 	return 0
 }
 
-// DefaultThroughputWorkers are the worker counts the throughput experiment
-// reports: the sequential floor, a small pool, and the target scale.
-func DefaultThroughputWorkers() []int { return []int{1, 4, 8} }
+// Environment records the runtime context a benchmark ran under, so a
+// committed BENCH artifact states how much hardware parallelism its
+// scaling numbers could possibly show (a 1-CPU container can only ever
+// report a flat sweep).
+type Environment struct {
+	GOMAXPROCS int
+	NumCPU     int
+	GoVersion  string
+	Race       bool
+}
 
-// throughputRounds is how many times each (engine, workers) cell is
-// measured; the best round is reported. The engines differ by a few
-// percent while container scheduling jitters by more, so single-shot
-// numbers flip orderings run to run — the per-engine best is stable.
-const throughputRounds = 5
+// CaptureEnvironment snapshots the current runtime environment.
+func CaptureEnvironment() Environment {
+	return Environment{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Race:       raceEnabled,
+	}
+}
 
-// ParallelThroughput measures end-to-end queries/sec of the per-shard-
-// window engine against the shared-window and serialized baselines. One
-// dataset, one GGSX index and one mixed subgraph/supergraph workload are
-// generated up front and shared by every run (the filter index is
-// immutable and concurrency-safe); each (engine, workers) cell gets a
-// fresh cache so no run warms another. The workload is submitted through
-// Cache.ExecuteAll with the cell's worker count.
+// DefaultThroughputWorkers are the worker counts the throughput
+// experiment sweeps: the sequential floor, then powers of two up to and
+// including GOMAXPROCS — the scale the hardware can actually run.
+// Hard-coding counts past GOMAXPROCS only measures scheduler thrash, and
+// stopping short of it hides the top of the scaling curve; deriving the
+// sweep keeps the committed BENCH artifacts honest about the machine
+// they ran on (the environment block records GOMAXPROCS alongside).
+func DefaultThroughputWorkers() []int {
+	maxW := runtime.GOMAXPROCS(0)
+	ws := []int{1}
+	for w := 2; w < maxW; w *= 2 {
+		ws = append(ws, w)
+	}
+	if maxW > 1 {
+		ws = append(ws, maxW)
+	}
+	return ws
+}
+
+// ThroughputTier is one named workload scale for the parallel-throughput
+// experiment. The default tier is the historical bench-smoke scale; the
+// large tier exists because small workloads hide parallel wins — with a
+// few hundred queries, cache construction and fixed costs dominate and
+// every engine measures the same (ROADMAP open item 1).
+type ThroughputTier struct {
+	// Name tags the tier in reports and JSON artifacts.
+	Name string
+	// DatasetSize and Queries set the workload scale.
+	DatasetSize int
+	Queries     int
+	// PoolSize is the number of distinct queries; the workload draws
+	// Queries zipf-skewed repeats from this pool, so Queries-PoolSize
+	// executions exercise the hit paths.
+	PoolSize int
+	// ZipfS is the skew of the repeat distribution (>1; higher = more
+	// head-heavy).
+	ZipfS float64
+	// Rounds is how many measured rounds each (engine, workers) cell
+	// gets (best-of, after one unmeasured warmup).
+	Rounds int
+}
+
+// DefaultTier is the historical throughput workload: small enough for
+// the CI smoke gates, interleaved best-of-5 rounds.
+func DefaultTier() ThroughputTier {
+	return ThroughputTier{Name: "default", DatasetSize: 200, Queries: 1000, PoolSize: 333, ZipfS: 1.2, Rounds: 5}
+}
+
+// LargeTier is the scaling workload: 10k dataset graphs and 10k
+// zipf-skewed mixed queries from a 1k-query pool, so the run spends its
+// time in the concurrent query paths (hit detection, verification,
+// admission) rather than in fixed setup. Rounds drop to best-of-2 —
+// each round is long enough to average out scheduling jitter on its
+// own.
+func LargeTier() ThroughputTier {
+	return ThroughputTier{Name: "large", DatasetSize: 10000, Queries: 10000, PoolSize: 1000, ZipfS: 1.1, Rounds: 2}
+}
+
+// TierByName resolves a -scale flag value.
+func TierByName(name string) (ThroughputTier, error) {
+	switch name {
+	case "", "default":
+		return DefaultTier(), nil
+	case "large":
+		return LargeTier(), nil
+	}
+	return ThroughputTier{}, fmt.Errorf("unknown workload tier %q (want default or large)", name)
+}
+
+// ParallelThroughput measures the default tier at the given scale — the
+// historical entry point; see ParallelThroughputTier.
 func ParallelThroughput(seed int64, datasetSize, queries int, workerCounts []int) (*ThroughputComparison, error) {
+	tier := DefaultTier()
+	tier.DatasetSize = datasetSize
+	tier.Queries = queries
+	tier.PoolSize = max(queries/3, 8)
+	return ParallelThroughputTier(seed, tier, workerCounts)
+}
+
+// ParallelThroughputTier measures end-to-end queries/sec of the
+// per-shard-window engine against the shared-window and serialized
+// baselines on one workload tier. One dataset, one GGSX index and one
+// mixed subgraph/supergraph workload are generated up front and shared
+// by every run (the filter index is immutable and concurrency-safe);
+// each (engine, workers) cell gets a fresh cache so no run warms
+// another. The workload is submitted through Cache.ExecuteAll with the
+// cell's worker count.
+func ParallelThroughputTier(seed int64, tier ThroughputTier, workerCounts []int) (*ThroughputComparison, error) {
 	if len(workerCounts) == 0 {
 		workerCounts = DefaultThroughputWorkers()
 	}
-	dataset := MoleculeDataset(seed, datasetSize)
+	if tier.Rounds < 1 {
+		tier.Rounds = 1
+	}
+	dataset := MoleculeDataset(seed, tier.DatasetSize)
 	method := ftv.NewGGSXMethod(dataset, 3)
 	w, err := gen.NewWorkload(newRand(seed+7), dataset, gen.WorkloadConfig{
-		Size: queries, Mixed: true, PoolSize: max(queries/3, 8),
-		ZipfS: 1.2, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 12,
+		Size: tier.Queries, Mixed: true, PoolSize: max(tier.PoolSize, 8),
+		ZipfS: tier.ZipfS, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 12,
 	})
 	if err != nil {
 		return nil, err
@@ -99,7 +199,12 @@ func ParallelThroughput(seed int64, datasetSize, queries int, workerCounts []int
 		reqs[i] = core.Request{Graph: q.G, Type: q.Type}
 	}
 
-	cmp := &ThroughputComparison{WorkerCounts: workerCounts}
+	cmp := &ThroughputComparison{
+		Tier:         tier.Name,
+		DatasetSize:  tier.DatasetSize,
+		Queries:      tier.Queries,
+		WorkerCounts: workerCounts,
+	}
 	runOnce := func(cfg core.Config, workers int) (ThroughputPoint, error) {
 		c, err := core.New(method, cfg)
 		if err != nil {
@@ -142,7 +247,7 @@ func ParallelThroughput(seed int64, datasetSize, queries int, workerCounts []int
 			cfg  core.Config
 			best *ThroughputPoint
 		}{{serialCfg, &serial}, {sharedCfg, &shared}, {perShardCfg, &perShard}}
-		for r := -1; r < throughputRounds; r++ {
+		for r := -1; r < tier.Rounds; r++ {
 			for i := range cells {
 				cell := cells[(i+r+len(cells))%len(cells)]
 				p, err := runOnce(cell.cfg, workers)

@@ -65,6 +65,66 @@ func TestShardedScalesPastSerialized(t *testing.T) {
 	}
 }
 
+// The default worker sweep must start at the sequential floor, rise
+// strictly, and top out exactly at GOMAXPROCS — never past the hardware.
+func TestDefaultThroughputWorkersSweep(t *testing.T) {
+	ws := DefaultThroughputWorkers()
+	if len(ws) == 0 || ws[0] != 1 {
+		t.Fatalf("sweep must start at 1 worker: %v", ws)
+	}
+	maxW := runtime.GOMAXPROCS(0)
+	if ws[len(ws)-1] != maxW {
+		t.Errorf("sweep must end at GOMAXPROCS=%d: %v", maxW, ws)
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i] <= ws[i-1] || ws[i] > maxW {
+			t.Fatalf("sweep must rise strictly and stay within GOMAXPROCS: %v", ws)
+		}
+	}
+}
+
+// TierByName resolves the -scale flag values; the large tier must hit
+// the scaling floor the ROADMAP asks for (10k+ graphs, 10k+ queries,
+// zipf-skewed repeats).
+func TestTierByName(t *testing.T) {
+	for _, name := range []string{"", "default"} {
+		tier, err := TierByName(name)
+		if err != nil || tier.Name != "default" {
+			t.Fatalf("TierByName(%q) = %+v, %v", name, tier, err)
+		}
+	}
+	large, err := TierByName("large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.DatasetSize < 10000 || large.Queries < 10000 {
+		t.Errorf("large tier %d graphs / %d queries, want ≥10k each", large.DatasetSize, large.Queries)
+	}
+	if large.PoolSize >= large.Queries || large.ZipfS <= 1 {
+		t.Errorf("large tier must draw zipf-skewed repeats from a smaller pool: %+v", large)
+	}
+	if _, err := TierByName("galactic"); err == nil {
+		t.Error("unknown tier must error")
+	}
+}
+
+// A custom tier's identity must flow through to the comparison so the
+// JSON artifact is self-describing.
+func TestParallelThroughputTierStampsIdentity(t *testing.T) {
+	tier := ThroughputTier{Name: "mini", DatasetSize: 30, Queries: 40, PoolSize: 12, ZipfS: 1.2, Rounds: 1}
+	cmp, err := ParallelThroughputTier(5, tier, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Tier != "mini" || cmp.DatasetSize != 30 || cmp.Queries != 40 {
+		t.Errorf("comparison identity = %q/%d/%d, want mini/30/40", cmp.Tier, cmp.DatasetSize, cmp.Queries)
+	}
+	env := CaptureEnvironment()
+	if env.GOMAXPROCS < 1 || env.NumCPU < 1 || env.GoVersion == "" {
+		t.Errorf("bad environment snapshot: %+v", env)
+	}
+}
+
 // benchThroughput drives one engine configuration for b.N batches.
 func benchThroughput(b *testing.B, serialized bool, workers int) {
 	dataset := MoleculeDataset(2018, 100)

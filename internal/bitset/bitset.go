@@ -4,6 +4,17 @@
 // dataset-graph position, so the candidate-set algebra of the kernel
 // (C = (C_M ∩ ⋂ A(h')) \ S) runs word-parallel. The zero value of Set is an
 // empty bitset of capacity 0; use New for a sized one.
+//
+// # Lazy all-zero representation
+//
+// An all-zero set is represented with a nil word slice: New is O(1) and
+// allocation-free in its word storage, and Clone of an all-zero set is O(1).
+// The words are materialized on the first mutation that can set a bit (Add,
+// SetAll, Or with a non-zero operand). Every operation treats a nil word
+// slice as "all bits clear", so the representation is invisible to callers
+// — except in Bytes, which correctly reports the smaller footprint. This is
+// what makes the empty Excluded/Survivors sets on the cache's exact-hit
+// fast path free at any dataset size.
 package bitset
 
 import (
@@ -19,16 +30,21 @@ const wordBits = 64
 // otherwise: mixing sets over different datasets is a programming error,
 // not a runtime condition.
 type Set struct {
+	// words is the bit storage; nil means every bit is clear (see the
+	// package comment). A non-nil slice always has full length for the
+	// capacity.
 	words []uint64
 	n     int // capacity in bits
 }
 
 // New returns an empty set with capacity for n bits (bit indices 0..n-1).
+// The word storage is allocated lazily on first mutation, so New itself
+// costs one small fixed allocation regardless of n.
 func New(n int) *Set {
 	if n < 0 {
 		panic("bitset: negative capacity")
 	}
-	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+	return &Set{n: n}
 }
 
 // NewFull returns a set of capacity n with all n bits set.
@@ -56,21 +72,36 @@ func (s *Set) check(i int) {
 	}
 }
 
+// materialize allocates the word storage of an all-zero set so a bit can
+// be set in place.
+func (s *Set) materialize() {
+	if s.words == nil {
+		s.words = make([]uint64, (s.n+wordBits-1)/wordBits)
+	}
+}
+
 // Add sets bit i.
 func (s *Set) Add(i int) {
 	s.check(i)
+	s.materialize()
 	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
 }
 
 // Remove clears bit i.
 func (s *Set) Remove(i int) {
 	s.check(i)
+	if s.words == nil {
+		return
+	}
 	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
 }
 
 // Contains reports whether bit i is set.
 func (s *Set) Contains(i int) bool {
 	s.check(i)
+	if s.words == nil {
+		return false
+	}
 	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
 }
 
@@ -102,6 +133,7 @@ func (s *Set) Clear() {
 
 // SetAll sets every bit in [0, Len()).
 func (s *Set) SetAll() {
+	s.materialize()
 	for i := range s.words {
 		s.words[i] = ^uint64(0)
 	}
@@ -116,8 +148,12 @@ func (s *Set) trimTail() {
 	}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Cloning an all-zero set is O(1): the copy
+// shares the lazy representation and allocates no word storage.
 func (s *Set) Clone() *Set {
+	if s.words == nil {
+		return &Set{n: s.n}
+	}
 	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
 	copy(c.words, s.words)
 	return c
@@ -130,7 +166,10 @@ func (s *Set) Grown(n int) *Set {
 	if n < s.n {
 		panic(fmt.Sprintf("bitset: cannot grow capacity %d down to %d", s.n, n))
 	}
-	c := New(n)
+	if s.words == nil {
+		return &Set{n: n}
+	}
+	c := &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 	copy(c.words, s.words)
 	return c
 }
@@ -144,6 +183,13 @@ func (s *Set) sameCap(o *Set) {
 // And intersects s with o in place (s ∩= o).
 func (s *Set) And(o *Set) {
 	s.sameCap(o)
+	if s.words == nil {
+		return // empty ∩ x = empty
+	}
+	if o.words == nil {
+		s.Clear()
+		return
+	}
 	for i := range s.words {
 		s.words[i] &= o.words[i]
 	}
@@ -152,6 +198,9 @@ func (s *Set) And(o *Set) {
 // AndNot removes o's bits from s in place (s \= o).
 func (s *Set) AndNot(o *Set) {
 	s.sameCap(o)
+	if s.words == nil || o.words == nil {
+		return
+	}
 	for i := range s.words {
 		s.words[i] &^= o.words[i]
 	}
@@ -160,6 +209,10 @@ func (s *Set) AndNot(o *Set) {
 // Or unions o into s in place (s ∪= o).
 func (s *Set) Or(o *Set) {
 	s.sameCap(o)
+	if o.words == nil {
+		return
+	}
+	s.materialize()
 	for i := range s.words {
 		s.words[i] |= o.words[i]
 	}
@@ -168,6 +221,9 @@ func (s *Set) Or(o *Set) {
 // IntersectionCount returns |s ∩ o| without allocating.
 func (s *Set) IntersectionCount(o *Set) int {
 	s.sameCap(o)
+	if s.words == nil || o.words == nil {
+		return 0
+	}
 	c := 0
 	for i := range s.words {
 		c += bits.OnesCount64(s.words[i] & o.words[i])
@@ -178,6 +234,12 @@ func (s *Set) IntersectionCount(o *Set) int {
 // DifferenceCount returns |s \ o| without allocating.
 func (s *Set) DifferenceCount(o *Set) int {
 	s.sameCap(o)
+	if s.words == nil {
+		return 0
+	}
+	if o.words == nil {
+		return s.Count()
+	}
 	c := 0
 	for i := range s.words {
 		c += bits.OnesCount64(s.words[i] &^ o.words[i])
@@ -188,6 +250,12 @@ func (s *Set) DifferenceCount(o *Set) int {
 // SubsetOf reports whether every bit of s is also set in o.
 func (s *Set) SubsetOf(o *Set) bool {
 	s.sameCap(o)
+	if s.words == nil {
+		return true
+	}
+	if o.words == nil {
+		return s.Empty()
+	}
 	for i := range s.words {
 		if s.words[i]&^o.words[i] != 0 {
 			return false
@@ -200,6 +268,12 @@ func (s *Set) SubsetOf(o *Set) bool {
 func (s *Set) Equal(o *Set) bool {
 	if s.n != o.n {
 		return false
+	}
+	if s.words == nil {
+		return o.Empty()
+	}
+	if o.words == nil {
+		return s.Empty()
 	}
 	for i := range s.words {
 		if s.words[i] != o.words[i] {
@@ -223,14 +297,63 @@ func (s *Set) ForEach(fn func(i int) bool) {
 	}
 }
 
+// ForEachAnd calls fn for every bit set in both s and o (s ∩ o) in
+// ascending order, without allocating an intermediate set. If fn returns
+// false iteration stops early.
+func (s *Set) ForEachAnd(o *Set, fn func(i int) bool) {
+	s.sameCap(o)
+	if s.words == nil || o.words == nil {
+		return
+	}
+	for wi := range s.words {
+		w := s.words[wi] & o.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachAndNot calls fn for every bit set in s but not in o (s \ o) in
+// ascending order, without allocating an intermediate set. If fn returns
+// false iteration stops early.
+func (s *Set) ForEachAndNot(o *Set, fn func(i int) bool) {
+	s.sameCap(o)
+	if s.words == nil {
+		return
+	}
+	if o.words == nil {
+		s.ForEach(fn)
+		return
+	}
+	for wi := range s.words {
+		w := s.words[wi] &^ o.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // Indices returns the set bits in ascending order.
 func (s *Set) Indices() []int {
-	out := make([]int, 0, s.Count())
+	return s.AppendIndices(make([]int, 0, s.Count()))
+}
+
+// AppendIndices appends the set bits in ascending order to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+func (s *Set) AppendIndices(dst []int) []int {
 	s.ForEach(func(i int) bool {
-		out = append(out, i)
+		dst = append(dst, i)
 		return true
 	})
-	return out
+	return dst
 }
 
 // Bytes returns the approximate heap footprint of the set in bytes,

@@ -1,0 +1,189 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Tests for the lazy all-zero representation (nil word slice) and the
+// allocation-free iteration helpers. Every binary operation must behave
+// identically whether either operand is lazy or materialized.
+
+// materialized returns a set of capacity n with the given bits, forced
+// into the materialized representation even when empty.
+func materialized(n int, idx ...int) *Set {
+	s := New(n)
+	s.materialize()
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}
+
+func TestLazyZeroValueBehavior(t *testing.T) {
+	s := New(200)
+	if s.words != nil {
+		t.Fatal("New should not materialize words")
+	}
+	if s.Count() != 0 || !s.Empty() {
+		t.Fatal("lazy set must read as empty")
+	}
+	if s.Contains(131) {
+		t.Fatal("lazy Contains must be false")
+	}
+	s.Remove(7) // must not materialize or panic
+	if s.words != nil {
+		t.Fatal("Remove on a lazy set must not materialize")
+	}
+	s.Clear()
+	if s.words != nil {
+		t.Fatal("Clear on a lazy set must not materialize")
+	}
+	c := s.Clone()
+	if c.words != nil || c.Len() != 200 {
+		t.Fatal("Clone of a lazy set must stay lazy with equal capacity")
+	}
+	g := s.Grown(300)
+	if g.words != nil || g.Len() != 300 {
+		t.Fatal("Grown of a lazy set must stay lazy")
+	}
+	if s.Bytes() >= materialized(200).Bytes() {
+		t.Fatal("lazy set must report a smaller footprint")
+	}
+}
+
+func TestLazyMaterializesOnMutation(t *testing.T) {
+	s := New(100)
+	s.Add(63)
+	if s.words == nil || !s.Contains(63) || s.Count() != 1 {
+		t.Fatal("Add must materialize and set the bit")
+	}
+	s2 := New(100)
+	s2.SetAll()
+	if s2.Count() != 100 {
+		t.Fatal("SetAll must materialize all bits")
+	}
+	s3 := New(100)
+	s3.Or(s)
+	if !s3.Contains(63) || s3.Count() != 1 {
+		t.Fatal("Or with non-zero operand must materialize")
+	}
+}
+
+func TestLazyBinaryOpsMatchMaterialized(t *testing.T) {
+	const n = 130
+	full := materialized(n, 0, 1, 64, 65, 129)
+	cases := []struct{ a, b *Set }{
+		{New(n), New(n)},
+		{New(n), full},
+		{full, New(n)},
+		{materialized(n), New(n)},
+		{New(n), materialized(n)},
+	}
+	for i, c := range cases {
+		// Reference results computed against fully materialized copies.
+		am, bm := c.a.Clone(), c.b.Clone()
+		am.materialize()
+		bm.materialize()
+
+		and := c.a.Clone()
+		and.And(c.b)
+		wantAnd := am.Clone()
+		wantAnd.And(bm)
+		if !and.Equal(wantAnd) {
+			t.Errorf("case %d: And mismatch", i)
+		}
+		andNot := c.a.Clone()
+		andNot.AndNot(c.b)
+		wantAndNot := am.Clone()
+		wantAndNot.AndNot(bm)
+		if !andNot.Equal(wantAndNot) {
+			t.Errorf("case %d: AndNot mismatch", i)
+		}
+		or := c.a.Clone()
+		or.Or(c.b)
+		wantOr := am.Clone()
+		wantOr.Or(bm)
+		if !or.Equal(wantOr) {
+			t.Errorf("case %d: Or mismatch", i)
+		}
+		if got, want := c.a.IntersectionCount(c.b), am.IntersectionCount(bm); got != want {
+			t.Errorf("case %d: IntersectionCount %d != %d", i, got, want)
+		}
+		if got, want := c.a.DifferenceCount(c.b), am.DifferenceCount(bm); got != want {
+			t.Errorf("case %d: DifferenceCount %d != %d", i, got, want)
+		}
+		if got, want := c.a.SubsetOf(c.b), am.SubsetOf(bm); got != want {
+			t.Errorf("case %d: SubsetOf %v != %v", i, got, want)
+		}
+		if got, want := c.a.Equal(c.b), am.Equal(bm); got != want {
+			t.Errorf("case %d: Equal %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestForEachAndAndNot(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		wantAnd := a.Clone()
+		wantAnd.And(b)
+		var gotAnd []int
+		a.ForEachAnd(b, func(i int) bool { gotAnd = append(gotAnd, i); return true })
+		if len(gotAnd) != wantAnd.Count() {
+			t.Fatalf("ForEachAnd visited %d bits, want %d", len(gotAnd), wantAnd.Count())
+		}
+		for _, i := range gotAnd {
+			if !wantAnd.Contains(i) {
+				t.Fatalf("ForEachAnd visited %d not in a∩b", i)
+			}
+		}
+		wantNot := a.Clone()
+		wantNot.AndNot(b)
+		var gotNot []int
+		a.ForEachAndNot(b, func(i int) bool { gotNot = append(gotNot, i); return true })
+		if len(gotNot) != wantNot.Count() {
+			t.Fatalf("ForEachAndNot visited %d bits, want %d", len(gotNot), wantNot.Count())
+		}
+		for _, i := range gotNot {
+			if !wantNot.Contains(i) {
+				t.Fatalf("ForEachAndNot visited %d not in a\\b", i)
+			}
+		}
+	}
+
+	// Early stop and lazy operands.
+	a := materialized(n, 1, 2, 3)
+	visited := 0
+	a.ForEachAndNot(New(n), func(i int) bool { visited++; return visited < 2 })
+	if visited != 2 {
+		t.Fatalf("early stop visited %d, want 2", visited)
+	}
+	New(n).ForEachAnd(a, func(i int) bool { t.Fatal("lazy ∩ x must visit nothing"); return false })
+}
+
+func TestAppendIndicesReusesBuffer(t *testing.T) {
+	s := FromIndices(100, []int{3, 50, 99})
+	buf := make([]int, 0, 8)
+	out := s.AppendIndices(buf)
+	if len(out) != 3 || out[0] != 3 || out[1] != 50 || out[2] != 99 {
+		t.Fatalf("AppendIndices = %v", out)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendIndices must reuse the provided buffer's storage")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendIndices(buf[:0])
+	}); allocs != 0 {
+		t.Fatalf("AppendIndices into a sized buffer allocated %v times", allocs)
+	}
+}

@@ -36,14 +36,57 @@ type StreamOutcome struct {
 // channel as soon as its query finishes — the streaming pipeline behind
 // POST /api/query/batch?stream=1. Outcomes arrive in completion order,
 // tagged with the request index; the channel is closed once the whole
-// batch has drained. The channel is buffered to the batch size, so an
-// abandoned consumer never wedges the workers. workers < 2 executes the
-// batch sequentially (on one goroutine, still streaming) in submission
-// order — useful when reproducibility of cache contents matters more than
-// throughput, since concurrent submission makes admission order
-// scheduling-dependent. Individual answer sets are exact either way.
+// batch has drained. The channel buffer is bounded (it does NOT scale
+// with the batch size — see ExecuteAllStreamContext), so the caller must
+// consume the channel to completion; a consumer that may abandon the
+// stream early should use ExecuteAllStreamContext and cancel the context
+// instead. workers < 2 executes the batch sequentially (on one
+// goroutine, still streaming) in submission order — useful when
+// reproducibility of cache contents matters more than throughput, since
+// concurrent submission makes admission order scheduling-dependent.
+// Individual answer sets are exact either way.
 func (c *Cache) ExecuteAllStream(reqs []Request, workers int) <-chan StreamOutcome {
 	return c.ExecuteAllStreamContext(context.Background(), reqs, workers)
+}
+
+// streamBufferFor bounds the outcome-channel buffer: enough slack that
+// workers rarely block on a healthy consumer (4 outcomes per worker),
+// never more than the batch itself, and O(workers) regardless of batch
+// size — a 100k-query batch no longer allocates a 100k-slot channel up
+// front.
+func streamBufferFor(reqs, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	buf := 4 * workers
+	if buf > reqs {
+		buf = reqs
+	}
+	return buf
+}
+
+// sendOutcome delivers one outcome on out, honoring the delivery
+// contract: a finished query's outcome is delivered whenever buffer
+// space (or a reader) is available — even after cancellation — and is
+// dropped only when the buffer is full AND the context is cancelled.
+// The eager non-blocking attempt keeps the select below from randomly
+// preferring an already-cancelled Done over a send that would have
+// succeeded immediately. Reports whether the outcome was delivered.
+func sendOutcome(ctx context.Context, out chan<- StreamOutcome, so StreamOutcome) bool {
+	select {
+	case out <- so:
+		return true
+	default:
+	}
+	// The bounded buffer means this send can block on a slow consumer;
+	// racing it against ctx.Done keeps the abandoned-consumer guarantee
+	// — cancel and the outcome is dropped, never wedging the pool.
+	select {
+	case out <- so:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // ExecuteAllStreamContext is ExecuteAllStream bounded by a context: once
@@ -53,8 +96,17 @@ func (c *Cache) ExecuteAllStream(reqs []Request, workers int) <-chan StreamOutco
 // remaining queries ever reaching the cache. The HTTP layer threads the
 // request context through here so a disconnected NDJSON client stops the
 // batch instead of burning verification work nobody will read.
+//
+// Invariant: the outcome channel is buffered to min(len(reqs),
+// 4×workers), not to the batch size, so workers may block on a slow
+// consumer — but every outcome send races ctx.Done (sendOutcome), so a
+// consumer that stops reading AND cancels the context never wedges the
+// workers: an in-flight query's outcome is still delivered if buffer
+// space remains, dropped otherwise, the pool drains, and the channel
+// closes. A consumer without a cancellable context must drain the
+// channel (as ExecuteAll does).
 func (c *Cache) ExecuteAllStreamContext(ctx context.Context, reqs []Request, workers int) <-chan StreamOutcome {
-	out := make(chan StreamOutcome, len(reqs))
+	out := make(chan StreamOutcome, streamBufferFor(len(reqs), workers))
 	if len(reqs) == 0 {
 		close(out)
 		return out
@@ -67,7 +119,9 @@ func (c *Cache) ExecuteAllStreamContext(ctx context.Context, reqs []Request, wor
 					return
 				}
 				res, err := c.Execute(r.Graph, r.Type)
-				out <- StreamOutcome{Index: i, Result: res, Err: err}
+				if !sendOutcome(ctx, out, StreamOutcome{Index: i, Result: res, Err: err}) {
+					return
+				}
 			}
 		}()
 		return out
@@ -89,7 +143,7 @@ func (c *Cache) ExecuteAllStreamContext(ctx context.Context, reqs []Request, wor
 					continue
 				}
 				res, err := c.Execute(reqs[i].Graph, reqs[i].Type)
-				out <- StreamOutcome{Index: i, Result: res, Err: err}
+				sendOutcome(ctx, out, StreamOutcome{Index: i, Result: res, Err: err})
 			}
 		}()
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"graphcache/internal/ftv"
 	"graphcache/internal/gen"
@@ -118,6 +120,76 @@ func TestExecuteAllStreamAbandonedConsumer(t *testing.T) {
 	<-ch
 	// ExecuteAll on the same cache proves the kernel is not wedged.
 	outs := c.ExecuteAll(reqs, 2)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("follow-up batch query %d: %v", i, o.Err)
+		}
+	}
+}
+
+// The outcome channel's buffer must be bounded by min(len(reqs),
+// 4×workers) — not the batch size — so giant batches don't allocate
+// giant buffers up front.
+func TestExecuteAllStreamBufferBound(t *testing.T) {
+	dataset := testDataset(105, 10)
+	c := testCache(t, dataset, nil)
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		reqs[i] = Request{Graph: dataset[i%len(dataset)], Type: ftv.Subgraph}
+	}
+	ch := c.ExecuteAllStreamContext(context.Background(), reqs, 3)
+	if got, want := cap(ch), 12; got != want {
+		t.Errorf("worker-pool buffer = %d, want %d", got, want)
+	}
+	for range ch {
+	}
+	ch = c.ExecuteAllStreamContext(context.Background(), reqs[:2], 8)
+	if got, want := cap(ch), 2; got != want {
+		t.Errorf("small-batch buffer = %d, want len(reqs) = %d", got, want)
+	}
+	for range ch {
+	}
+	ch = c.ExecuteAllStreamContext(context.Background(), reqs, 0)
+	if got, want := cap(ch), 4; got != want {
+		t.Errorf("sequential buffer = %d, want %d", got, want)
+	}
+	for range ch {
+	}
+}
+
+// A consumer that stops reading AND cancels the context must never wedge
+// the workers: with a batch far larger than the bounded buffer, the pool
+// has to drain and close the channel after cancellation — the documented
+// ExecuteAllStreamContext invariant.
+func TestExecuteAllStreamCancelledConsumerDrains(t *testing.T) {
+	dataset := testDataset(105, 10)
+	c := testCache(t, dataset, nil)
+	reqs := make([]Request, 96)
+	for i := range reqs {
+		reqs[i] = Request{Graph: dataset[i%len(dataset)], Type: ftv.Subgraph}
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		ch := c.ExecuteAllStreamContext(ctx, reqs, workers)
+		<-ch // consume one outcome, then abandon
+		cancel()
+		closed := make(chan struct{})
+		go func() {
+			// Drain whatever straggler outcomes were already buffered and
+			// wait for the close — it must arrive without further reads
+			// being needed by the workers.
+			for range ch {
+			}
+			close(closed)
+		}()
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: channel did not close after cancel", workers)
+		}
+	}
+	// The kernel must remain usable after the cancelled batches.
+	outs := c.ExecuteAll(reqs[:3], 2)
 	for i, o := range outs {
 		if o.Err != nil {
 			t.Fatalf("follow-up batch query %d: %v", i, o.Err)

@@ -98,10 +98,12 @@ type Cache struct {
 	// answer is exact for that snapshot; AddGraph/RemoveGraph take the
 	// write side, which both drains all in-flight queries before the
 	// mutation patches cached state and guarantees no query observes a
-	// half-maintained cache. It is an RWMutex, so queries still run
-	// against each other with no serialization — the outermost rung of the
-	// lock hierarchy: dsMu → windowMu → policyMu → shard locks.
-	dsMu sync.RWMutex
+	// half-maintained cache. Queries never serialize against each other on
+	// it — dsLock stripes the reader count across padded per-slot
+	// counters, so the read fast path touches no shared cache line (see
+	// dslock.go). The outermost rung of the lock hierarchy:
+	// dsMu → windowMu → policyMu → shard locks.
+	dsMu dsLock
 
 	// windowMu guards the shared admission window — only used with
 	// Config.SharedWindow; the per-shard engine stages in shard.window
@@ -294,9 +296,10 @@ func (c *Cache) Entries() []*Entry {
 }
 
 // Execute processes one query through the cache. The returned Result owns
-// its bitsets; callers may mutate them freely. Execute is safe to call
-// from any number of goroutines; see the Cache doc comment for what runs
-// in parallel and what serializes.
+// its bitsets; callers may mutate them freely (mathematically-equal
+// fields may alias one set — see the Result doc comment). Execute is safe
+// to call from any number of goroutines; see the Cache doc comment for
+// what runs in parallel and what serializes.
 func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("core: nil query graph")
@@ -309,18 +312,22 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	// whole query: filtering, hit reconciliation, verification, self-check
 	// and admission all see the same epoch. Queries share the read side
 	// freely; only AddGraph/RemoveGraph take the write side.
-	c.dsMu.RLock()
-	defer c.dsMu.RUnlock()
+	dsTok := c.dsMu.RLock()
+	defer c.dsMu.RUnlock(dsTok)
 	view := c.method.View()
 
 	tick := c.tick.Add(1)
 	c.mon.queries.Add(1)
 	n := view.Size()
-	sig := c.signatureOf(q)
+	// Stage 0: fingerprint only. The exact-match probe consults nothing
+	// else, so the expensive half of the signature (path features, label
+	// vector, feature vector) is deferred until a miss is certain. The
+	// fingerprint itself is memoized on the immutable query graph.
+	fp := q.WLFingerprint(3)
 
 	// Stage 1: exact-match fast path — zero dataset tests.
 	t0 := time.Now()
-	if e := c.findExact(q, qt, sig); e != nil {
+	if e := c.findExact(q, qt, fp); e != nil {
 		ans := c.reconciledAnswers(e, view)
 		hitTime := time.Since(t0)
 		saved := e.BaseCandidates
@@ -353,12 +360,16 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		c.mon.exactHits.Add(1)
 		c.mon.testsSaved.Add(int64(saved))
 		c.mon.hitNs.Add(hitTime.Nanoseconds())
+		// A = S on an exact hit, so Answers and Sure share one clone, and
+		// the empty Excluded/Survivors sets stay in the lazy all-zero
+		// representation — see the aliasing note on Result.
+		shared := ans.Clone()
 		res := &Result{
-			Answers:        ans.Clone(),
+			Answers:        shared,
 			BaseCandidates: saved,
 			Candidates:     0,
 			Tests:          0,
-			Sure:           ans.Clone(),
+			Sure:           shared,
 			Excluded:       bitset.New(n),
 			Survivors:      bitset.New(n),
 			Hits:           []HitRef{{EntryID: e.ID, Kind: ExactHit, SavedTests: saved}},
@@ -369,12 +380,15 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		return res, nil
 	}
 	hitTime := time.Since(t0)
+	sig := c.signatureOf(q)
 
 	// Stage 2: Method M filtering (lock-free: the view's filter index is
-	// immutable).
+	// immutable). The returned set is freshly built for this query, so the
+	// algebra below may consume it in place once its count is captured.
 	tf := time.Now()
 	cm := view.Candidates(q, qt)
 	filterTime := time.Since(tf)
+	cmCount := cm.Count()
 
 	// Stage 3: sub/super hit detection over a point-in-time snapshot of
 	// the cache. The iso tests run without any lock; entries evicted
@@ -397,45 +411,48 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 
 	// Saved-test sets and their cost estimates are computed lock-free (the
 	// cost cells are atomic); only the policy updates run under policyMu,
-	// keeping the critical section to counter arithmetic per hit.
-	type hitCredit struct {
-		h     *Entry
-		kind  HitKind
-		saved int
-		cost  float64
-	}
-	costOf := func(s *bitset.Set) (int, float64) {
-		saved, cost := 0, 0.0
-		s.ForEach(func(gid int) bool {
-			saved++
-			cost += c.estimatedCost(gid)
-			return true
-		})
-		return saved, cost
-	}
+	// keeping the critical section to counter arithmetic per hit. The
+	// saved-set intersections/differences iterate word-parallel over the
+	// operands directly (ForEachAnd/ForEachAndNot) — no intermediate set
+	// is materialized per hit.
+	sc := getExecScratch()
+	defer putExecScratch(sc)
 	// A hit's answers must first be brought to the query's dataset epoch:
 	// stale sets miss graphs added since the entry was last reconciled,
 	// which would silently shrink S (lost savings — sound) but also
 	// wrongly exclude candidates via S′ (lost answers — unsound).
-	credits := make([]hitCredit, 0, len(answerHits)+len(pruneHits))
+	credits := sc.credits[:0]
 	sure := bitset.New(n)
 	for _, h := range answerHits {
 		ha := c.reconciledAnswers(h, view)
-		s := ha.Clone()
-		s.And(cm)
-		saved, cost := costOf(s)
+		saved, cost := 0, 0.0
+		ha.ForEachAnd(cm, func(gid int) bool {
+			saved++
+			cost += c.estimatedCost(gid)
+			return true
+		})
 		credits = append(credits, hitCredit{h, answerKind, saved, cost})
 		sure.Or(ha)
 	}
-	candPruned := cm.Clone()
+	// candPruned aliases cm until the first pruning hit forces a private
+	// copy; cm itself is only needed for counts after this point, which
+	// cmCount already captured.
+	candPruned := cm
 	for _, h := range pruneHits {
 		ha := c.reconciledAnswers(h, view)
-		s := cm.Clone()
-		s.AndNot(ha)
-		saved, cost := costOf(s)
+		saved, cost := 0, 0.0
+		cm.ForEachAndNot(ha, func(gid int) bool {
+			saved++
+			cost += c.estimatedCost(gid)
+			return true
+		})
 		credits = append(credits, hitCredit{h, pruneKind, saved, cost})
+		if candPruned == cm {
+			candPruned = cm.Clone()
+		}
 		candPruned.And(ha)
 	}
+	sc.credits = credits
 	var hits []HitRef
 	if len(credits) > 0 {
 		c.policyMu.Lock()
@@ -444,11 +461,20 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 		}
 		c.policyMu.Unlock()
 	}
-	excluded := cm.Clone()
-	excluded.AndNot(candPruned)
+	// S′ = C_M \ (C_M ∩ ⋂ A(h′)) — provably empty (and kept lazy) when no
+	// pruning hit narrowed the candidates.
+	var excluded *bitset.Set
+	if candPruned != cm {
+		excluded = cm.Clone()
+		excluded.AndNot(candPruned)
+	} else {
+		excluded = bitset.New(n)
+	}
 
-	// C = (C_M ∩ ⋂ A(h')) \ S.
-	cand := candPruned.Clone()
+	// C = (C_M ∩ ⋂ A(h')) \ S, consuming candPruned in place (when it
+	// still aliases cm this retires cm too — its count lives on in
+	// cmCount).
+	cand := candPruned
 	cand.AndNot(sure)
 
 	if len(hs.sub) > 0 {
@@ -463,23 +489,29 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	// Stage 5: verification of the reduced candidate set (lock-free; cost
 	// samples fold into the EMA cells with CAS, no lock either).
 	tv := time.Now()
-	survivors, costs := c.verify(view, q, qt, cand)
+	tests := cand.Count()
+	survivors, costs := c.verify(view, q, qt, cand, sc)
 	verifyTime := time.Since(tv)
 	c.recordCosts(costs)
 
-	answers := survivors.Clone()
-	answers.Or(sure)
+	// A = R ∪ S. When no answer-delivering hit contributed (sure is
+	// empty), A = R exactly and Answers shares Survivors' set — see the
+	// aliasing note on Result.
+	answers := survivors
+	if !sure.Empty() {
+		answers = survivors.Clone()
+		answers.Or(sure)
+	}
 
-	tests := cand.Count()
 	c.mon.testsExecuted.Add(int64(tests))
-	c.mon.testsSaved.Add(int64(cm.Count() - tests))
+	c.mon.testsSaved.Add(int64(cmCount - tests))
 	c.mon.filterNs.Add(filterTime.Nanoseconds())
 	c.mon.hitNs.Add(hitTime.Nanoseconds())
 	c.mon.verifyNs.Add(verifyTime.Nanoseconds())
 
 	res := &Result{
 		Answers:        answers,
-		BaseCandidates: cm.Count(),
+		BaseCandidates: cmCount,
 		Candidates:     tests,
 		Tests:          tests,
 		Sure:           sure,
@@ -496,8 +528,43 @@ func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	// view's epoch: its answers are exact for that dataset state, and any
 	// later mutation either patches it (eager) or is reconciled from the
 	// addition log before the entry's answers are next trusted (lazy).
-	c.admit(q, qt, answers.Clone(), cm.Count(), sig, tick, view.Epoch())
+	c.admit(q, qt, answers.Clone(), cmCount, sig, tick, view.Epoch())
 	return res, nil
+}
+
+// hitCredit is one hit's pending policy credit, accumulated lock-free and
+// applied in a single policyMu section.
+type hitCredit struct {
+	h     *Entry
+	kind  HitKind
+	saved int
+	cost  float64
+}
+
+// execScratch holds the per-query working buffers of Execute's miss path:
+// candidate id lists, verification cost samples and verdicts, and pending
+// hit credits. Nothing in it escapes the query (results are built from
+// fresh or lazily-empty sets), so the buffers recycle through a pool —
+// one warmed-up scratch per concurrently executing query (hot-path memory
+// discipline, see doc.go).
+type execScratch struct {
+	ids      []int
+	costs    []costSample
+	verdicts []verdict
+	credits  []hitCredit
+}
+
+var execScratchPool = sync.Pool{New: func() any { return new(execScratch) }}
+
+func getExecScratch() *execScratch { return execScratchPool.Get().(*execScratch) }
+
+func putExecScratch(sc *execScratch) {
+	// Drop entry pointers so a pooled scratch never pins evicted entries.
+	for i := range sc.credits {
+		sc.credits[i].h = nil
+	}
+	sc.credits = sc.credits[:0]
+	execScratchPool.Put(sc)
 }
 
 // creditHit updates policy utilities and the result's hit list. Caller
@@ -559,14 +626,18 @@ type costSample struct {
 // with a bounded worker pool, against the query's dataset view. It holds
 // no locks; measured costs are returned for the caller to fold into the
 // EMA cells.
-func (c *Cache) verify(view ftv.DatasetView, q *graph.Graph, qt ftv.QueryType, cand *bitset.Set) (*bitset.Set, []costSample) {
+func (c *Cache) verify(view ftv.DatasetView, q *graph.Graph, qt ftv.QueryType, cand *bitset.Set, sc *execScratch) (*bitset.Set, []costSample) {
 	n := view.Size()
 	out := bitset.New(n)
-	ids := cand.Indices()
+	sc.ids = cand.AppendIndices(sc.ids[:0])
+	ids := sc.ids
 	if len(ids) == 0 {
 		return out, nil
 	}
-	costs := make([]costSample, 0, len(ids))
+	if cap(sc.costs) < len(ids) {
+		sc.costs = make([]costSample, 0, len(ids))
+	}
+	costs := sc.costs[:0]
 	if c.cfg.VerifyWorkers < 2 || len(ids) < 4 {
 		for _, gid := range ids {
 			t0 := time.Now()
@@ -576,19 +647,18 @@ func (c *Cache) verify(view ftv.DatasetView, q *graph.Graph, qt ftv.QueryType, c
 				out.Add(gid)
 			}
 		}
+		sc.costs = costs
 		return out, costs
 	}
 
-	type verdict struct {
-		gid int
-		ok  bool
-		dur time.Duration
-	}
 	workers := c.cfg.VerifyWorkers
 	if workers > len(ids) {
 		workers = len(ids)
 	}
-	results := make([]verdict, len(ids))
+	if cap(sc.verdicts) < len(ids) {
+		sc.verdicts = make([]verdict, len(ids))
+	}
+	results := sc.verdicts[:len(ids)]
 	var wg sync.WaitGroup
 	chunk := (len(ids) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -618,7 +688,16 @@ func (c *Cache) verify(view ftv.DatasetView, q *graph.Graph, qt ftv.QueryType, c
 			out.Add(v.gid)
 		}
 	}
+	sc.costs = costs
 	return out, costs
+}
+
+// verdict is one parallel verification outcome, indexed by candidate
+// position.
+type verdict struct {
+	gid int
+	ok  bool
+	dur time.Duration
 }
 
 // recordCosts folds measured verification costs into the EMA cells —

@@ -1,44 +1,3 @@
-// Package core implements the GraphCache (GC) kernel: a semantic cache of
-// executed subgraph/supergraph queries that expedites future queries by
-// harnessing exact-match, subgraph ("sub case") and supergraph ("super
-// case") cache hits.
-//
-// # Semantics
-//
-// The cache sits on top of a Method M (package ftv): a filter producing a
-// candidate set C_M plus a sub-iso verifier. For a new query q the kernel:
-//
-//  1. looks for an exact-match hit (an isomorphic cached query of the same
-//     type) and, if found, serves the cached answer with zero dataset
-//     sub-iso tests;
-//  2. otherwise runs M's filter to obtain C_M, then detects
-//     - sub-case hits: cached queries h with q ⊑ h, and
-//     - super-case hits: cached queries h with h ⊑ q;
-//  3. turns hits into savings. For a subgraph query
-//     (A(q) = {G : q ⊑ G}):
-//     - a sub-case hit gives A(h) ⊆ A(q): every graph in A(h) is an
-//     answer for sure (set S, Figure 3(c)), skipping its test;
-//     - a super-case hit gives A(q) ⊆ A(h): graphs outside A(h) are
-//     non-answers for sure (set S', Figure 3(d)).
-//     For a supergraph query (A(q) = {G : G ⊑ q}) the roles flip:
-//     super-case hits deliver S, sub-case hits deliver S'.
-//  4. verifies only C = (C_M ∩ ⋂ pruning-hit answers) \ S and returns
-//     A = R ∪ S, where R are the verification survivors (Figure 3(f)–(h)).
-//
-// Correctness: members of S are answers by transitivity of subgraph
-// isomorphism; members of S' are non-answers by contraposition; everything
-// else is verified. Hence no false positives and no false negatives —
-// property-tested in this package against the uncached Method M.
-//
-// # Management
-//
-// Executed queries enter an admission window (Window Manager); at window
-// boundaries they are admitted into the cache and, if the cache exceeds
-// its capacity, a replacement Policy selects victims (LRU, POP, PIN, PINC,
-// HD, and pluggable custom policies per Figure 2(d)). A Statistics
-// Monitor/Manager tracks per-query and per-entry utilities, including the
-// number of sub-iso tests each cached entry saved (PIN) and their measured
-// cost (PINC).
 package core
 
 import (

@@ -1,0 +1,81 @@
+// Package core implements the GraphCache (GC) kernel: a semantic cache of
+// executed subgraph/supergraph queries that expedites future queries by
+// harnessing exact-match, subgraph ("sub case") and supergraph ("super
+// case") cache hits.
+//
+// # Semantics
+//
+// The cache sits on top of a Method M (package ftv): a filter producing a
+// candidate set C_M plus a sub-iso verifier. For a new query q the kernel:
+//
+//  1. looks for an exact-match hit (an isomorphic cached query of the same
+//     type) and, if found, serves the cached answer with zero dataset
+//     sub-iso tests;
+//  2. otherwise runs M's filter to obtain C_M, then detects
+//     - sub-case hits: cached queries h with q ⊑ h, and
+//     - super-case hits: cached queries h with h ⊑ q;
+//  3. turns hits into savings. For a subgraph query
+//     (A(q) = {G : q ⊑ G}):
+//     - a sub-case hit gives A(h) ⊆ A(q): every graph in A(h) is an
+//     answer for sure (set S, Figure 3(c)), skipping its test;
+//     - a super-case hit gives A(q) ⊆ A(h): graphs outside A(h) are
+//     non-answers for sure (set S', Figure 3(d)).
+//     For a supergraph query (A(q) = {G : G ⊑ q}) the roles flip:
+//     super-case hits deliver S, sub-case hits deliver S'.
+//  4. verifies only C = (C_M ∩ ⋂ pruning-hit answers) \ S and returns
+//     A = R ∪ S, where R are the verification survivors (Figure 3(f)–(h)).
+//
+// Correctness: members of S are answers by transitivity of subgraph
+// isomorphism; members of S' are non-answers by contraposition; everything
+// else is verified. Hence no false positives and no false negatives —
+// property-tested in this package against the uncached Method M.
+//
+// # Management
+//
+// Executed queries enter an admission window (Window Manager); at window
+// boundaries they are admitted into the cache and, if the cache exceeds
+// its capacity, a replacement Policy selects victims (LRU, POP, PIN, PINC,
+// HD, and pluggable custom policies per Figure 2(d)). A Statistics
+// Monitor/Manager tracks per-query and per-entry utilities, including the
+// number of sub-iso tests each cached entry saved (PIN) and their measured
+// cost (PINC).
+//
+// # Hot-path memory discipline
+//
+// Execute is the kernel's hot path; at throughput-benchmark rates its
+// allocation count, not its instruction count, decides how far the
+// sharded engine scales (allocations are serialized by the allocator and
+// the GC long before any kernel lock contends). The discipline:
+//
+//   - Per-query scratch comes from sync.Pools, never fresh: execScratch
+//     (candidate-id, cost-sample, verdict and hit-credit slices, cache.go),
+//     featScratch (path-feature counting, features.go) and the VF2 state
+//     pool (internal/iso). Pooled objects are reset — never zero-filled by
+//     reallocation — and anything referencing caller data is nil'd before
+//     Put so the pool never pins graphs alive.
+//   - Bitsets that are mathematically all-zero stay lazy (internal/bitset:
+//     a nil words slice means "all clear"), so the common empty
+//     Excluded/Survivors sets on exact hits cost O(1), not O(dataset).
+//     Set algebra consumes its inputs where ownership allows: Execute
+//     clones a candidate set only when a pruning hit actually forces a
+//     divergent copy, and a Result's mathematically-equal fields alias one
+//     set (see Result).
+//   - Iteration over set intersections/differences is word-parallel and
+//     callback-based (ForEachAnd/ForEachAndNot) — no materialized index
+//     slices on the hot path; AppendIndices reuses caller buffers.
+//   - Immutable graphs memoize their derived summaries (label-degree
+//     lists, VF2 visit order, label vector, WL fingerprint) behind atomic
+//     pointers (internal/graph), so repeated probes of the same graph are
+//     allocation-free; racing computations produce identical values and
+//     the loser's copy is garbage, which keeps the memo lock-free.
+//   - What MAY allocate: the Result and its owned sets (they outlive the
+//     call), admission bookkeeping on a miss (the entry, its feature
+//     summary), and slice growth when a candidate set outgrows every
+//     previous query's (the grown scratch is kept by the pool, so growth
+//     amortizes to zero).
+//
+// The regression fences: BenchmarkExecute* (bench_test.go) report
+// allocs/op for the exact-hit, indexed-miss and sub/super-hit classes,
+// and alloc_test.go pins hard per-path budgets via testing.AllocsPerRun
+// — a returning O(n) clone fails CI, not a profile nobody reads.
+package core

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDsLockExclusion hammers the striped dataset lock with concurrent
+// readers and writers and asserts the RW invariants: readers never
+// observe a half-applied write, writers never run concurrently. The two
+// plain (non-atomic) payload variables also make the -race run verify
+// the lock's happens-before edges.
+func TestDsLockExclusion(t *testing.T) {
+	var l dsLock
+	var a, b int // writer keeps a == b under the write lock
+
+	const (
+		writers = 4
+		readers = 8
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				l.Lock()
+				a++
+				b++
+				l.Unlock()
+			}
+		}()
+	}
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tok := l.RLock()
+				if a != b {
+					select {
+					case errs <- "reader observed torn write":
+					default:
+					}
+				}
+				l.RUnlock(tok)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+	if want := writers * rounds; a != want || b != want {
+		t.Fatalf("lost writer updates: a=%d b=%d want %d", a, b, want)
+	}
+}
+
+// TestDsLockReaderFallback drives a reader through the fallback path by
+// holding the write side: the reader must block until the writer
+// releases, then complete.
+func TestDsLockReaderFallback(t *testing.T) {
+	var l dsLock
+	var v int
+	l.Lock()
+	v = 1
+	done := make(chan struct{})
+	go func() {
+		tok := l.RLock()
+		if v != 2 {
+			t.Errorf("reader ran before writer finished: v=%d", v)
+		}
+		l.RUnlock(tok)
+		close(done)
+	}()
+	// The reader must be excluded while the writer holds the lock; give
+	// it a moment to reach RLock, then finish the write.
+	for i := 0; i < 100; i++ {
+		select {
+		case <-done:
+			t.Fatal("reader completed while writer held the lock")
+		default:
+		}
+	}
+	v = 2
+	l.Unlock()
+	<-done
+}
+
+// TestDsLockTokenRoundTrip checks that fast-path tokens are valid slot
+// indices and the slot counters drain back to zero.
+func TestDsLockTokenRoundTrip(t *testing.T) {
+	var l dsLock
+	tok := l.RLock()
+	if tok < 0 || tok >= dsLockSlots {
+		t.Fatalf("uncontended RLock must take the fast path, got token %d", tok)
+	}
+	l.RUnlock(tok)
+	for i := range l.slots {
+		if n := l.slots[i].n.Load(); n != 0 {
+			t.Fatalf("slot %d counter = %d after release", i, n)
+		}
+	}
+	// With a writer pending, a new reader must use the fallback (-1).
+	l.Lock()
+	go func() { l.Unlock() }()
+	tok2 := l.RLock()
+	l.RUnlock(tok2)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"graphcache/internal/graph"
 )
@@ -28,13 +29,39 @@ type featureCount struct {
 	count int32
 }
 
+// featScratch is the reusable working state of one pathFeatures
+// enumeration. The counts map, the path-sequence buffer and the
+// visited marks never escape — only the final sorted vector does — so
+// they are pooled across queries (hot-path memory discipline, see
+// doc.go).
+type featScratch struct {
+	counts map[uint64]int32
+	seq    []graph.Label
+	inPath []bool
+}
+
+var featScratchPool = sync.Pool{
+	New: func() any { return &featScratch{counts: make(map[uint64]int32, 64)} },
+}
+
 // pathFeatures enumerates simple paths of g with at most maxLen edges and
 // returns the canonical feature vector.
 func pathFeatures(g *graph.Graph, maxLen int) featureVec {
-	counts := make(map[uint64]int32)
+	sc := featScratchPool.Get().(*featScratch)
+	clear(sc.counts)
+	counts := sc.counts
 	// seq interleaves vertex and edge labels: v0, e01, v1, e12, v2, ...
-	seq := make([]graph.Label, 0, 2*maxLen+1)
-	inPath := make([]bool, g.N())
+	if cap(sc.seq) < 2*maxLen+1 {
+		sc.seq = make([]graph.Label, 0, 2*maxLen+1)
+	}
+	seq := sc.seq[:0]
+	if cap(sc.inPath) < g.N() {
+		sc.inPath = make([]bool, g.N())
+	}
+	inPath := sc.inPath[:g.N()]
+	for i := range inPath {
+		inPath[i] = false
+	}
 	directed := g.Directed()
 
 	var walk func(v, depth int)
@@ -65,6 +92,8 @@ func pathFeatures(g *graph.Graph, maxLen int) featureVec {
 		out = append(out, featureCount{h, c})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].hash < out[j].hash })
+	sc.seq = seq[:0]
+	featScratchPool.Put(sc)
 	return out
 }
 

@@ -89,7 +89,14 @@ func (c *Cache) republishAllLocked() {
 // safely skips the exact dominance merges; entries rejected in both
 // directions without a merge are counted as index-pruned.
 func (c *Cache) scanIndex(qt ftv.QueryType, sig querySig) (sub, super []*Entry) {
-	for _, entries := range c.summariesView() {
+	// Iterate the published per-shard slices directly rather than through
+	// summariesView: the hot path then allocates no per-query parts slice.
+	for _, sh := range c.shards {
+		p := sh.summaries.Load()
+		if p == nil || len(*p) == 0 {
+			continue
+		}
+		entries := *p
 		c.mon.hitScanEntries.Add(int64(len(entries)))
 		for i := range entries {
 			ie := &entries[i]

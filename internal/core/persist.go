@@ -48,8 +48,8 @@ const stateVersion = 2
 // serialization — the on-disk format carries no epochs, so what it stores
 // must be exact at the header's dataset size.
 func (c *Cache) WriteState(w io.Writer) error {
-	c.dsMu.RLock()
-	defer c.dsMu.RUnlock()
+	dsTok := c.dsMu.RLock()
+	defer c.dsMu.RUnlock(dsTok)
 	view := c.method.View()
 	c.policyMu.Lock()
 	defer c.policyMu.Unlock()
@@ -99,8 +99,8 @@ func (c *Cache) ReadState(r io.Reader) error {
 	// The read side of the dataset mutex pins the dataset for the whole
 	// restore (mutations are excluded; concurrent queries are not — they
 	// are fenced by the lock hierarchy below, exactly like before).
-	c.dsMu.RLock()
-	defer c.dsMu.RUnlock()
+	dsTok := c.dsMu.RLock()
+	defer c.dsMu.RUnlock(dsTok)
 	view := c.method.View()
 	br := bufio.NewReader(r)
 	lineNo := 1

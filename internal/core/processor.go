@@ -18,6 +18,10 @@ type querySig struct {
 	featBits uint64
 }
 
+// signatureOf computes the full query signature. The WL fingerprint is
+// memoized on the graph, so Execute's two-stage flow — fingerprint alone
+// for the exact-match probe, the full signature only after an exact miss
+// — never recomputes it here.
 func (c *Cache) signatureOf(q *graph.Graph) querySig {
 	features := pathFeatures(q, c.cfg.FeatureLen)
 	return querySig{
@@ -42,13 +46,16 @@ func (c *Cache) signatureOf(q *graph.Graph) querySig {
 // identical queries racing each other may therefore both miss and both be
 // staged — benign: exact-match scans return the first isomorphic entry
 // either way.
-func (c *Cache) findExact(q *graph.Graph, qt ftv.QueryType, sig querySig) *Entry {
-	sh := c.shardFor(sig.fp)
+func (c *Cache) findExact(q *graph.Graph, qt ftv.QueryType, fp graph.Fingerprint) *Entry {
+	sh := c.shardFor(fp)
 	sh.mu.RLock()
-	cands := append([]*Entry(nil), sh.byFP[sig.fp]...)
+	var cands []*Entry
+	if byFP := sh.byFP[fp]; len(byFP) > 0 {
+		cands = append(cands, byFP...)
+	}
 	if !c.cfg.SharedWindow {
 		for _, e := range sh.window {
-			if e.Fingerprint == sig.fp {
+			if e.Fingerprint == fp {
 				cands = append(cands, e)
 			}
 		}
@@ -66,7 +73,7 @@ func (c *Cache) findExact(q *graph.Graph, qt ftv.QueryType, sig querySig) *Entry
 	pending := append([]*Entry(nil), c.window...)
 	c.windowMu.Unlock()
 	for _, e := range pending {
-		if e.Type == qt && e.Fingerprint == sig.fp && iso.Isomorphic(q, e.Graph) {
+		if e.Type == qt && e.Fingerprint == fp && iso.Isomorphic(q, e.Graph) {
 			return e
 		}
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation accounting is distorted by its instrumentation, so the
+// alloc-budget regression tests skip themselves under -race.
+const raceEnabled = true

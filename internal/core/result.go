@@ -19,6 +19,13 @@ type HitRef struct {
 
 // Result reports one cached query execution — the quantities The Query
 // Journey visualizes (Figure 3): C_M, H/H', S, S', C, R and A.
+//
+// The Result owns its bitsets; callers may mutate them freely — the cache
+// retains no reference to them. Two fields that are mathematically equal
+// may however alias the same set: on an exact hit Answers and Sure share
+// one set (A = S), and on a miss with no answer-delivering hit Answers
+// and Survivors share one (A = R). Callers that mutate one field must not
+// assume the provably-equal field is an independent copy.
 type Result struct {
 	// Answers is the exact answer set A = R ∪ S (Figure 3(h)).
 	Answers *bitset.Set

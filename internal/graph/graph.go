@@ -29,6 +29,11 @@ type Graph struct {
 	elabels  map[edgeKey]Label
 	directed bool
 	m        int
+
+	// memoSet holds lazily-computed structural summaries (see memo.go).
+	// It contains atomics, so Graph values must not be copied wholesale;
+	// WithID shares the pointers explicitly instead.
+	memoSet
 }
 
 // ID returns the graph's identifier: its dataset position for dataset
@@ -134,9 +139,17 @@ func (g *Graph) String() string {
 // label and adjacency storage is shared; since graphs are immutable this
 // is safe.
 func (g *Graph) WithID(id int) *Graph {
-	c := *g
-	c.id = id
-	return &c
+	c := &Graph{
+		id:       id,
+		labels:   g.labels,
+		adj:      g.adj,
+		radj:     g.radj,
+		elabels:  g.elabels,
+		directed: g.directed,
+		m:        g.m,
+	}
+	c.shareFrom(&g.memoSet)
+	return c
 }
 
 // IsConnected reports whether the graph is connected — weakly connected

@@ -1,9 +1,7 @@
 package graph
 
 import (
-	"encoding/binary"
-	"hash/fnv"
-	"sort"
+	"slices"
 )
 
 // Fingerprint is an isomorphism-invariant 64-bit digest of a graph.
@@ -13,6 +11,25 @@ import (
 // as a pre-filter before a verifying iso test.
 type Fingerprint uint64
 
+// FNV-1a constants, inlined so color refinement hashes into a stack
+// uint64 instead of allocating a hash.Hash64 per vertex per round. The
+// digests are byte-for-byte identical to hashing the values through
+// hash/fnv in little-endian order.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix64 folds the eight little-endian bytes of v into the running
+// FNV-1a state h.
+func fnvMix64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= (v >> i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // WLFingerprint computes a Weisfeiler–Lehman style fingerprint: vertex
 // colors start as labels and are iteratively refined with the sorted
 // multiset of neighbor colors for rounds iterations (3 is plenty for the
@@ -20,7 +37,20 @@ type Fingerprint uint64
 // sorted final color multiset together with |V| and |E|. Directedness and
 // edge labels participate in the refinement, so the invariance extends to
 // the generalized graph types.
+//
+// The fingerprint for the most recently requested round count is memoized
+// on the (immutable) graph, so re-executing a query graph pays the O(n·d)
+// refinement only once.
 func (g *Graph) WLFingerprint(rounds int) Fingerprint {
+	if m := g.memoFP.Load(); m != nil && m.rounds == rounds {
+		return m.fp
+	}
+	fp := g.wlFingerprint(rounds)
+	g.memoFP.Store(&fpMemo{rounds: rounds, fp: fp})
+	return fp
+}
+
+func (g *Graph) wlFingerprint(rounds int) Fingerprint {
 	n := g.N()
 	colors := make([]uint64, n)
 	for v := 0; v < n; v++ {
@@ -42,34 +72,27 @@ func (g *Graph) WLFingerprint(rounds int) Fingerprint {
 					neigh = append(neigh, e)
 				}
 			}
-			sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
-			h := fnv.New64a()
-			var buf [8]byte
-			binary.LittleEndian.PutUint64(buf[:], colors[v])
-			h.Write(buf[:])
+			slices.Sort(neigh)
+			h := uint64(fnvOffset64)
+			h = fnvMix64(h, colors[v])
 			for _, c := range neigh {
-				binary.LittleEndian.PutUint64(buf[:], c)
-				h.Write(buf[:])
+				h = fnvMix64(h, c)
 			}
-			next[v] = h.Sum64()
+			next[v] = h
 		}
 		colors, next = next, colors
 	}
 	final := make([]uint64, n)
 	copy(final, colors)
-	sort.Slice(final, func(i, j int) bool { return final[i] < final[j] })
+	slices.Sort(final)
 
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(n))
-	h.Write(buf[:])
-	binary.LittleEndian.PutUint64(buf[:], uint64(g.m))
-	h.Write(buf[:])
+	h := uint64(fnvOffset64)
+	h = fnvMix64(h, uint64(n))
+	h = fnvMix64(h, uint64(g.m))
 	for _, c := range final {
-		binary.LittleEndian.PutUint64(buf[:], c)
-		h.Write(buf[:])
+		h = fnvMix64(h, c)
 	}
-	return Fingerprint(h.Sum64())
+	return Fingerprint(h)
 }
 
 // LabelVector is a sorted (label, count) run-length encoding of a graph's
@@ -83,15 +106,10 @@ type LabelCount struct {
 	Count int
 }
 
-// LabelVectorOf computes the graph's LabelVector.
+// LabelVectorOf returns the graph's LabelVector. The result is memoized
+// on the (immutable) graph and shared; callers must not modify it.
 func LabelVectorOf(g *Graph) LabelVector {
-	counts := g.LabelCounts()
-	out := make(LabelVector, 0, len(counts))
-	for l, c := range counts {
-		out = append(out, LabelCount{l, c})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
-	return out
+	return g.labelVector()
 }
 
 // DominatedBy reports whether every label occurs in o at least as many

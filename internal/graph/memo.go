@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Memoized derived summaries.
+//
+// Graphs are immutable after Build, so summaries that depend only on the
+// structure — the per-label degree sequences, the matcher visit order, the
+// label vector — can be computed once and shared by every reader. The
+// subgraph-isomorphism hot path recomputed these on every invocation,
+// which made them the dominant allocation sites of query execution; the
+// memoized accessors below make every invocation after the first
+// allocation-free.
+//
+// Each summary sits behind its own atomic pointer so a dataset graph that
+// is only ever a verification *target* never pays for the pattern-side
+// visit order. Two goroutines racing on first use may both compute the
+// summary; the values are identical and the loser's copy is garbage, so
+// no further synchronization is needed. Callers must treat every returned
+// slice and map as read-only.
+
+// LabelDegrees returns vertex degrees grouped by label, each list sorted
+// descending. The result is memoized on the graph; callers must not
+// modify it.
+func (g *Graph) LabelDegrees() map[Label][]int32 {
+	if m := g.memoLabelDeg.Load(); m != nil {
+		return *m
+	}
+	m := make(map[Label][]int32, 8)
+	for v := 0; v < g.N(); v++ {
+		m[g.labels[v]] = append(m[g.labels[v]], int32(g.Degree(v)))
+	}
+	for _, ds := range m {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] > ds[j] })
+	}
+	g.memoLabelDeg.Store(&m)
+	return m
+}
+
+// VisitOrder returns a vertex visit order that starts from the
+// highest-degree vertex and grows connected (in the weak sense for
+// directed graphs): each subsequent vertex is adjacent to an
+// already-ordered one when the graph is connected (components are chained
+// for robustness on disconnected graphs). This is the pattern-side search
+// order used by the isomorphism matchers. The result is memoized on the
+// graph; callers must not modify it.
+func (g *Graph) VisitOrder() []int {
+	if o := g.memoVisit.Load(); o != nil {
+		return *o
+	}
+	n := g.N()
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	// conn[v] = number of ordered neighbors of v (either direction).
+	conn := make([]int, n)
+	totalDeg := func(v int) int { return g.OutDegree(v) + g.InDegree(v) }
+
+	pick := func() int {
+		best := -1
+		for v := 0; v < n; v++ {
+			if inOrder[v] {
+				continue
+			}
+			if best == -1 {
+				best = v
+				continue
+			}
+			// Prefer higher connection to ordered part, then higher degree.
+			if conn[v] > conn[best] || (conn[v] == conn[best] && totalDeg(v) > totalDeg(best)) {
+				best = v
+			}
+		}
+		return best
+	}
+
+	for len(order) < n {
+		v := pick()
+		inOrder[v] = true
+		order = append(order, v)
+		for _, w := range g.adj[v] {
+			conn[w]++
+		}
+		if g.directed {
+			for _, w := range g.radj[v] {
+				conn[w]++
+			}
+		}
+	}
+	g.memoVisit.Store(&order)
+	return order
+}
+
+// labelVector returns the memoized LabelVector (see LabelVectorOf).
+func (g *Graph) labelVector() LabelVector {
+	if v := g.memoLabelVec.Load(); v != nil {
+		return *v
+	}
+	counts := g.LabelCounts()
+	out := make(LabelVector, 0, len(counts))
+	for l, c := range counts {
+		out = append(out, LabelCount{l, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	g.memoLabelVec.Store(&out)
+	return out
+}
+
+// memoSet is the triple of lazily-computed summary slots embedded in
+// Graph. It is excluded from WithID's shallow copy semantics manually:
+// atomic values must not be copied, so WithID re-shares the already
+// computed pointers instead of copying the struct.
+type memoSet struct {
+	memoLabelDeg atomic.Pointer[map[Label][]int32]
+	memoVisit    atomic.Pointer[[]int]
+	memoLabelVec atomic.Pointer[LabelVector]
+	memoFP       atomic.Pointer[fpMemo]
+}
+
+// fpMemo caches the WL fingerprint for one round count — the cache keeps
+// only the most recently requested rounds value, which suffices because
+// every production caller uses a fixed count.
+type fpMemo struct {
+	rounds int
+	fp     Fingerprint
+}
+
+// shareFrom copies the memoized summary pointers from src. Sound only
+// when the receiver describes the same structure as src (labels and
+// adjacency shared), as in WithID.
+func (m *memoSet) shareFrom(src *memoSet) {
+	m.memoLabelDeg.Store(src.memoLabelDeg.Load())
+	m.memoVisit.Store(src.memoVisit.Load())
+	m.memoLabelVec.Store(src.memoLabelVec.Load())
+	m.memoFP.Store(src.memoFP.Load())
+}

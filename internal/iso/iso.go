@@ -17,8 +17,6 @@
 package iso
 
 import (
-	"sort"
-
 	"graphcache/internal/graph"
 )
 
@@ -65,7 +63,10 @@ func Isomorphic(a, b *graph.Graph) bool {
 // directedness, size, label multiset dominance, and per-label
 // sorted-degree dominance (each pattern vertex must map to a
 // same-labelled target vertex of at least its degree, injectively, which
-// sorted sequences must permit).
+// sorted sequences must permit). Both degree summaries come from the
+// graphs' memo caches (graph.LabelDegrees), so repeated probes against
+// the same graphs — the common case when verifying a candidate list —
+// allocate nothing here.
 func quickReject(p, t *graph.Graph) bool {
 	if p.Directed() != t.Directed() {
 		return true // mixed-directedness matching is undefined; no match
@@ -73,8 +74,8 @@ func quickReject(p, t *graph.Graph) bool {
 	if p.N() > t.N() || p.M() > t.M() {
 		return true
 	}
-	pd := labelDegrees(p)
-	td := labelDegrees(t)
+	pd := p.LabelDegrees()
+	td := t.LabelDegrees()
 	for l, pds := range pd {
 		tds, ok := td[l]
 		if !ok || len(tds) < len(pds) {
@@ -89,63 +90,4 @@ func quickReject(p, t *graph.Graph) bool {
 		}
 	}
 	return false
-}
-
-// labelDegrees groups vertex degrees by label, each list sorted descending.
-func labelDegrees(g *graph.Graph) map[graph.Label][]int {
-	m := make(map[graph.Label][]int, 8)
-	for v := 0; v < g.N(); v++ {
-		m[g.Label(v)] = append(m[g.Label(v)], g.Degree(v))
-	}
-	for _, ds := range m {
-		sort.Sort(sort.Reverse(sort.IntSlice(ds)))
-	}
-	return m
-}
-
-// matchOrder returns a pattern-vertex visit order that starts from the
-// highest-degree vertex and grows connected (in the weak sense for
-// directed patterns): each subsequent vertex is adjacent to an
-// already-ordered one when the pattern is connected (components are
-// chained for robustness on disconnected patterns).
-func matchOrder(p *graph.Graph) []int {
-	n := p.N()
-	order := make([]int, 0, n)
-	inOrder := make([]bool, n)
-	// conn[v] = number of ordered neighbors of v (either direction).
-	conn := make([]int, n)
-	totalDeg := func(v int) int { return p.OutDegree(v) + p.InDegree(v) }
-
-	pick := func() int {
-		best := -1
-		for v := 0; v < n; v++ {
-			if inOrder[v] {
-				continue
-			}
-			if best == -1 {
-				best = v
-				continue
-			}
-			// Prefer higher connection to ordered part, then higher degree.
-			if conn[v] > conn[best] || (conn[v] == conn[best] && totalDeg(v) > totalDeg(best)) {
-				best = v
-			}
-		}
-		return best
-	}
-
-	for len(order) < n {
-		v := pick()
-		inOrder[v] = true
-		order = append(order, v)
-		for _, w := range p.OutNeighbors(v) {
-			conn[w]++
-		}
-		if p.Directed() {
-			for _, w := range p.InNeighbors(v) {
-				conn[w]++
-			}
-		}
-	}
-	return order
 }

@@ -1,8 +1,57 @@
 package iso
 
 import (
+	"sync"
+
 	"graphcache/internal/graph"
 )
+
+// statePool recycles vf2State values (and their core slices) across
+// invocations. Cache hit detection and candidate verification run VF2
+// once per candidate graph, so without pooling every probe pays three
+// O(n) allocations; with it a steady-state matcher invocation allocates
+// nothing. The visit order is not pooled — it comes from the pattern's
+// memo cache (graph.VisitOrder) and is shared read-only.
+var statePool = sync.Pool{New: func() any { return new(vf2State) }}
+
+// acquireState returns a ready-to-run matcher state for p ⊑ t with all
+// flags cleared and both core arrays reset to -1.
+func acquireState(p, t *graph.Graph) *vf2State {
+	m := statePool.Get().(*vf2State)
+	m.p, m.t = p, t
+	m.order = p.VisitOrder()
+	m.pCore = resetCore(m.pCore, p.N())
+	m.tCore = resetCore(m.tCore, t.N())
+	m.opts = Options{}
+	m.aborted = false
+	m.capture = false
+	m.count = false
+	m.limit = 0
+	m.found = 0
+	return m
+}
+
+// releaseState drops the graph references (so pooled states never pin
+// graphs) and returns the state to the pool.
+func releaseState(m *vf2State) {
+	m.p, m.t = nil, nil
+	m.order = nil
+	statePool.Put(m)
+}
+
+// resetCore returns s resized to n with every slot set to -1, reusing the
+// backing array when capacity allows.
+func resetCore(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = make([]int32, n)
+	} else {
+		s = s[:n]
+	}
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
 
 // VF2 runs the VF2 subgraph-isomorphism search and reports whether p ⊑ t,
 // together with search statistics. opts bounds the search; on an aborted
@@ -15,23 +64,13 @@ func VF2(p, t *graph.Graph, opts Options) (bool, Stats) {
 	if quickReject(p, t) {
 		return false, st
 	}
-	m := &vf2State{
-		p:     p,
-		t:     t,
-		order: matchOrder(p),
-		pCore: make([]int32, p.N()),
-		tCore: make([]int32, t.N()),
-		opts:  opts,
-	}
-	for i := range m.pCore {
-		m.pCore[i] = -1
-	}
-	for i := range m.tCore {
-		m.tCore[i] = -1
-	}
+	m := acquireState(p, t)
+	m.opts = opts
 	ok := m.match(0, &st)
 	st.Aborted = m.aborted
-	return ok && !m.aborted, st
+	ok = ok && !m.aborted
+	releaseState(m)
+	return ok, st
 }
 
 // FindEmbedding returns one embedding of p into t as a mapping from pattern
@@ -43,28 +82,18 @@ func FindEmbedding(p, t *graph.Graph) []int {
 	if quickReject(p, t) {
 		return nil
 	}
-	m := &vf2State{
-		p:       p,
-		t:       t,
-		order:   matchOrder(p),
-		pCore:   make([]int32, p.N()),
-		tCore:   make([]int32, t.N()),
-		capture: true,
-	}
-	for i := range m.pCore {
-		m.pCore[i] = -1
-	}
-	for i := range m.tCore {
-		m.tCore[i] = -1
-	}
+	m := acquireState(p, t)
+	m.capture = true
 	var st Stats
 	if !m.match(0, &st) {
+		releaseState(m)
 		return nil
 	}
 	out := make([]int, p.N())
 	for i, v := range m.pCore {
 		out[i] = int(v)
 	}
+	releaseState(m)
 	return out
 }
 
@@ -78,24 +107,14 @@ func CountEmbeddings(p, t *graph.Graph, limit int) int {
 	if quickReject(p, t) {
 		return 0
 	}
-	m := &vf2State{
-		p:     p,
-		t:     t,
-		order: matchOrder(p),
-		pCore: make([]int32, p.N()),
-		tCore: make([]int32, t.N()),
-		count: true,
-		limit: limit,
-	}
-	for i := range m.pCore {
-		m.pCore[i] = -1
-	}
-	for i := range m.tCore {
-		m.tCore[i] = -1
-	}
+	m := acquireState(p, t)
+	m.count = true
+	m.limit = limit
 	var st Stats
 	m.match(0, &st)
-	return m.found
+	found := m.found
+	releaseState(m)
+	return found
 }
 
 type vf2State struct {
