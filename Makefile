@@ -1,8 +1,9 @@
 # GraphCache build/test entry points. `make ci` is what every PR must
-# pass: vet + staticcheck plus the full test suite under the race
-# detector (the concurrency stress and equivalence tests in internal/core
-# and internal/server only earn their keep with -race armed) and the
-# bench smoke gate.
+# pass: vet + staticcheck + gofmt (`fmt-check`) + the gclint concurrency
+# and hot-path contract analyzers (`lint`, see cmd/gclint), plus the
+# full test suite under the race detector (the concurrency stress and
+# equivalence tests in internal/core and internal/server only earn
+# their keep with -race armed) and the bench smoke gate.
 
 GO ?= go
 
@@ -11,7 +12,7 @@ GO ?= go
 # coverage fails CI. Raise it when the real number durably rises.
 COVER_BASELINE ?= 80.0
 
-.PHONY: build test race vet staticcheck cover bench bench-smoke bench-json fuzz-smoke throughput scaling profiles churn ci
+.PHONY: build test race vet staticcheck fmt-check lint cover bench bench-smoke bench-json fuzz-smoke throughput scaling profiles churn ci
 
 build:
 	$(GO) build ./...
@@ -26,14 +27,35 @@ vet:
 	$(GO) vet ./...
 
 # staticcheck is optional locally (the sandbox image does not bundle it)
-# but mandatory in CI, which installs it first. A missing binary skips
-# with a hint; a present binary's findings fail the build.
+# but mandatory in CI, which installs it first and sets
+# STATICCHECK_REQUIRED=1 so a missing binary is a hard failure there
+# instead of a skip. A present binary's findings always fail the build.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ "$(STATICCHECK_REQUIRED)" = "1" ]; then \
+		echo "staticcheck required but not installed (go install honnef.co/go/tools/cmd/staticcheck@2025.1)"; \
+		exit 1; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+
+# fmt-check fails when any tracked Go file is not gofmt-clean, listing
+# the offenders. gclint's annotation grammar depends on gofmt layout
+# (directives must sit on their own comment line), so this gate runs
+# before lint in `make ci`.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# lint runs the repo's own static analyzers (lockorder, cowpublish,
+# leaflock, noalloc) over every package; any finding fails the build.
+# The annotation grammar is documented in internal/lint and
+# internal/core/doc.go.
+lint:
+	$(GO) run ./cmd/gclint ./...
 
 # Full-suite coverage with a floor: fails when total statement coverage
 # drops below COVER_BASELINE percent.
@@ -91,10 +113,14 @@ fuzz-smoke:
 # PR (BENCH_pr4.json and BENCH_pr5.json seed the file set; the scaling
 # and env sections start with BENCH_pr6.json). No -workers flag: the
 # sweep derives from GOMAXPROCS so the artifact reflects the hardware.
-BENCH_JSON ?= BENCH_pr6.json
+# The default output is a gitignored scratch path so `make ci` never
+# clobbers the committed BENCH_pr*.json history; CI overrides BENCH_JSON
+# to name its uploaded artifact, and cutting a new committed snapshot is
+# an explicit `make bench-json BENCH_JSON=BENCH_prN.json`.
+BENCH_JSON ?= bench_scratch.json
 bench-json:
 	$(GO) run ./cmd/workloadrun -bench-json $(BENCH_JSON) -assert-churn \
 		-throughput-dataset 120 -throughput-queries 300 \
 		-churn-dataset 120 -churn-queries 300 -churn-mutations 10
 
-ci: vet staticcheck race fuzz-smoke bench-smoke bench-json
+ci: vet staticcheck fmt-check lint race fuzz-smoke bench-smoke bench-json

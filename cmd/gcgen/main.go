@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -21,25 +23,41 @@ import (
 )
 
 func main() {
-	var (
-		kind    = flag.String("kind", "molecules", "molecules | social | er | workload")
-		count   = flag.Int("count", 100, "number of graphs to generate")
-		n       = flag.Int("n", 100, "vertices per graph (social/er)")
-		p       = flag.Float64("p", 0.05, "edge probability (er)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "-", "output file ('-' = stdout)")
-		dsPath  = flag.String("dataset", "", "dataset file (workload kind)")
-		queries = flag.Int("queries", 100, "workload size (workload kind)")
-		qtype   = flag.String("type", "subgraph", "workload query type: subgraph | supergraph")
-		zipf    = flag.Float64("zipf", 1.2, "workload popularity skew (≤1 = uniform)")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h printed usage; that is a clean exit
+		}
+		fmt.Fprintf(os.Stderr, "gcgen: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	w := os.Stdout
+// run generates the requested dataset or workload. It is main minus the
+// process plumbing — flags come from args, `-out -` writes to stdout —
+// so tests can drive it directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gcgen", flag.ContinueOnError)
+	var (
+		kind    = fs.String("kind", "molecules", "molecules | social | er | workload")
+		count   = fs.Int("count", 100, "number of graphs to generate")
+		n       = fs.Int("n", 100, "vertices per graph (social/er)")
+		p       = fs.Float64("p", 0.05, "edge probability (er)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		out     = fs.String("out", "-", "output file ('-' = stdout)")
+		dsPath  = fs.String("dataset", "", "dataset file (workload kind)")
+		queries = fs.Int("queries", 100, "workload size (workload kind)")
+		qtype   = fs.String("type", "subgraph", "workload query type: subgraph | supergraph")
+		zipf    = fs.Float64("zipf", 1.2, "workload popularity skew (≤1 = uniform)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -49,31 +67,25 @@ func main() {
 	switch *kind {
 	case "molecules":
 		gs := gen.Molecules(rng, *count, gen.DefaultMoleculeConfig())
-		if err := graph.WriteAll(w, gs); err != nil {
-			fatal(err)
-		}
+		return graph.WriteAll(w, gs)
 	case "social":
 		gs := gen.BADataset(rng, *count, *n, 2, 8)
-		if err := graph.WriteAll(w, gs); err != nil {
-			fatal(err)
-		}
+		return graph.WriteAll(w, gs)
 	case "er":
 		gs := gen.ERDataset(rng, *count, *n, *p, 8)
-		if err := graph.WriteAll(w, gs); err != nil {
-			fatal(err)
-		}
+		return graph.WriteAll(w, gs)
 	case "workload":
 		if *dsPath == "" {
-			fatal(fmt.Errorf("workload generation requires -dataset"))
+			return fmt.Errorf("workload generation requires -dataset")
 		}
 		f, err := os.Open(*dsPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		dataset, err := graph.ReadAll(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		dataset = gen.AssignIDs(dataset)
 		cfg := gen.DefaultWorkloadConfig()
@@ -85,7 +97,7 @@ func main() {
 		}
 		wl, err := gen.NewWorkload(rng, dataset, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		// Queries are written consecutively; the id encodes the pool entry
 		// so resubmissions are recognizable downstream.
@@ -93,15 +105,8 @@ func main() {
 		for i, q := range wl.Queries {
 			qs[i] = q.G.WithID(q.PoolID)
 		}
-		if err := graph.WriteAll(w, qs); err != nil {
-			fatal(err)
-		}
+		return graph.WriteAll(w, qs)
 	default:
-		fatal(fmt.Errorf("unknown kind %q", *kind))
+		return fmt.Errorf("unknown kind %q", *kind)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "gcgen: %v\n", err)
-	os.Exit(1)
 }

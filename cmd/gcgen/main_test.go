@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphcache/internal/graph"
+)
+
+// TestRunMolecules generates a small molecule dataset to stdout and
+// round-trips it through the text codec.
+func TestRunMolecules(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "molecules", "-count", "5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	gs, err := graph.ReadAll(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(gs) != 5 {
+		t.Fatalf("got %d graphs, want 5", len(gs))
+	}
+}
+
+// TestRunWorkload writes a dataset to a file, then generates a workload
+// over it — the two-step pipeline the command exists for.
+func TestRunWorkload(t *testing.T) {
+	dir := t.TempDir()
+	ds := filepath.Join(dir, "dataset.txt")
+	if err := run([]string{"-kind", "molecules", "-count", "20", "-out", ds}, nil); err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-kind", "workload", "-dataset", ds, "-queries", "10"}, &out); err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	qs, err := graph.ReadAll(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries, want 10", len(qs))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-kind", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown kind: want error")
+	}
+	if err := run([]string{"-kind", "workload"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("workload without -dataset: want error")
+	}
+	if err := run([]string{"-h"}, &bytes.Buffer{}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: got %v, want flag.ErrHelp", err)
+	}
+}

@@ -1,0 +1,97 @@
+// Command gclint is the repo's concurrency/hot-path contract checker:
+// a multichecker running the lockorder, cowpublish, leaflock and
+// noalloc analyzers (internal/lint/...) over the module. `make lint`
+// invokes it as `gclint ./...`; any finding is a build error.
+//
+// Usage:
+//
+//	gclint [-C dir] [packages]
+//
+// Packages default to ./... resolved in -C (default the current
+// directory).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"graphcache/internal/lint"
+	"graphcache/internal/lint/cowpublish"
+	"graphcache/internal/lint/leaflock"
+	"graphcache/internal/lint/lockorder"
+	"graphcache/internal/lint/noalloc"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*lint.Analyzer{
+	lockorder.Analyzer,
+	cowpublish.Analyzer,
+	leaflock.Analyzer,
+	noalloc.Analyzer,
+}
+
+// errFindings distinguishes "the code has findings" (exit 1, findings
+// already printed) from operational failures (load/type-check errors).
+var errFindings = errors.New("findings reported")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		if !errors.Is(err, errFindings) {
+			fmt.Fprintf(os.Stderr, "gclint: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gclint", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	fs.Usage = func() {
+		fmt.Fprintf(stdout, "usage: gclint [-C dir] [packages]\n\n"+
+			"Runs the gclint analyzer suite (%s) over the packages\n"+
+			"(default ./...). Any finding fails the run.\n\n", analyzerNames())
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := lint.LoadModule(*dir, patterns...)
+	if err != nil {
+		return err
+	}
+	diags, err := lint.Run(prog, analyzers)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s: %s: %s\n", prog.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stdout, "gclint: %d finding(s)\n", len(diags))
+		return errFindings
+	}
+	return nil
+}
+
+func analyzerNames() string {
+	names := ""
+	for i, a := range analyzers {
+		if i > 0 {
+			names += ", "
+		}
+		names += a.Name
+	}
+	return names
+}

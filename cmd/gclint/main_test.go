@@ -1,0 +1,132 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for gclint to chew on.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const scratchHeader = `package scratch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+//gclint:hierarchy outer inner
+
+type kernel struct {
+	//gclint:lock outer
+	outerMu sync.Mutex
+	//gclint:lock inner
+	innerMu sync.Mutex
+	state   atomic.Pointer[snap]
+}
+
+//gclint:cow
+type snap struct{ n int }
+`
+
+// TestRunCleanModule: a conforming scratch module lints clean.
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"scratch.go": scratchHeader + `
+func (k *kernel) good() {
+	k.outerMu.Lock()
+	defer k.outerMu.Unlock()
+	k.innerMu.Lock()
+	k.innerMu.Unlock()
+}
+
+func (k *kernel) republish() {
+	old := k.state.Load()
+	k.state.Store(&snap{n: old.n + 1})
+}
+`,
+	})
+	var out strings.Builder
+	if err := run([]string{"-C", dir, "./..."}, &out); err != nil {
+		t.Fatalf("expected clean lint, got %v\n%s", err, out.String())
+	}
+}
+
+// TestRunHierarchyViolation: deliberately reversing the lock hierarchy
+// in a scratch file must fail the lint run.
+func TestRunHierarchyViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"scratch.go": scratchHeader + `
+func (k *kernel) reversed() {
+	k.innerMu.Lock()
+	defer k.innerMu.Unlock()
+	k.outerMu.Lock()
+	k.outerMu.Unlock()
+}
+`,
+	})
+	var out strings.Builder
+	err := run([]string{"-C", dir, "./..."}, &out)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("expected findings, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "lockorder") || !strings.Contains(out.String(), "acquiring outer while inner is held") {
+		t.Fatalf("missing lockorder finding:\n%s", out.String())
+	}
+}
+
+// TestRunCowViolation: mutating a published COW snapshot in a scratch
+// file must fail the lint run.
+func TestRunCowViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"scratch.go": scratchHeader + `
+func (k *kernel) scribble() {
+	st := k.state.Load()
+	st.n = 7
+}
+`,
+	})
+	var out strings.Builder
+	err := run([]string{"-C", dir, "./..."}, &out)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("expected findings, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "cowpublish") || !strings.Contains(out.String(), "write through published copy-on-write value") {
+		t.Fatalf("missing cowpublish finding:\n%s", out.String())
+	}
+}
+
+// TestRunRepo: the repository itself must lint clean — this is `make
+// lint` as a regression test.
+func TestRunRepo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-C", "../..", "./..."}, &out); err != nil {
+		t.Fatalf("repo does not lint clean: %v\n%s", err, out.String())
+	}
+}
+
+// TestRunRejectsBadFlags: flag errors surface as errors, not panics.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("expected flag error, got %v", err)
+	}
+}

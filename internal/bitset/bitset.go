@@ -81,6 +81,8 @@ func (s *Set) materialize() {
 }
 
 // Add sets bit i.
+//
+//gclint:mutates
 func (s *Set) Add(i int) {
 	s.check(i)
 	s.materialize()
@@ -88,6 +90,8 @@ func (s *Set) Add(i int) {
 }
 
 // Remove clears bit i.
+//
+//gclint:mutates
 func (s *Set) Remove(i int) {
 	s.check(i)
 	if s.words == nil {
@@ -97,6 +101,8 @@ func (s *Set) Remove(i int) {
 }
 
 // Contains reports whether bit i is set.
+//
+//gclint:noalloc
 func (s *Set) Contains(i int) bool {
 	s.check(i)
 	if s.words == nil {
@@ -106,6 +112,8 @@ func (s *Set) Contains(i int) bool {
 }
 
 // Count returns the number of set bits.
+//
+//gclint:noalloc
 func (s *Set) Count() int {
 	c := 0
 	for _, w := range s.words {
@@ -115,6 +123,8 @@ func (s *Set) Count() int {
 }
 
 // Empty reports whether no bit is set.
+//
+//gclint:noalloc
 func (s *Set) Empty() bool {
 	for _, w := range s.words {
 		if w != 0 {
@@ -125,6 +135,8 @@ func (s *Set) Empty() bool {
 }
 
 // Clear resets all bits.
+//
+//gclint:mutates
 func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
@@ -132,6 +144,8 @@ func (s *Set) Clear() {
 }
 
 // SetAll sets every bit in [0, Len()).
+//
+//gclint:mutates
 func (s *Set) SetAll() {
 	s.materialize()
 	for i := range s.words {
@@ -181,6 +195,8 @@ func (s *Set) sameCap(o *Set) {
 }
 
 // And intersects s with o in place (s ∩= o).
+//
+//gclint:mutates
 func (s *Set) And(o *Set) {
 	s.sameCap(o)
 	if s.words == nil {
@@ -196,6 +212,8 @@ func (s *Set) And(o *Set) {
 }
 
 // AndNot removes o's bits from s in place (s \= o).
+//
+//gclint:mutates
 func (s *Set) AndNot(o *Set) {
 	s.sameCap(o)
 	if s.words == nil || o.words == nil {
@@ -207,6 +225,8 @@ func (s *Set) AndNot(o *Set) {
 }
 
 // Or unions o into s in place (s ∪= o).
+//
+//gclint:mutates
 func (s *Set) Or(o *Set) {
 	s.sameCap(o)
 	if o.words == nil {
@@ -219,6 +239,8 @@ func (s *Set) Or(o *Set) {
 }
 
 // IntersectionCount returns |s ∩ o| without allocating.
+//
+//gclint:noalloc
 func (s *Set) IntersectionCount(o *Set) int {
 	s.sameCap(o)
 	if s.words == nil || o.words == nil {
@@ -232,6 +254,8 @@ func (s *Set) IntersectionCount(o *Set) int {
 }
 
 // DifferenceCount returns |s \ o| without allocating.
+//
+//gclint:noalloc
 func (s *Set) DifferenceCount(o *Set) int {
 	s.sameCap(o)
 	if s.words == nil {
@@ -248,6 +272,8 @@ func (s *Set) DifferenceCount(o *Set) int {
 }
 
 // SubsetOf reports whether every bit of s is also set in o.
+//
+//gclint:noalloc
 func (s *Set) SubsetOf(o *Set) bool {
 	s.sameCap(o)
 	if s.words == nil {
@@ -265,6 +291,8 @@ func (s *Set) SubsetOf(o *Set) bool {
 }
 
 // Equal reports whether s and o have identical capacity and bits.
+//
+//gclint:noalloc
 func (s *Set) Equal(o *Set) bool {
 	if s.n != o.n {
 		return false
@@ -285,6 +313,8 @@ func (s *Set) Equal(o *Set) bool {
 
 // ForEach calls fn for every set bit in ascending order. If fn returns
 // false iteration stops early.
+//
+//gclint:noalloc
 func (s *Set) ForEach(fn func(i int) bool) {
 	for wi, w := range s.words {
 		for w != 0 {
@@ -300,6 +330,8 @@ func (s *Set) ForEach(fn func(i int) bool) {
 // ForEachAnd calls fn for every bit set in both s and o (s ∩ o) in
 // ascending order, without allocating an intermediate set. If fn returns
 // false iteration stops early.
+//
+//gclint:noalloc
 func (s *Set) ForEachAnd(o *Set, fn func(i int) bool) {
 	s.sameCap(o)
 	if s.words == nil || o.words == nil {
@@ -320,6 +352,8 @@ func (s *Set) ForEachAnd(o *Set, fn func(i int) bool) {
 // ForEachAndNot calls fn for every bit set in s but not in o (s \ o) in
 // ascending order, without allocating an intermediate set. If fn returns
 // false iteration stops early.
+//
+//gclint:noalloc
 func (s *Set) ForEachAndNot(o *Set, fn func(i int) bool) {
 	s.sameCap(o)
 	if s.words == nil {

@@ -75,6 +75,13 @@ import (
 // sharding. Under concurrent submission admission order (and hence
 // eviction choices) depends on goroutine scheduling, but every individual
 // answer set remains exact.
+//
+// The lock hierarchy is machine-checked: the directive below and the
+// //gclint: annotations on fields and functions drive the gclint
+// analyzers (internal/lint), which fail the build on reverse nestings,
+// unmet lock preconditions, and writes to published COW state.
+//
+//gclint:hierarchy serialMu dsMu windowMu policyMu shard
 type Cache struct {
 	method *ftv.Method
 	cfg    Config
@@ -90,6 +97,7 @@ type Cache struct {
 	// set — the pre-sharding engine's behavior, kept as the measurable
 	// baseline for the parallel-throughput benchmarks and as the reference
 	// configuration for equivalence tests.
+	//gclint:lock serialMu
 	serialMu sync.Mutex
 
 	// dsMu orders queries against live dataset mutations: Execute (and the
@@ -103,11 +111,13 @@ type Cache struct {
 	// counters, so the read fast path touches no shared cache line (see
 	// dslock.go). The outermost rung of the lock hierarchy:
 	// dsMu → windowMu → policyMu → shard locks.
+	//gclint:lock dsMu
 	dsMu dsLock
 
 	// windowMu guards the shared admission window — only used with
 	// Config.SharedWindow; the per-shard engine stages in shard.window
 	// under the shard lock instead.
+	//gclint:lock windowMu
 	windowMu sync.Mutex
 	window   []*Entry
 
@@ -116,6 +126,7 @@ type Cache struct {
 	// SavedCostNs): hit crediting, utility aging, and eviction accounting.
 	// Never held across iso tests or dataset scans. Hierarchy: windowMu →
 	// policyMu → shard locks.
+	//gclint:lock policyMu
 	policyMu sync.Mutex
 
 	// nextID assigns entry IDs. Claimed under the owning shard's lock
@@ -214,6 +225,8 @@ func (c *Cache) Len() int {
 
 // WindowLen returns the number of entries pending admission across all
 // admission windows.
+//
+//gclint:acquires windowMu shard
 func (c *Cache) WindowLen() int {
 	if c.cfg.SharedWindow {
 		c.windowMu.Lock()
@@ -262,6 +275,8 @@ type ShardStat struct {
 // ShardStats reports each shard's occupancy in shard order. Each shard is
 // read under its own read lock; the set is approximate under concurrent
 // load, exactly like the Monitor counters.
+//
+//gclint:acquires shard
 func (c *Cache) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(c.shards))
 	for i, sh := range c.shards {
@@ -283,6 +298,8 @@ func (c *Cache) ShardStats() []ShardStat {
 // also serialize on policyMu), while Graph, Answers and the signature
 // fields still alias the cache's immutable originals. Intended for
 // demonstrators and tests inspecting cache contents.
+//
+//gclint:acquires policyMu shard
 func (c *Cache) Entries() []*Entry {
 	c.policyMu.Lock()
 	defer c.policyMu.Unlock()
@@ -300,6 +317,8 @@ func (c *Cache) Entries() []*Entry {
 // fields may alias one set — see the Result doc comment). Execute is safe
 // to call from any number of goroutines; see the Cache doc comment for
 // what runs in parallel and what serializes.
+//
+//gclint:acquires serialMu dsMu windowMu policyMu shard
 func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("core: nil query graph")
@@ -569,6 +588,8 @@ func putExecScratch(sc *execScratch) {
 
 // creditHit updates policy utilities and the result's hit list. Caller
 // holds policyMu.
+//
+//gclint:requires policyMu
 func (c *Cache) creditHit(h *Entry, kind HitKind, savedTests int, savedCost float64, tick int64, hits *[]HitRef) {
 	ev := &HitEvent{
 		Entry:       h,
@@ -582,6 +603,9 @@ func (c *Cache) creditHit(h *Entry, kind HitKind, savedTests int, savedCost floa
 }
 
 // estimatedCost reads one graph's cost estimate from its lock-free cell.
+//
+//gclint:nolocks
+//gclint:noalloc
 func (c *Cache) estimatedCost(gid int) float64 {
 	if bits := c.costVal[gid].Load(); bits != 0 {
 		return math.Float64frombits(bits)
@@ -591,6 +615,9 @@ func (c *Cache) estimatedCost(gid int) float64 {
 
 // estimatedMeanCost reads the overall cost estimate from its lock-free
 // cell.
+//
+//gclint:nolocks
+//gclint:noalloc
 func (c *Cache) estimatedMeanCost() float64 {
 	if bits := c.globalVal.Load(); bits != 0 {
 		return math.Float64frombits(bits)
@@ -603,6 +630,9 @@ func (c *Cache) estimatedMeanCost() float64 {
 // cell), later ones blend with factor alpha. Contended updates retry; the
 // arithmetic matches stats.EMA, so sequential streams produce the same
 // estimates the coordinator-locked engine did.
+//
+//gclint:nolocks
+//gclint:noalloc
 func emaAdd(cell *atomic.Uint64, alpha, x float64) {
 	for {
 		old := cell.Load()
@@ -626,6 +656,8 @@ type costSample struct {
 // with a bounded worker pool, against the query's dataset view. It holds
 // no locks; measured costs are returned for the caller to fold into the
 // EMA cells.
+//
+//gclint:nolocks
 func (c *Cache) verify(view ftv.DatasetView, q *graph.Graph, qt ftv.QueryType, cand *bitset.Set, sc *execScratch) (*bitset.Set, []costSample) {
 	n := view.Size()
 	out := bitset.New(n)
@@ -702,6 +734,9 @@ type verdict struct {
 
 // recordCosts folds measured verification costs into the EMA cells —
 // entirely lock-free (CAS per sample).
+//
+//gclint:nolocks
+//gclint:noalloc
 func (c *Cache) recordCosts(costs []costSample) {
 	for _, s := range costs {
 		ns := float64(s.dur.Nanoseconds())
@@ -714,6 +749,8 @@ func (c *Cache) recordCosts(costs []costSample) {
 // window by default, or in the single shared window with
 // Config.SharedWindow — and turns the window when full (the Window
 // Manager). The default path touches only the owning shard's lock.
+//
+//gclint:acquires windowMu policyMu shard
 func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick, epoch int64) {
 	if c.cfg.SharedWindow {
 		c.admitShared(q, qt, answers, baseCandidates, sig, tick, epoch)
@@ -733,6 +770,8 @@ func (c *Cache) admit(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, bas
 // admitShared is the SharedWindow staging path: one global buffer under
 // windowMu, turned whole under every shard lock — the measurable
 // pre-decentralization baseline.
+//
+//gclint:acquires windowMu policyMu shard
 func (c *Cache) admitShared(q *graph.Graph, qt ftv.QueryType, answers *bitset.Set, baseCandidates int, sig querySig, tick, epoch int64) {
 	c.windowMu.Lock()
 	defer c.windowMu.Unlock()
@@ -759,6 +798,8 @@ func (c *Cache) admitShared(q *graph.Graph, qt ftv.QueryType, answers *bitset.Se
 // shard lock before calling turnShard (hierarchy: policyMu → shard
 // locks), so a racing turn may drain the window first — the re-check
 // under both locks makes that benign.
+//
+//gclint:acquires policyMu shard
 func (c *Cache) turnShard(sh *shard) {
 	c.policyMu.Lock()
 	defer c.policyMu.Unlock()
@@ -817,6 +858,9 @@ func (c *Cache) turnShard(sh *shard) {
 // global window atomically under every shard write lock. Caller holds
 // windowMu; policyMu is taken for the policy callbacks and utility
 // mutations (hierarchy: windowMu → policyMu → shard locks).
+//
+//gclint:requires windowMu
+//gclint:acquires policyMu shard
 func (c *Cache) turnWindowShared() {
 	c.mon.windowTurns.Add(1)
 	c.policyMu.Lock()
@@ -858,6 +902,8 @@ func (c *Cache) turnWindowShared() {
 }
 
 // memBytesLocked sums shard byte accounts. Caller holds all shard locks.
+//
+//gclint:requires shard
 func (c *Cache) memBytesLocked() int {
 	b := 0
 	for _, sh := range c.shards {
@@ -871,6 +917,8 @@ func (c *Cache) memBytesLocked() int {
 // positions are sanitized defensively against buggy custom policies
 // (duplicates or out-of-range indices are dropped; a shortfall is filled
 // FIFO). Caller holds policyMu.
+//
+//gclint:requires policyMu
 func (c *Cache) chooseVictims(all []*Entry, x int) []int {
 	if x > len(all) {
 		x = len(all)
@@ -912,6 +960,8 @@ func (c *Cache) chooseVictims(all []*Entry, x int) []int {
 // rankingView flattens the published per-shard summaries into the
 // cross-shard ranking input for eviction. Nil with IndexOff (no
 // published view). Caller holds policyMu.
+//
+//gclint:requires policyMu
 func (c *Cache) rankingView() []*Entry {
 	if c.cfg.IndexOff {
 		return nil
@@ -941,6 +991,8 @@ func (c *Cache) rankingView() []*Entry {
 // republish happens once at the end), so selection admits only entries
 // still resident in sh; with IndexOff (nil view) the ranking falls back
 // to the shard's own entries.
+//
+//gclint:requires policyMu shard
 func (c *Cache) evictShardLocked(sh *shard, x int, view []*Entry) {
 	if x <= 0 || len(sh.entries) == 0 {
 		return
@@ -1012,6 +1064,8 @@ func (c *Cache) evictShardLocked(sh *shard, x int, view []*Entry) {
 // slice all (the canonical cross-shard view) and from their owning shards,
 // returning the surviving slice. Caller holds policyMu and all shard
 // write locks (the SharedWindow turn and state restores).
+//
+//gclint:requires policyMu shard
 func (c *Cache) evictLocked(all []*Entry, x int) []*Entry {
 	if x <= 0 || len(all) == 0 {
 		return all

@@ -78,4 +78,33 @@
 // allocs/op for the exact-hit, indexed-miss and sub/super-hit classes,
 // and alloc_test.go pins hard per-path budgets via testing.AllocsPerRun
 // — a returning O(n) clone fails CI, not a profile nobody reads.
+//
+// # Machine-checked contracts: the gclint annotation grammar
+//
+// The locking discipline and the hot-path memory discipline above are
+// not prose-only: `make lint` runs the repo's own analyzers
+// (cmd/gclint, internal/lint) over every package, driven by `//gclint:`
+// comment directives on the declarations themselves. The grammar, by
+// example (the example lines are indented so they read as code, not as
+// live directives):
+//
+//	//gclint:hierarchy serialMu dsMu windowMu policyMu shard  (on Cache: the lock order)
+//	//gclint:lock policyMu     (on a field: this is lock "policyMu" in the hierarchy)
+//	//gclint:leaf              (with lock: rank-exempt, but nothing may be acquired under it)
+//	//gclint:acquires windowMu shard   (func acquires and releases these internally)
+//	//gclint:requires policyMu shard   (func must be called with these held)
+//	//gclint:holds shard       (func acquires these and LEAVES them held — lockAll)
+//	//gclint:releases shard    (func releases caller-held locks — unlockAll)
+//	//gclint:nolocks           (func must not acquire any lock, directly or via callees)
+//	//gclint:noalloc           (func must not contain allocating constructs)
+//	//gclint:cow               (type: copy-on-write; published values are immutable)
+//	//gclint:cowview           (func returns a published COW value; callers must not write it)
+//	//gclint:mutates           (method writes its receiver; illegal on published COW values)
+//	//gclint:ignore lockorder -- reason   (waive one finding on this or the next line)
+//
+// Four analyzers consume these: lockorder (hierarchy violations, unmet
+// requires, acquisition inside nolocks), cowpublish (writes through
+// cowview/atomic.Pointer-published values, mutates-calls on them),
+// leaflock (any acquisition while a leaf lock is held) and noalloc.
+// Findings are build failures; every waiver needs a reason after `--`.
 package core

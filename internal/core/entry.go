@@ -11,6 +11,8 @@ import (
 // answerState is one immutable (answer set, dataset epoch) pair: the set
 // is exact with respect to the dataset as of the epoch. Published whole
 // through answersCell so readers always see a matching pair.
+//
+//gclint:cow
 type answerState struct {
 	set   *bitset.Set
 	epoch int64
@@ -97,6 +99,8 @@ type Entry struct {
 // Answers returns the entry's current answer set — exact with respect to
 // the dataset as of DatasetEpoch. The returned set is immutable; the cache
 // replaces it whole when dataset mutations are reconciled.
+//
+//gclint:cowview
 func (e *Entry) Answers() *bitset.Set { return e.ans.p.Load().set }
 
 // DatasetEpoch returns the dataset epoch the entry's answers are exact up
@@ -106,6 +110,8 @@ func (e *Entry) Answers() *bitset.Set { return e.ans.p.Load().set }
 func (e *Entry) DatasetEpoch() int64 { return e.ans.p.Load().epoch }
 
 // answers returns the entry's (set, epoch) pair as one consistent load.
+//
+//gclint:cowview
 func (e *Entry) answers() *answerState { return e.ans.p.Load() }
 
 // setAnswers publishes a new answer state. The set must not be mutated

@@ -45,6 +45,8 @@ type indexEntry struct {
 // shard — the lock-free global view of the admitted entries. Exact under
 // policyMu (turns and restores serialize there and republish before
 // unlocking); a point-in-time union under concurrent reads.
+//
+//gclint:nolocks
 func (c *Cache) summariesView() [][]indexEntry {
 	parts := make([][]indexEntry, 0, len(c.shards))
 	for _, sh := range c.shards {
@@ -59,6 +61,8 @@ func (c *Cache) summariesView() [][]indexEntry {
 // copy of its admitted entries. Caller holds policyMu and sh's write
 // lock. With Config.IndexOff nothing is built — the escape hatch runs
 // pure snapshot scans.
+//
+//gclint:requires policyMu shard
 func (c *Cache) republishShardLocked(sh *shard) {
 	if c.cfg.IndexOff {
 		return
@@ -73,6 +77,8 @@ func (c *Cache) republishShardLocked(sh *shard) {
 // republishAllLocked refreshes every shard's summary slice — the
 // stop-the-world republish used by SharedWindow turns and state restores.
 // Caller holds policyMu and every shard write lock.
+//
+//gclint:requires policyMu shard
 func (c *Cache) republishAllLocked() {
 	if c.cfg.IndexOff {
 		return
@@ -88,6 +94,8 @@ func (c *Cache) republishAllLocked() {
 // conditions for the corresponding containment, so a summary rejection
 // safely skips the exact dominance merges; entries rejected in both
 // directions without a merge are counted as index-pruned.
+//
+//gclint:nolocks
 func (c *Cache) scanIndex(qt ftv.QueryType, sig querySig) (sub, super []*Entry) {
 	// Iterate the published per-shard slices directly rather than through
 	// summariesView: the hot path then allocates no per-query parts slice.

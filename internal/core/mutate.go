@@ -48,6 +48,8 @@ import (
 // sets are reconciled eagerly (default) or lazily (Config.LazyReconcile).
 // It returns the new graph's id. The method must support AddGraph
 // (ftv.NewDynamicMethod or a bundled constructor).
+//
+//gclint:acquires dsMu windowMu policyMu shard
 func (c *Cache) AddGraph(g *graph.Graph) (int, error) {
 	c.dsMu.Lock()
 	defer c.dsMu.Unlock()
@@ -93,6 +95,8 @@ func (c *Cache) AddGraph(g *graph.Graph) (int, error) {
 // admitted and window entry's answer set — the stop-the-world maintenance
 // path (no iso tests; a pointer swap per affected entry). The id is never
 // reused, so all other answer-set positions stay valid as-is.
+//
+//gclint:acquires dsMu windowMu policyMu shard
 func (c *Cache) RemoveGraph(gid int) error {
 	c.dsMu.Lock()
 	defer c.dsMu.Unlock()
@@ -128,6 +132,8 @@ func (c *Cache) RemoveGraph(gid int) error {
 // window epoch floors are recomputed (fn may have raised pending entries'
 // epochs) and the addition log is compacted up to the minimum entry
 // epoch.
+//
+//gclint:acquires windowMu policyMu shard
 func (c *Cache) withAllEntriesLocked(fn func(sh *shard, e *Entry)) {
 	c.windowMu.Lock()
 	defer c.windowMu.Unlock()
@@ -167,6 +173,8 @@ func (c *Cache) withAllEntriesLocked(fn func(sh *shard, e *Entry)) {
 // compactAdditionsLocked compacts with the full hierarchy held (the
 // stop-the-world passes: dataset mutations, shared-window turns, state
 // restores), reading every window directly.
+//
+//gclint:requires policyMu shard
 func (c *Cache) compactAdditionsLocked() {
 	if c.method.AdditionLogLen() == 0 {
 		return
@@ -203,6 +211,8 @@ func (c *Cache) compactAdditionsLocked() {
 // advance, so its entry carries the CURRENT epoch and only ever needs
 // records above it — records this compaction, whose floor cannot exceed
 // the current epoch's records, never drops.
+//
+//gclint:requires policyMu shard
 func (c *Cache) compactAdditions(turning *shard) {
 	if c.method.AdditionLogLen() == 0 {
 		return
@@ -250,6 +260,8 @@ func (c *Cache) compactTo(floor int64) {
 // the delta additions, adjusting the owning shard's byte account for any
 // answer-set growth (sh nil for window entries, charged at insertion).
 // Caller holds dsMu exclusively plus the full lock hierarchy.
+//
+//gclint:requires shard
 func (c *Cache) reconcileEntryLocked(sh *shard, e *Entry, view ftv.DatasetView) {
 	st := e.answers()
 	if st.epoch >= view.Epoch() && st.set.Len() == view.Size() {
@@ -265,6 +277,8 @@ func (c *Cache) reconcileEntryLocked(sh *shard, e *Entry, view ftv.DatasetView) 
 // without touching any account). O(1) — Entry.Bytes only re-reads the
 // answer set's word count. Caller holds the owning shard's write lock (sh
 // nil for window entries, whose bytes are charged at insertion).
+//
+//gclint:requires shard
 func (c *Cache) rechargeLocked(sh *shard, e *Entry) {
 	if sh == nil {
 		return
@@ -285,6 +299,9 @@ func (c *Cache) rechargeLocked(sh *shard, e *Entry) {
 // accounts are deliberately NOT touched here (no shard lock is held);
 // they are trued up at the owning shard's next window turn and at
 // every stop-the-world maintenance pass (rechargeLocked).
+//
+//gclint:requires dsMu
+//gclint:nolocks
 func (c *Cache) reconciledAnswers(e *Entry, view ftv.DatasetView) *bitset.Set {
 	st := e.answers()
 	if st.epoch >= view.Epoch() && st.set.Len() == view.Size() {

@@ -47,6 +47,8 @@ const stateVersion = 2
 // respect to dataset additions (LazyReconcile) are reconciled before
 // serialization — the on-disk format carries no epochs, so what it stores
 // must be exact at the header's dataset size.
+//
+//gclint:acquires dsMu policyMu shard
 func (c *Cache) WriteState(w io.Writer) error {
 	dsTok := c.dsMu.RLock()
 	defer c.dsMu.RUnlock(dsTok)
@@ -95,6 +97,8 @@ func stateError(line int, format string, args ...any) error {
 // state file fails with a line-numbered error and leaves the cache exactly
 // as it was (empty, when the load happens at boot). On success the feature
 // index is rebuilt before the locks drop.
+//
+//gclint:acquires dsMu windowMu policyMu shard
 func (c *Cache) ReadState(r io.Reader) error {
 	// The read side of the dataset mutex pins the dataset for the whole
 	// restore (mutations are excluded; concurrent queries are not — they

@@ -46,6 +46,8 @@ func (c *Cache) signatureOf(q *graph.Graph) querySig {
 // identical queries racing each other may therefore both miss and both be
 // staged — benign: exact-match scans return the first isomorphic entry
 // either way.
+//
+//gclint:acquires windowMu shard
 func (c *Cache) findExact(q *graph.Graph, qt ftv.QueryType, fp graph.Fingerprint) *Entry {
 	sh := c.shardFor(fp)
 	sh.mu.RLock()
@@ -112,6 +114,8 @@ type hitSet struct {
 // baseline would have spent (failing) VF2 attempts on, so the two modes
 // can surface different hit sets within the attempt budget — answers stay
 // exact either way, since hits only ever shrink verification work.
+//
+//gclint:acquires shard
 func (c *Cache) detectHits(q *graph.Graph, qt ftv.QueryType, sig querySig) hitSet {
 	var hs hitSet
 	if c.cfg.MaxSubHits == 0 && c.cfg.MaxSuperHits == 0 {
@@ -155,6 +159,8 @@ func (c *Cache) detectHits(q *graph.Graph, qt ftv.QueryType, sig querySig) hitSe
 // point-in-time snapshot of every shard, pre-filtered by size and by
 // label-vector and path-feature dominance — the pre-index engine, kept as
 // the measurable baseline for the indexed-vs-unindexed comparison.
+//
+//gclint:acquires shard
 func (c *Cache) scanSnapshot(qt ftv.QueryType, sig querySig) (sub, super []*Entry) {
 	all := c.entriesSnapshot()
 	c.mon.hitScanEntries.Add(int64(len(all)))
@@ -184,6 +190,8 @@ func (c *Cache) scanSnapshot(qt ftv.QueryType, sig querySig) (sub, super []*Entr
 // confirmHits runs the budgeted VF2 confirmations over the ranked
 // candidate lists, returning the accepted hits and the number of q↔h iso
 // tests spent.
+//
+//gclint:nolocks
 func (c *Cache) confirmHits(q *graph.Graph, subCand, superCand []*Entry) (sub, super []*Entry, isoTests int) {
 	opts := iso.Options{MaxRecursions: c.cfg.HitIsoBudget}
 	attempts := 0

@@ -47,6 +47,10 @@ type residency struct {
 // being split into fixed quotas. With Config.SharedWindow the per-shard
 // window sits idle and the Cache-level shared window is used instead.
 type shard struct {
+	// mu guards entries/byFP/memBytes/window. Innermost rung of the
+	// hierarchy; every shard lock shares the rank, and lockAll's
+	// index-ordered sweep is the only multi-shard acquisition.
+	//gclint:lock shard
 	mu       sync.RWMutex
 	entries  []*Entry
 	byFP     map[graph.Fingerprint][]*Entry
@@ -95,6 +99,8 @@ func newShards(n int, res *residency) []*shard {
 
 // stageLocked appends e to the shard's pending window, keeping the
 // window's epoch floor current. Caller holds the shard write lock.
+//
+//gclint:requires shard
 func (sh *shard) stageLocked(e *Entry) {
 	sh.window = append(sh.window, e)
 	if ep := e.DatasetEpoch(); ep < sh.windowFloor.Load() {
@@ -104,6 +110,8 @@ func (sh *shard) stageLocked(e *Entry) {
 
 // resetWindowLocked empties the shard's pending window and lifts its
 // epoch floor. Caller holds the shard write lock (turns, state restores).
+//
+//gclint:requires shard
 func (sh *shard) resetWindowLocked() {
 	sh.window = sh.window[:0]
 	sh.windowFloor.Store(math.MaxInt64)
@@ -113,6 +121,8 @@ func (sh *shard) resetWindowLocked() {
 // used by the stop-the-world passes after eager reconciliation raises
 // window entries' epochs, so the floor stays tight. Caller holds the
 // shard write lock.
+//
+//gclint:requires shard
 func (sh *shard) refreshWindowFloorLocked() {
 	floor := int64(math.MaxInt64)
 	for _, e := range sh.window {
@@ -132,6 +142,8 @@ func (c *Cache) shardFor(fp graph.Fingerprint) *shard {
 // Admissions arrive in ascending-ID order (IDs are claimed monotonically
 // under the lock that stages the entry, and entries only ever move from a
 // window into a shard), so appending preserves the sorted-by-ID invariant.
+//
+//gclint:requires shard
 func (sh *shard) insertLocked(e *Entry) {
 	sh.entries = append(sh.entries, e)
 	sh.byFP[e.Fingerprint] = append(sh.byFP[e.Fingerprint], e)
@@ -148,6 +160,8 @@ func (sh *shard) insertLocked(e *Entry) {
 // containsLocked reports whether e is currently resident in the shard
 // (located by binary search on the ID-sorted entries, confirmed by
 // pointer identity). Caller holds the shard lock, read or write.
+//
+//gclint:requires shard
 func (sh *shard) containsLocked(e *Entry) bool {
 	i := sort.Search(len(sh.entries), func(i int) bool {
 		return sh.entries[i].ID >= e.ID
@@ -163,6 +177,8 @@ func (sh *shard) containsLocked(e *Entry) bool {
 // byFP list uses swap-delete, mirroring the pre-sharding kernel so
 // fingerprint-collision scan order stays identical to the serialized
 // engine's.
+//
+//gclint:requires shard
 func (sh *shard) removeLocked(e *Entry) {
 	i := sort.Search(len(sh.entries), func(i int) bool {
 		return sh.entries[i].ID >= e.ID
@@ -196,12 +212,15 @@ func (sh *shard) removeLocked(e *Entry) {
 // save/restore; the lock hierarchy is windowMu → policyMu → shard locks,
 // and reverse nestings never occur, so the fixed acquisition order is
 // deadlock-free.
+//
+//gclint:holds shard
 func (c *Cache) lockAll() {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 	}
 }
 
+//gclint:releases shard
 func (c *Cache) unlockAll() {
 	for i := len(c.shards) - 1; i >= 0; i-- {
 		c.shards[i].mu.Unlock()
@@ -211,6 +230,8 @@ func (c *Cache) unlockAll() {
 // gatherLocked returns all admitted entries across shards sorted by
 // ascending ID — exactly the entries slice a single-shard cache would
 // hold. Caller holds every shard lock (read or write).
+//
+//gclint:requires shard
 func (c *Cache) gatherLocked() []*Entry {
 	total := 0
 	for _, sh := range c.shards {
@@ -234,6 +255,8 @@ func (c *Cache) gatherLocked() []*Entry {
 // sort — each shard is already ID-sorted. Indexed hit detection bypasses
 // this entirely (it reads the published feature index); the remaining
 // callers are Entries() and the IndexOff baseline scan.
+//
+//gclint:acquires shard
 func (c *Cache) entriesSnapshot() []*Entry {
 	var all []*Entry
 	populated := 0

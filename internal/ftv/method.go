@@ -67,6 +67,8 @@ type Method struct {
 	// and never take it. It is a leaf lock: nothing is acquired under it,
 	// so callers may hold arbitrary locks of their own (the cache kernel
 	// compacts the addition log from inside its window turns).
+	//gclint:lock methodMu
+	//gclint:leaf
 	mu    sync.Mutex
 	state atomic.Pointer[methodState]
 
@@ -84,6 +86,8 @@ type Method struct {
 
 // methodState is one immutable dataset snapshot. All fields are read-only
 // after publication.
+//
+//gclint:cow
 type methodState struct {
 	dataset   []*graph.Graph // by stable gid; tombstones are nil
 	filter    Filter
@@ -156,6 +160,8 @@ func (m *Method) View() DatasetView { return DatasetView{s: m.state.Load(), veri
 
 // Dataset returns the current dataset slice (tombstoned positions are
 // nil). Callers must not modify it.
+//
+//gclint:cowview
 func (m *Method) Dataset() []*graph.Graph { return m.state.Load().dataset }
 
 // DatasetSize returns the dataset's id space — the number of positions,
@@ -193,6 +199,8 @@ func (m *Method) VerifyCandidate(q *graph.Graph, gid int, qt QueryType) bool {
 // factory (NewDynamicMethod or a bundled constructor) — the factory stays
 // the dynamic-method contract and the fallback when an insert is
 // unavailable.
+//
+//gclint:acquires methodMu
 func (m *Method) AddGraph(g *graph.Graph) (int, error) {
 	if g == nil || g.N() == 0 {
 		return 0, fmt.Errorf("ftv: cannot add an empty graph")
@@ -262,6 +270,8 @@ func (m *Method) AdditionLogLen() int { return len(m.state.Load().adds) }
 // records when it reconciles. Records above the floor are untouched, and
 // snapshots taken before the call keep their full log — compaction can
 // never retroactively change what an already-obtained view reports.
+//
+//gclint:acquires methodMu
 func (m *Method) CompactAdditions(floor int64) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -293,6 +303,8 @@ func (m *Method) CompactAdditions(floor int64) int {
 // so it can never again appear in a candidate or answer set. The filter is
 // kept as-is — its postings for the dead id are masked by the live set —
 // making removals O(dataset) copying with no index rebuild.
+//
+//gclint:acquires methodMu
 func (m *Method) RemoveGraph(gid int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -342,11 +354,15 @@ func (v DatasetView) Epoch() int64 { return v.s.epoch }
 func (v DatasetView) Graph(gid int) *graph.Graph { return v.s.dataset[gid] }
 
 // Live returns the live-id set. Callers must treat it as read-only.
+//
+//gclint:cowview
 func (v DatasetView) Live() *bitset.Set { return v.s.live }
 
 // AddsSince returns the addition records with Epoch > epoch, oldest
 // first — the delta a holder of an epoch-stamped answer set must verify.
 // The returned slice is shared and must not be modified.
+//
+//gclint:cowview
 func (v DatasetView) AddsSince(epoch int64) []AddRecord {
 	adds := v.s.adds
 	// Epochs ascend; scan back from the tail (deltas are short-lived).

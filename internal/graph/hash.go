@@ -115,6 +115,8 @@ func LabelVectorOf(g *Graph) LabelVector {
 // DominatedBy reports whether every label occurs in o at least as many
 // times as in v — a necessary condition for the graph of v to be
 // subgraph-isomorphic to the graph of o.
+//
+//gclint:noalloc
 func (v LabelVector) DominatedBy(o LabelVector) bool {
 	j := 0
 	for _, lc := range v {

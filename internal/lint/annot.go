@@ -1,0 +1,384 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockInfo describes one //gclint:lock declaration.
+type LockInfo struct {
+	// Name is the hierarchy/annotation name of the lock.
+	Name string
+	// Leaf marks a //gclint:leaf lock: acquirable under anything,
+	// nothing acquirable under it.
+	Leaf bool
+}
+
+// Annotations is the program-wide fact base collected from //gclint:
+// comments. Maps are keyed by types.Object, which the shared-importer
+// loader keeps identical across packages.
+type Annotations struct {
+	// Hierarchy lists the ordered lock names, outermost first.
+	Hierarchy []string
+	rank      map[string]int
+
+	// Locks maps a lock field/var object to its declaration.
+	Locks map[types.Object]*LockInfo
+	// lockNames is every declared lock name (hierarchy validation).
+	lockNames map[string]bool
+
+	// Acquires/Requires map function objects to lock names. Holds marks
+	// functions that acquire locks and LEAVE them held on return;
+	// Releases marks their unlocking counterparts.
+	Acquires map[types.Object][]string
+	Requires map[types.Object][]string
+	Holds    map[types.Object][]string
+	Releases map[types.Object][]string
+	// NoLocks marks no-lock stage functions.
+	NoLocks map[types.Object]bool
+	// NoAlloc marks zero-allocation hot-path functions.
+	NoAlloc map[types.Object]bool
+	// Cow marks COW-published types; CowView marks functions returning
+	// views of COW-published state; Mutates marks receiver-mutating
+	// methods.
+	Cow     map[types.Object]bool
+	CowView map[types.Object]bool
+	Mutates map[types.Object]bool
+
+	// ignores maps filename -> line -> analyzer names waived there.
+	ignores map[string]map[int][]string
+}
+
+// HierarchyRank returns the hierarchy position of lock name (0 =
+// outermost) and whether the name is ranked at all. Leaf locks are
+// unranked by construction.
+func (a *Annotations) HierarchyRank(name string) (int, bool) {
+	r, ok := a.rank[name]
+	return r, ok
+}
+
+// LockByName returns the LockInfo declared under name, or nil.
+func (a *Annotations) LockByName(name string) *LockInfo {
+	for _, li := range a.Locks {
+		if li.Name == name {
+			return li
+		}
+	}
+	return nil
+}
+
+// ignored reports whether d is waived by a //gclint:ignore directive on
+// its line or the line above (a standalone ignore covers the next line).
+func (a *Annotations) ignored(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines, ok := a.ignores[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//gclint:"
+
+// knownDirectives guards against typos: an unknown //gclint: directive
+// is itself an error, so a misspelled annotation can never silently
+// disable a check.
+var knownDirectives = map[string]bool{
+	"hierarchy": true, "lock": true, "leaf": true,
+	"acquires": true, "requires": true, "holds": true,
+	"releases": true, "nolocks": true,
+	"noalloc": true, "cow": true, "cowview": true,
+	"mutates": true, "ignore": true,
+}
+
+// directive is one parsed //gclint: comment line.
+type directive struct {
+	pos  token.Pos
+	name string
+	args string
+}
+
+// parseDirectives extracts the //gclint: lines from a comment group.
+func parseDirectives(cg *ast.CommentGroup) []directive {
+	if cg == nil {
+		return nil
+	}
+	var out []directive
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		name, args, _ := strings.Cut(text, " ")
+		out = append(out, directive{pos: c.Pos(), name: name, args: strings.TrimSpace(args)})
+	}
+	return out
+}
+
+// CollectAnnotations walks every file of the program and builds the
+// fact base. Grammar errors come back as diagnostics under the pseudo
+// analyzer "gclint".
+func CollectAnnotations(prog *Program) (*Annotations, []Diagnostic) {
+	a := &Annotations{
+		rank:      map[string]int{},
+		Locks:     map[types.Object]*LockInfo{},
+		lockNames: map[string]bool{},
+		Acquires:  map[types.Object][]string{},
+		Requires:  map[types.Object][]string{},
+		Holds:     map[types.Object][]string{},
+		Releases:  map[types.Object][]string{},
+		NoLocks:   map[types.Object]bool{},
+		NoAlloc:   map[types.Object]bool{},
+		Cow:       map[types.Object]bool{},
+		CowView:   map[types.Object]bool{},
+		Mutates:   map[types.Object]bool{},
+		ignores:   map[string]map[int][]string{},
+	}
+	var diags []Diagnostic
+	errf := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{Pos: pos, Analyzer: "gclint", Message: fmt.Sprintf(format, args...)})
+	}
+
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			a.collectFile(prog, f, errf)
+		}
+	}
+	a.validate(errf)
+	return a, diags
+}
+
+// collectFile gathers every directive in one file: declaration-attached
+// ones are resolved to their objects, ignore/hierarchy directives can
+// appear in any comment group.
+func (a *Annotations) collectFile(prog *Program, f *ast.File, errf func(token.Pos, string, ...any)) {
+	info := prog.Info
+
+	// Attached directives: function declarations and lock declarations
+	// (struct fields or package-level vars). consumed records which
+	// comment groups were interpreted as declaration docs, so the
+	// free-floating pass can flag attachment-required directives that
+	// ended up attached to nothing.
+	consumed := map[*ast.CommentGroup]bool{}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			consumed[d.Doc] = true
+			a.applyFuncDirectives(info.Defs[d.Name], parseDirectives(d.Doc), errf)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					doc := s.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					consumed[doc] = true
+					a.applyTypeDirectives(info.Defs[s.Name], parseDirectives(doc), errf)
+					if st, ok := s.Type.(*ast.StructType); ok {
+						for _, fld := range st.Fields.List {
+							consumed[fld.Doc] = true
+							consumed[fld.Comment] = true
+							a.applyLockDirectives(info, fld.Names, parseDirectives(fld.Doc), errf)
+							a.applyLockDirectives(info, fld.Names, parseDirectives(fld.Comment), errf)
+						}
+					}
+				case *ast.ValueSpec:
+					doc := s.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					consumed[doc] = true
+					a.applyLockDirectives(info, s.Names, parseDirectives(doc), errf)
+				}
+			}
+		}
+	}
+
+	// Free-floating directives: hierarchy declarations and ignores.
+	for _, cg := range f.Comments {
+		for _, dir := range parseDirectives(cg) {
+			switch dir.name {
+			case "hierarchy":
+				names := strings.Fields(dir.args)
+				if len(names) == 0 {
+					errf(dir.pos, "//gclint:hierarchy needs at least one lock name")
+					continue
+				}
+				if len(a.Hierarchy) > 0 {
+					errf(dir.pos, "duplicate //gclint:hierarchy declaration (first: %v)", a.Hierarchy)
+					continue
+				}
+				a.Hierarchy = names
+				for i, n := range names {
+					a.rank[n] = i
+				}
+			case "ignore":
+				before, reason, found := strings.Cut(dir.args, "--")
+				names := strings.FieldsFunc(before, func(r rune) bool { return r == ',' || r == ' ' })
+				if !found || strings.TrimSpace(reason) == "" {
+					errf(dir.pos, "//gclint:ignore needs a reason: //gclint:ignore <analyzer> -- <why>")
+					continue
+				}
+				if len(names) == 0 {
+					errf(dir.pos, "//gclint:ignore needs at least one analyzer name")
+					continue
+				}
+				pos := prog.Position(dir.pos)
+				byLine := a.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					a.ignores[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			case "lock", "leaf", "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cow", "cowview", "mutates":
+				// Attached directives are handled in the declaration pass
+				// above; one that floats free of any declaration is dead
+				// annotation and gets flagged here.
+				if !consumed[cg] {
+					errf(dir.pos, "//gclint:%s is not attached to a declaration", dir.name)
+				}
+			default:
+				errf(dir.pos, "unknown directive //gclint:%s", dir.name)
+			}
+		}
+	}
+}
+
+// applyFuncDirectives records function-level annotations.
+func (a *Annotations) applyFuncDirectives(obj types.Object, dirs []directive, errf func(token.Pos, string, ...any)) {
+	for _, dir := range dirs {
+		switch dir.name {
+		case "acquires", "requires", "holds", "releases":
+			names := strings.Fields(dir.args)
+			if obj == nil || len(names) == 0 {
+				errf(dir.pos, "//gclint:%s needs lock names and a function declaration", dir.name)
+				continue
+			}
+			switch dir.name {
+			case "acquires":
+				a.Acquires[obj] = append(a.Acquires[obj], names...)
+			case "requires":
+				a.Requires[obj] = append(a.Requires[obj], names...)
+			case "holds":
+				a.Holds[obj] = append(a.Holds[obj], names...)
+			case "releases":
+				a.Releases[obj] = append(a.Releases[obj], names...)
+			}
+		case "nolocks", "noalloc", "cowview", "mutates":
+			if obj == nil {
+				errf(dir.pos, "//gclint:%s must be attached to a function declaration", dir.name)
+				continue
+			}
+			switch dir.name {
+			case "nolocks":
+				a.NoLocks[obj] = true
+			case "noalloc":
+				a.NoAlloc[obj] = true
+			case "cowview":
+				a.CowView[obj] = true
+			case "mutates":
+				a.Mutates[obj] = true
+			}
+		case "lock", "leaf", "cow":
+			errf(dir.pos, "//gclint:%s cannot be attached to a function", dir.name)
+		default:
+			// hierarchy/ignore and unknown directives are handled by the
+			// whole-file comments pass.
+		}
+	}
+}
+
+// applyTypeDirectives records type-level annotations (//gclint:cow).
+func (a *Annotations) applyTypeDirectives(obj types.Object, dirs []directive, errf func(token.Pos, string, ...any)) {
+	for _, dir := range dirs {
+		switch dir.name {
+		case "cow":
+			if obj == nil {
+				errf(dir.pos, "//gclint:cow must be attached to a type declaration")
+				continue
+			}
+			a.Cow[obj] = true
+		case "lock", "leaf", "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cowview", "mutates":
+			errf(dir.pos, "//gclint:%s cannot be attached to a type", dir.name)
+		default:
+			// Handled by the whole-file comments pass.
+		}
+	}
+}
+
+// applyLockDirectives records //gclint:lock (+ optional //gclint:leaf)
+// on a struct field or package-level var declaration.
+func (a *Annotations) applyLockDirectives(info *types.Info, names []*ast.Ident, dirs []directive, errf func(token.Pos, string, ...any)) {
+	var li *LockInfo
+	for _, dir := range dirs {
+		switch dir.name {
+		case "lock":
+			name := strings.TrimSpace(dir.args)
+			if name == "" || len(names) != 1 {
+				errf(dir.pos, "//gclint:lock needs a name and a single-identifier declaration")
+				continue
+			}
+			obj := info.Defs[names[0]]
+			if obj == nil {
+				errf(dir.pos, "//gclint:lock target did not resolve")
+				continue
+			}
+			li = &LockInfo{Name: name}
+			a.Locks[obj] = li
+			a.lockNames[name] = true
+		case "leaf":
+			if li == nil {
+				errf(dir.pos, "//gclint:leaf must follow //gclint:lock on the same declaration")
+				continue
+			}
+			li.Leaf = true
+		case "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cow", "cowview", "mutates":
+			errf(dir.pos, "//gclint:%s cannot be attached to a lock declaration", dir.name)
+		default:
+			// Handled by the whole-file comments pass.
+		}
+	}
+}
+
+// validate cross-checks the fact base: hierarchy names must be declared
+// locks, declared non-leaf locks must be ranked, and acquires/requires
+// must reference declared names.
+func (a *Annotations) validate(errf func(token.Pos, string, ...any)) {
+	for _, n := range a.Hierarchy {
+		if !a.lockNames[n] {
+			errf(token.NoPos, "hierarchy lock %q has no //gclint:lock declaration", n)
+		}
+	}
+	for obj, li := range a.Locks {
+		if _, ranked := a.rank[li.Name]; !ranked && !li.Leaf {
+			errf(obj.Pos(), "lock %q is neither in the //gclint:hierarchy nor marked //gclint:leaf", li.Name)
+		}
+		if _, ranked := a.rank[li.Name]; ranked && li.Leaf {
+			errf(obj.Pos(), "lock %q cannot be both leaf and ranked in the hierarchy", li.Name)
+		}
+	}
+	check := func(m map[types.Object][]string, what string) {
+		for obj, names := range m {
+			for _, n := range names {
+				if !a.lockNames[n] {
+					errf(obj.Pos(), "//gclint:%s references undeclared lock %q", what, n)
+				}
+			}
+		}
+	}
+	check(a.Acquires, "acquires")
+	check(a.Requires, "requires")
+	check(a.Holds, "holds")
+	check(a.Releases, "releases")
+}

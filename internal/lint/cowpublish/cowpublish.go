@@ -1,0 +1,282 @@
+// Package cowpublish enforces the kernel's copy-on-write publication
+// rule: a value published through an atomic.Pointer is immutable from
+// the moment of publication. Readers Load() and must never write
+// through the result; mutators clone, modify the clone, and republish.
+//
+// The check is a source-ordered taint walk per function. Tainted
+// (published) values are: results of Load() on a sync/atomic.Pointer,
+// results of //gclint:cowview functions, parameters and selections of
+// //gclint:cow-annotated types, and anything derived from those by
+// selection, indexing, dereference, or slicing. Ordinary function calls
+// launder taint (clone-then-republish constructors come back clean), as
+// do composite literals (fresh, unpublished values). Violations are
+// writes through a tainted base, //gclint:mutates method calls on a
+// tainted receiver, copy into a tainted destination, and append whose
+// first operand is tainted — unless it is a full (3-index) slice
+// expression, which caps capacity and forces append to reallocate
+// rather than scribble into the published array's spare room.
+package cowpublish
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"graphcache/internal/lint"
+)
+
+// Analyzer is the cowpublish pass.
+var Analyzer = &lint.Analyzer{
+	Name: "cowpublish",
+	Doc: "forbid writes through values published via atomic.Pointer or " +
+		"annotated //gclint:cow — published state is immutable; " +
+		"clone-then-republish instead",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, info: pass.Prog.Info, ann: pass.Ann, tainted: map[*types.Var]bool{}}
+			obj := pass.Prog.Info.Defs[fd.Name]
+			// A //gclint:mutates method's whole purpose is to write its
+			// receiver; it is only ever called on unpublished clones
+			// (that is what call sites are checked for), so its receiver
+			// is not seeded as published.
+			c.seedParams(fd, obj != nil && pass.Ann.Mutates[obj])
+			c.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass    *lint.Pass
+	info    *types.Info
+	ann     *lint.Annotations
+	tainted map[*types.Var]bool
+}
+
+// seedParams taints parameters (and, except in mutates methods, the
+// receiver) whose type is //gclint:cow: a cow value handed to a
+// function is presumed already published.
+func (c *checker) seedParams(fd *ast.FuncDecl, mutates bool) {
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := c.info.Defs[name].(*types.Var); ok && c.isCowType(v.Type()) {
+					c.tainted[v] = true
+				}
+			}
+		}
+	}
+	if !mutates {
+		seed(fd.Recv)
+	}
+	seed(fd.Type.Params)
+}
+
+// walk visits the body in source order, updating taint at assignments
+// and checking writes, mutates calls, append and copy.
+func (c *checker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.handleAssign(n)
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X, n.Pos())
+		case *ast.RangeStmt:
+			if c.taintedExpr(n.X) {
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if v, ok := c.info.Defs[id].(*types.Var); ok {
+						c.tainted[v] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) == len(vs.Names) {
+						for i, name := range vs.Names {
+							if v, ok := c.info.Defs[name].(*types.Var); ok {
+								c.tainted[v] = c.taintedExpr(vs.Values[i])
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) handleAssign(n *ast.AssignStmt) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i, lhs := range n.Lhs {
+			t := c.taintedExpr(n.Rhs[i])
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				// Rebinding a variable: it now refers to whatever the
+				// RHS produced (a reassignment from a clone untaints).
+				if v := c.identVar(id); v != nil {
+					c.tainted[v] = t
+				}
+				continue
+			}
+			c.checkWrite(lhs, lhs.Pos())
+		}
+		return
+	}
+	// Multi-value form: RHS is one call; calls launder, so every plain
+	// LHS variable comes back clean. Non-ident LHS is still a write.
+	for _, lhs := range n.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v := c.identVar(id); v != nil {
+				c.tainted[v] = false
+			}
+			continue
+		}
+		c.checkWrite(lhs, lhs.Pos())
+	}
+}
+
+func (c *checker) identVar(id *ast.Ident) *types.Var {
+	if v, ok := c.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// checkWrite reports a write whose target is reached through a
+// published value: st.field = x, st.slice[i] = x, *p = x.
+func (c *checker) checkWrite(lhs ast.Expr, pos token.Pos) {
+	var base ast.Expr
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		base = e.X
+	case *ast.IndexExpr:
+		base = e.X
+	case *ast.StarExpr:
+		base = e.X
+	default:
+		return
+	}
+	if c.taintedExpr(base) {
+		c.pass.Reportf(pos, "write through published copy-on-write value; clone then republish instead")
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins: append and copy can scribble into published backing
+	// arrays.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) > 0 && c.taintedExpr(call.Args[0]) && !isFullSliceExpr(call.Args[0]) {
+					c.pass.Reportf(call.Pos(), "append to published copy-on-write slice may write into its spare capacity; use a full slice expression s[:len:len] or clone first")
+				}
+			case "copy":
+				if len(call.Args) > 0 && c.taintedExpr(call.Args[0]) {
+					c.pass.Reportf(call.Pos(), "copy into published copy-on-write slice mutates shared state")
+				}
+			}
+			return
+		}
+	}
+	// //gclint:mutates methods on a published receiver.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := lint.CalleeObject(c.info, call); obj != nil && c.ann.Mutates[obj] && c.taintedExpr(sel.X) {
+			c.pass.Reportf(call.Pos(), "calling //gclint:mutates method %s on published copy-on-write value; clone then republish instead", obj.Name())
+		}
+	}
+}
+
+// taintedExpr reports whether e denotes (part of) a published value.
+func (c *checker) taintedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v := c.identVar(e)
+		return v != nil && c.tainted[v]
+	case *ast.SelectorExpr:
+		if c.isCowType(c.info.TypeOf(e)) {
+			return true
+		}
+		return c.taintedExpr(e.X)
+	case *ast.IndexExpr:
+		return c.taintedExpr(e.X)
+	case *ast.SliceExpr:
+		return c.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return c.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		return c.taintedExpr(e.X)
+	case *ast.TypeAssertExpr:
+		return c.taintedExpr(e.X)
+	case *ast.CallExpr:
+		if c.isAtomicPointerLoad(e) {
+			return true
+		}
+		if obj := lint.CalleeObject(c.info, e); obj != nil && c.ann.CowView[obj] {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// isAtomicPointerLoad matches x.Load() where x is a
+// sync/atomic.Pointer[T].
+func (c *checker) isAtomicPointerLoad(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	t := c.info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// isCowType reports whether t is (a pointer to) a //gclint:cow type.
+func (c *checker) isCowType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return c.ann.Cow[named.Obj()]
+}
+
+// isFullSliceExpr matches the deliberate s[:len(s):len(s)] idiom: a
+// 3-index slice expression caps capacity so a later append must
+// reallocate instead of writing into the published array.
+func isFullSliceExpr(e ast.Expr) bool {
+	se, ok := ast.Unparen(e).(*ast.SliceExpr)
+	return ok && se.Slice3 && se.Max != nil
+}

@@ -1,0 +1,13 @@
+package cowpublish_test
+
+import (
+	"testing"
+
+	"graphcache/internal/lint"
+	"graphcache/internal/lint/cowpublish"
+	"graphcache/internal/lint/linttest"
+)
+
+func TestCowPublish(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{cowpublish.Analyzer}, "d")
+}

@@ -1,0 +1,114 @@
+// Package d exercises the cowpublish analyzer: published snapshots may
+// be read freely, but every mutation path — field writes, element
+// writes, mutates-methods, append into spare capacity, copy — must go
+// through clone-then-republish.
+package d
+
+import "sync/atomic"
+
+// state is the COW-published snapshot.
+//
+//gclint:cow
+type state struct {
+	vals  []int
+	count int
+}
+
+type holder struct {
+	p atomic.Pointer[state]
+}
+
+// bump mutates its receiver; callers may only use it on unpublished
+// clones.
+//
+//gclint:mutates
+func (s *state) bump() {
+	s.count++
+}
+
+// clone launders: the copy is fresh and mutable.
+func (s *state) clone() *state {
+	return &state{vals: append([]int(nil), s.vals...), count: s.count}
+}
+
+// view returns published state.
+//
+//gclint:cowview
+func (h *holder) view() *state {
+	return h.p.Load()
+}
+
+// read is a conforming lock-free reader.
+func (h *holder) read() int {
+	st := h.p.Load()
+	return st.count
+}
+
+// update is the conforming clone-then-republish path; the full slice
+// expression caps capacity so append reallocates instead of writing
+// into the published array.
+func (h *holder) update() {
+	old := h.p.Load()
+	next := &state{
+		vals:  append(old.vals[:len(old.vals):len(old.vals)], 1),
+		count: old.count + 1,
+	}
+	h.p.Store(next)
+}
+
+// viaClone mutates a laundered copy.
+func (h *holder) viaClone() {
+	st := h.p.Load()
+	cp := st.clone()
+	cp.count++
+	cp.bump()
+	h.p.Store(cp)
+}
+
+// badWrite writes a field of a published snapshot.
+func (h *holder) badWrite() {
+	st := h.p.Load()
+	st.count++ // want "write through published copy-on-write value"
+}
+
+// badElem writes an element of a published slice.
+func (h *holder) badElem() {
+	st := h.p.Load()
+	st.vals[0] = 9 // want "write through published copy-on-write value"
+}
+
+// badMutates calls a mutates-method on a published snapshot.
+func (h *holder) badMutates() {
+	st := h.p.Load()
+	st.bump() // want "calling //gclint:mutates method bump on published copy-on-write value"
+}
+
+// badAppend may scribble into the published array's spare capacity.
+func (h *holder) badAppend() {
+	st := h.p.Load()
+	grown := append(st.vals, 1) // want "append to published copy-on-write slice"
+	_ = grown
+}
+
+// badCopy overwrites published elements in place.
+func (h *holder) badCopy(src []int) {
+	st := h.p.Load()
+	copy(st.vals, src) // want "copy into published copy-on-write slice"
+}
+
+// badParam shows that cow-typed parameters are presumed published.
+func badParam(st *state) {
+	st.count = 1 // want "write through published copy-on-write value"
+}
+
+// badView mutates through a cowview accessor.
+func (h *holder) badView() {
+	h.view().count = 2 // want "write through published copy-on-write value"
+}
+
+// waived documents an accepted in-place mutation with a reason.
+func (h *holder) waived() {
+	st := h.p.Load()
+	//gclint:ignore cowpublish -- harness check: waivers must suppress the line below
+	st.count = 3
+}

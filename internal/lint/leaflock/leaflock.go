@@ -1,0 +1,129 @@
+// Package leaflock enforces the leaf-lock rule: while a //gclint:leaf
+// lock is held, nothing else may be acquired — not directly, and not by
+// calling into a //gclint:acquires or //gclint:requires function. Leaf
+// locks sit below the whole hierarchy precisely because their critical
+// sections are guaranteed terminal.
+package leaflock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"graphcache/internal/lint"
+)
+
+// Analyzer is the leaflock pass.
+var Analyzer = &lint.Analyzer{
+	Name: "leaflock",
+	Doc: "forbid acquiring any lock, or calling anything annotated as " +
+		"acquiring one, while a //gclint:leaf lock is held",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Prog.Info.Defs[fd.Name]
+			w := &walker{pass: pass, info: pass.Prog.Info, ann: pass.Ann}
+			held := map[string]bool{}
+			for _, name := range pass.Ann.Requires[obj] {
+				if li := pass.Ann.LockByName(name); li != nil && li.Leaf {
+					held[name] = true
+				}
+			}
+			w.walk(fd.Body, held)
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *lint.Pass
+	info *types.Info
+	ann  *lint.Annotations
+}
+
+// walk threads the set of held leaf locks through the statement tree in
+// source order. The same textual model as lockorder applies: deferred
+// releases hold to function end, goroutine and function-literal bodies
+// start with nothing held.
+func (w *walker) walk(n ast.Node, held map[string]bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := lint.ClassifyLockCall(w.info, w.ann, n.Call); ok && ev.Op == lint.ReleaseOp {
+				for _, arg := range n.Call.Args {
+					w.walk(arg, held)
+				}
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			w.walk(n.Body, map[string]bool{})
+			return false
+		case *ast.CallExpr:
+			w.handleCall(n, held)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *walker) handleCall(call *ast.CallExpr, held map[string]bool) {
+	// Visit the receiver chain and arguments first (nested calls,
+	// callback literals).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.walk(sel.X, held)
+	}
+	for _, arg := range call.Args {
+		w.walk(arg, held)
+	}
+
+	anyLeafHeld := func() string {
+		for name, h := range held {
+			if h {
+				return name
+			}
+		}
+		return ""
+	}
+
+	if ev, ok := lint.ClassifyLockCall(w.info, w.ann, call); ok {
+		switch ev.Op {
+		case lint.AcquireOp:
+			if leaf := anyLeafHeld(); leaf != "" {
+				w.pass.Reportf(call.Pos(), "lock acquisition while leaf lock %s is held", leaf)
+			}
+			if ev.Lock != nil && ev.Lock.Leaf {
+				held[ev.Lock.Name] = true
+			}
+		case lint.ReleaseOp:
+			if ev.Lock != nil && ev.Lock.Leaf {
+				delete(held, ev.Lock.Name)
+			}
+		}
+		return
+	}
+
+	callee := lint.CalleeObject(w.info, call)
+	if callee == nil {
+		return
+	}
+	if leaf := anyLeafHeld(); leaf != "" {
+		for _, name := range w.ann.Acquires[callee] {
+			w.pass.Reportf(call.Pos(), "call to %s acquires %s while leaf lock %s is held", callee.Name(), name, leaf)
+		}
+		for _, name := range w.ann.Holds[callee] {
+			w.pass.Reportf(call.Pos(), "call to %s acquires %s while leaf lock %s is held", callee.Name(), name, leaf)
+		}
+		for _, name := range w.ann.Requires[callee] {
+			if name != leaf {
+				w.pass.Reportf(call.Pos(), "call to %s (requires %s) while leaf lock %s is held", callee.Name(), name, leaf)
+			}
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package leaflock_test
+
+import (
+	"testing"
+
+	"graphcache/internal/lint"
+	"graphcache/internal/lint/leaflock"
+	"graphcache/internal/lint/linttest"
+)
+
+func TestLeafLock(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{leaflock.Analyzer}, "b")
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"graphcache/internal/lint"
+	"graphcache/internal/lint/linttest"
+	"graphcache/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lockorder.Analyzer}, "a")
+}

@@ -1,0 +1,271 @@
+// Package noalloc gives the runtime alloc budgets (testing.AllocsPerRun
+// gates from PR 6) a compile-time twin: functions annotated
+// //gclint:noalloc are rejected if they contain allocation-introducing
+// constructs, and the diagnostic names the offending line instead of a
+// failed count.
+//
+// Flagged constructs: make/new, slice and map composite literals,
+// address-taken composite literals, append that does not reuse a
+// caller-owned buffer (first operand rooted at a parameter or the
+// receiver), non-constant string concatenation, string<->[]byte/[]rune
+// conversions, function literals that capture locals, `go` statements,
+// and interface boxing at call arguments or conversions. Plain struct
+// literals stay on the stack and are allowed. The check is
+// intraprocedural by design — callees keep their own annotations, and
+// the runtime budgets still backstop whatever escapes the grammar.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"graphcache/internal/lint"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &lint.Analyzer{
+	Name: "noalloc",
+	Doc: "reject allocation-introducing constructs inside functions " +
+		"annotated //gclint:noalloc",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Prog.Info.Defs[fd.Name]
+			if obj == nil || !pass.Ann.NoAlloc[obj] {
+				continue
+			}
+			c := &checker{pass: pass, info: pass.Prog.Info, owned: map[types.Object]bool{}}
+			c.seedOwned(fd)
+			c.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *lint.Pass
+	info *types.Info
+	// owned holds objects whose backing storage the caller provides:
+	// parameters and the receiver. Appending into them is the sanctioned
+	// amortized-scratch pattern; appending anywhere else allocates.
+	owned map[types.Object]bool
+}
+
+func (c *checker) seedOwned(fd *ast.FuncDecl) {
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := c.info.Defs[name]; obj != nil {
+					c.owned[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+}
+
+func (c *checker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement allocates a goroutine in //gclint:noalloc function")
+		case *ast.FuncLit:
+			if c.captures(n) {
+				c.pass.Reportf(n.Pos(), "capturing function literal allocates in //gclint:noalloc function")
+			}
+			return false
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n, false)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.checkCompositeLit(lit, true)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && c.info.Types[n].Value == nil && isString(c.info.TypeOf(n)) {
+				c.pass.Reportf(n.Pos(), "non-constant string concatenation allocates in //gclint:noalloc function")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+// checkCompositeLit flags literals whose storage is heap-prone: slice
+// and map literals always allocate; an address-taken struct literal
+// usually escapes. A plain struct (or array) value literal is
+// stack-allocated and allowed.
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit, addressTaken bool) {
+	t := c.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.pass.Reportf(lit.Pos(), "slice literal allocates in //gclint:noalloc function")
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "map literal allocates in //gclint:noalloc function")
+	default:
+		if addressTaken {
+			c.pass.Reportf(lit.Pos(), "address-taken composite literal allocates in //gclint:noalloc function")
+		}
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Conversions: string concatenation's cousins.
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := c.info.TypeOf(call.Fun), c.info.TypeOf(call.Args[0])
+		if convAllocates(to, from) {
+			c.pass.Reportf(call.Pos(), "conversion between string and byte/rune slice allocates in //gclint:noalloc function")
+		}
+		if isInterface(to) && from != nil && !isInterface(from) && !isUntypedNil(c.info, call.Args[0]) {
+			c.pass.Reportf(call.Pos(), "conversion to interface boxes the value in //gclint:noalloc function")
+		}
+		return
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.pass.Reportf(call.Pos(), "make allocates in //gclint:noalloc function")
+			case "new":
+				c.pass.Reportf(call.Pos(), "new allocates in //gclint:noalloc function")
+			case "append":
+				if len(call.Args) > 0 && !c.callerOwned(call.Args[0]) {
+					c.pass.Reportf(call.Pos(), "append to a non-caller-owned slice allocates in //gclint:noalloc function")
+				}
+			}
+			return
+		}
+	}
+
+	// Interface boxing at call arguments: passing a concrete value where
+	// the parameter is an interface materializes it on the heap (absent
+	// inlining luck the budgets must not rely on).
+	sig, _ := c.info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		at := c.info.TypeOf(arg)
+		if isInterface(pt) && at != nil && !isInterface(at) && !isUntypedNil(c.info, arg) {
+			c.pass.Reportf(arg.Pos(), "passing %s as interface argument boxes it in //gclint:noalloc function", at)
+		}
+	}
+}
+
+// callerOwned reports whether expr's storage is rooted at a parameter
+// or the receiver (possibly through selectors, indexing, or
+// dereference): s, s.scratch, w.bufs[i], (*p).spill.
+func (c *checker) callerOwned(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := c.info.Uses[e]
+		return obj != nil && c.owned[obj]
+	case *ast.SelectorExpr:
+		return c.callerOwned(e.X)
+	case *ast.IndexExpr:
+		return c.callerOwned(e.X)
+	case *ast.StarExpr:
+		return c.callerOwned(e.X)
+	case *ast.SliceExpr:
+		return c.callerOwned(e.X)
+	}
+	return false
+}
+
+// captures reports whether a function literal references a variable
+// declared outside it (forcing a heap-allocated closure). Package-level
+// variables don't count — referencing them needs no environment.
+func (c *checker) captures(lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return true
+	}
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// convAllocates reports string <-> []byte / []rune conversions.
+func convAllocates(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"graphcache/internal/lint"
+	"graphcache/internal/lint/linttest"
+	"graphcache/internal/lint/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{noalloc.Analyzer}, "c")
+}

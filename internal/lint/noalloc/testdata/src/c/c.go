@@ -1,0 +1,113 @@
+// Package c exercises the noalloc analyzer: conforming hot-path shapes
+// (caller-owned scratch, constant folding, stack struct values) and
+// every flagged allocation-introducing construct.
+package c
+
+type buf struct {
+	scratch []int
+}
+
+// sink is an interface-taking helper for the boxing cases.
+func sink(v any) { _ = v }
+
+// sum is a conforming zero-alloc reduction.
+//
+//gclint:noalloc
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// fill reuses the caller-owned scratch buffer: the sanctioned amortized
+// append pattern.
+//
+//gclint:noalloc
+func fill(b *buf, xs []int) {
+	b.scratch = b.scratch[:0]
+	for _, x := range xs {
+		b.scratch = append(b.scratch, x)
+	}
+}
+
+// constFold concatenates constants only, which folds at compile time.
+//
+//gclint:noalloc
+func constFold() string {
+	return "graph" + "cache"
+}
+
+// stackStruct builds a plain struct value, which stays on the stack.
+//
+//gclint:noalloc
+func stackStruct() buf {
+	return buf{}
+}
+
+// badBuiltins trips make/new/literal/append findings.
+//
+//gclint:noalloc
+func badBuiltins(n int) []int {
+	out := make([]int, 0, n) // want "make allocates"
+	m := map[int]bool{}      // want "map literal allocates"
+	_ = m
+	s := []int{1, 2, 3} // want "slice literal allocates"
+	p := new(buf)       // want "new allocates"
+	_ = p
+	var local []int
+	local = append(local, n) // want "append to a non-caller-owned slice allocates"
+	_ = local
+	return append(out, s...) // want "append to a non-caller-owned slice allocates"
+}
+
+// badConcat concatenates non-constant strings.
+//
+//gclint:noalloc
+func badConcat(a, b string) string {
+	return a + b // want "non-constant string concatenation allocates"
+}
+
+// badBox passes a concrete value to an interface parameter.
+//
+//gclint:noalloc
+func badBox(x int) {
+	sink(x) // want "passing int as interface argument boxes it"
+}
+
+// badClosure returns a closure over a local.
+//
+//gclint:noalloc
+func badClosure(n int) func() int {
+	return func() int { return n } // want "capturing function literal allocates"
+}
+
+// badEscape takes the address of a composite literal.
+//
+//gclint:noalloc
+func badEscape() *buf {
+	return &buf{} // want "address-taken composite literal allocates"
+}
+
+// badConv converts between string and byte slice.
+//
+//gclint:noalloc
+func badConv(s string) []byte {
+	return []byte(s) // want "conversion between string and byte/rune slice allocates"
+}
+
+// badSpawn starts a goroutine.
+//
+//gclint:noalloc
+func badSpawn() {
+	go sink(nil) // want "go statement allocates"
+}
+
+// waived documents an accepted allocation with a reason.
+//
+//gclint:noalloc
+func waived() *buf {
+	//gclint:ignore noalloc -- harness check: waivers must suppress the line below
+	return &buf{}
+}

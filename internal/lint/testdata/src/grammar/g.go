@@ -1,0 +1,37 @@
+// Package grammar holds deliberately malformed //gclint: annotations;
+// the collector must reject every one of them.
+package grammar
+
+import "sync"
+
+//gclint:hierarchy alpha beta
+
+type s struct {
+	// a is declared and ranked.
+	//gclint:lock alpha
+	a sync.Mutex
+	// g is named but neither ranked nor leaf.
+	//gclint:lock gamma
+	g sync.Mutex
+}
+
+// f carries a typo'd directive.
+//
+//gclint:bogus
+func f() {}
+
+// h references a lock nobody declared.
+//
+//gclint:acquires delta
+func h() {}
+
+// bare carries a reasonless waiver.
+func bare() {
+	//gclint:ignore lockorder
+	_ = 0
+}
+
+//gclint:requires alpha
+
+// stray above: the requires floats free of any declaration.
+func stray() {}
