@@ -12,7 +12,7 @@ GO ?= go
 # coverage fails CI. Raise it when the real number durably rises.
 COVER_BASELINE ?= 80.0
 
-.PHONY: build test race vet staticcheck fmt-check lint cover bench bench-smoke bench-json fuzz-smoke throughput scaling profiles churn ci
+.PHONY: build test race vet staticcheck fmt-check lint cover bench bench-smoke bench-json bench-memory fuzz-smoke throughput scaling profiles churn ci
 
 build:
 	$(GO) build ./...
@@ -99,13 +99,16 @@ bench-smoke:
 churn:
 	$(GO) run ./cmd/workloadrun -churn -assert-churn
 
-# Short native-fuzzing smoke pass over the persistence v2 parser. The
-# committed corpus under internal/core/testdata/fuzz replays in every
-# plain `go test`; this target additionally mutates for a few seconds so
-# CI keeps probing fresh inputs.
+# Short native-fuzzing smoke passes: the persistence v2 parser and the
+# adaptive-bitset differential target (random op sequences vs a naive
+# []bool reference, across every container mix). The committed corpora
+# under internal/core/testdata/fuzz and internal/bitset/testdata/fuzz
+# replay in every plain `go test`; this target additionally mutates for a
+# few seconds per target so CI keeps probing fresh inputs.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^FuzzReadState$$' -fuzz '^FuzzReadState$$' -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^FuzzBitsetOps$$' -fuzz '^FuzzBitsetOps$$' -fuzztime $(FUZZTIME) ./internal/bitset/
 
 # Perf-trajectory artifact: throughput (full GOMAXPROCS worker sweep),
 # large-tier scaling and churn results as JSON, stamped with the runtime
@@ -122,5 +125,12 @@ bench-json:
 	$(GO) run ./cmd/workloadrun -bench-json $(BENCH_JSON) -assert-churn \
 		-throughput-dataset 120 -throughput-queries 300 \
 		-churn-dataset 120 -churn-queries 300 -churn-mutations 10
+
+# Answer-set memory ledger: bytes/entry under the adaptive containers +
+# interning vs the dense-equivalent baseline, on the default AND large
+# tiers (the large row is the ISSUE-8 ≥40%-reduction acceptance surface).
+# The same numbers land in the bench-json artifact's memory section.
+bench-memory:
+	$(GO) run ./cmd/gcbench -exp memory
 
 ci: vet staticcheck fmt-check lint race fuzz-smoke bench-smoke bench-json

@@ -52,7 +52,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gcbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | sweeps | churn | scaling | all (scaling is excluded from all — it runs minutes by design)")
+		exp        = fs.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | sweeps | churn | memory | scaling | all (scaling is excluded from all — it runs minutes by design; memory covers only the default tier under all, both tiers when selected explicitly)")
 		seed       = fs.Int64("seed", 2018, "random seed (all experiments are deterministic per seed)")
 		queries    = fs.Int("queries", 1000, "workload size for policies/overhead/headline/churn (overrides the scaling tier's when set)")
 		dataset    = fs.Int("dataset", 400, "dataset size for overhead/headline/churn (overrides the scaling tier's when set)")
@@ -68,7 +68,7 @@ func run(args []string, stdout io.Writer) error {
 	known := map[string]bool{
 		"fig3": true, "workloadrun": true, "fig2c": true, "policies": true,
 		"overhead": true, "headline": true, "sweeps": true, "churn": true,
-		"scaling": true, "all": true,
+		"memory": true, "scaling": true, "all": true,
 	}
 	if !known[*exp] {
 		return fmt.Errorf("unknown experiment %q", *exp)
@@ -138,6 +138,7 @@ func run(args []string, stdout io.Writer) error {
 		{"headline", func() error { return runHeadline(stdout, *seed, *dataset, *queries) }},
 		{"sweeps", func() error { return runSweeps(stdout, *seed, *queries) }},
 		{"churn", func() error { return runChurn(stdout, *seed, *dataset, *queries, *mutations) }},
+		{"memory", func() error { return runMemory(stdout, *seed, *exp == "memory") }},
 	} {
 		if err := runExp(step.name, step.fn); err != nil {
 			return err
@@ -182,6 +183,34 @@ func runScaling(stdout io.Writer, seed int64, tier bench.ThroughputTier, workerL
 	if env.GOMAXPROCS == 1 {
 		fmt.Fprintln(stdout, "note: GOMAXPROCS=1 — the sweep degenerates to a single point; scaling needs real cores.")
 	}
+	return nil
+}
+
+// runMemory reports the answer-set memory ledger — bytes/entry under the
+// adaptive containers + interning against the dense-equivalent baseline,
+// plus the intern hit rate. Under -exp all only the default tier runs
+// (the large tier costs a full scaling-tier workload); -exp memory runs
+// both, which is where the ISSUE-8 ≥40% reduction acceptance is checked.
+func runMemory(stdout io.Writer, seed int64, full bool) error {
+	tiers := []bench.ThroughputTier{bench.DefaultTier()}
+	if full {
+		tiers = append(tiers, bench.LargeTier())
+	}
+	t := stats.NewTable("EXP-MEM · Answer-set memory: adaptive containers + interning vs dense baseline",
+		"tier", "entries", "distinct sets", "answer bytes", "bytes/entry", "dense/entry", "reduction", "intern hit rate")
+	for _, tier := range tiers {
+		r, err := bench.RunMemory(seed, tier)
+		if err != nil {
+			return err
+		}
+		t.AddRow(r.Tier, r.Entries, r.DistinctSets, stats.FormatBytes(int(r.AnswerBytes)),
+			fmt.Sprintf("%.1f", r.BytesPerEntry),
+			fmt.Sprintf("%.1f", r.DenseBytesPerEntry),
+			fmt.Sprintf("%.1f%%", 100*r.Reduction),
+			fmt.Sprintf("%.2f", r.InternHitRate))
+	}
+	t.Render(stdout)
+	fmt.Fprintln(stdout, "reduction = 1 − answer/dense bytes; dense = one private ⌈|D|/64⌉-word set per entry.")
 	return nil
 }
 

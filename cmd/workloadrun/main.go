@@ -134,6 +134,16 @@ func run(args []string, stdout io.Writer) error {
 	snap := c.Stats()
 	fmt.Fprintf(stdout, "\ncumulative: %d tests executed, %d saved → speedup %.2f; %d cached graphs, %s resident\n",
 		snap.TestsExecuted, snap.TestsSaved, snap.TestSpeedup(), c.Len(), stats.FormatBytes(c.Bytes()))
+	answerPerEntry := 0.0
+	if n := c.Len(); n > 0 {
+		answerPerEntry = float64(snap.AnswerBytes) / float64(n)
+	}
+	internRate := 0.0
+	if total := snap.InternHits + snap.InternMisses; total > 0 {
+		internRate = float64(snap.InternHits) / float64(total)
+	}
+	fmt.Fprintf(stdout, "answer sets: %s pooled (%.1f bytes/entry), intern hit rate %.2f\n",
+		stats.FormatBytes(int(snap.AnswerBytes)), answerPerEntry, internRate)
 
 	if *policies == "none" {
 		return nil
@@ -255,6 +265,17 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, tier bench.Throughp
 	if err != nil {
 		return fmt.Errorf("churn: %w", err)
 	}
+	// The memory section tracks the answer-set bytes/entry trajectory on
+	// the same tier the throughput section ran plus the large scaling
+	// tier — the ISSUE-8 acceptance surface (≥40% reduction vs dense).
+	var memory []*bench.MemoryResult
+	for _, mt := range []bench.ThroughputTier{tier, bench.LargeTier()} {
+		m, err := bench.RunMemory(seed, mt)
+		if err != nil {
+			return fmt.Errorf("memory (%s): %w", mt.Name, err)
+		}
+		memory = append(memory, m)
+	}
 	report := struct {
 		Seed       int64                       `json:"seed"`
 		Env        bench.Environment           `json:"env"`
@@ -262,7 +283,8 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, tier bench.Throughp
 		Throughput *bench.ThroughputComparison `json:"throughput"`
 		Scaling    *bench.ThroughputComparison `json:"scaling"`
 		Churn      *bench.ChurnComparison      `json:"churn"`
-	}{seed, bench.CaptureEnvironment(), workers, tp, scaling, churn}
+		Memory     []*bench.MemoryResult       `json:"memory"`
+	}{seed, bench.CaptureEnvironment(), workers, tp, scaling, churn, memory}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -270,9 +292,10 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, tier bench.Throughp
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote throughput (%d worker counts), %s-tier scaling (%d graphs / %d queries) and churn (%d queries, %d mutations, %.1f%% test reduction) results to %s\n",
+	fmt.Fprintf(stdout, "wrote throughput (%d worker counts), %s-tier scaling (%d graphs / %d queries), churn (%d queries, %d mutations, %.1f%% test reduction) and memory (%.1f%% answer-byte reduction on the %s tier) results to %s\n",
 		len(workers), scaling.Tier, scaling.DatasetSize, scaling.Queries,
-		churn.Queries, churn.Mutations, 100*churn.TestReduction(), path)
+		churn.Queries, churn.Mutations, 100*churn.TestReduction(),
+		100*memory[len(memory)-1].Reduction, memory[len(memory)-1].Tier, path)
 	if assertChurn && !churn.MaintainedWins() {
 		return fmt.Errorf("churn assertion failed: maintained %d total tests vs rebuild %d",
 			churn.Maintained.TotalTests(), churn.Rebuild.TotalTests())

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"graphcache/internal/bitset"
+	"graphcache/internal/core"
+	"graphcache/internal/ftv"
+	"graphcache/internal/gen"
+)
+
+// MemoryResult is EXP-MEM: resident answer-set memory under the adaptive
+// containers and cross-entry interning, against the dense-equivalent
+// baseline — what the same resident entries would occupy if every answer
+// set were its own ⌈|D|/64⌉-word array (the pre-container representation,
+// with no sharing). The derived ratios are stored, not computed on
+// demand, so the struct serializes whole into the bench-json artifact.
+type MemoryResult struct {
+	Tier        string
+	DatasetSize int
+	Queries     int
+	// Entries is the resident entry count after the workload; DistinctSets
+	// is how many canonical answer sets they share between them.
+	Entries      int
+	DistinctSets int
+	// AnswerBytes is the intern pool's account: the distinct canonical
+	// sets, each charged once. DenseBytes is the dense-equivalent
+	// baseline: Entries × (24 + 8·⌈|D|/64⌉), one private dense set per
+	// entry.
+	AnswerBytes int64
+	DenseBytes  int64
+	// BytesPerEntry and DenseBytesPerEntry are the two representations
+	// amortized per resident entry; Reduction is 1 − actual/dense (the
+	// ISSUE-8 acceptance metric: ≥ 0.40 on the scaling tier).
+	BytesPerEntry      float64
+	DenseBytesPerEntry float64
+	Reduction          float64
+	// InternHits / InternMisses are the pool's lifetime counters;
+	// InternHitRate is hits/(hits+misses) — how often an admission or
+	// true-up found its set already pooled.
+	InternHits    int64
+	InternMisses  int64
+	InternHitRate float64
+	// CacheBytes is the full ledger (static entry bytes + pooled answer
+	// bytes), for context against AnswerBytes.
+	CacheBytes int
+}
+
+// RunMemory drives one tier's mixed workload through the default engine
+// and reports the answer-set memory ledger. The workload generation
+// matches ParallelThroughputTier's exactly, so the memory numbers
+// describe the same runs the throughput sections measure.
+func RunMemory(seed int64, tier ThroughputTier) (*MemoryResult, error) {
+	dataset := MoleculeDataset(seed, tier.DatasetSize)
+	method := ftv.NewGGSXMethod(dataset, 3)
+	w, err := gen.NewWorkload(newRand(seed+7), dataset, gen.WorkloadConfig{
+		Size: tier.Queries, Mixed: true, PoolSize: max(tier.PoolSize, 8),
+		ZipfS: tier.ZipfS, ChainFrac: 0.5, ChainLen: 3, MinEdges: 3, MaxEdges: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]core.Request, len(w.Queries))
+	for i, q := range w.Queries {
+		reqs[i] = core.Request{Graph: q.G, Type: q.Type}
+	}
+	c, err := core.New(method, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range c.ExecuteAll(reqs, runtime.GOMAXPROCS(0)) {
+		if o.Err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, o.Err)
+		}
+	}
+
+	entries := c.Entries()
+	distinct := make(map[*bitset.Set]bool, len(entries))
+	for _, e := range entries {
+		distinct[e.Answers()] = true
+	}
+	snap := c.Stats()
+	r := &MemoryResult{
+		Tier:         tier.Name,
+		DatasetSize:  tier.DatasetSize,
+		Queries:      tier.Queries,
+		Entries:      len(entries),
+		DistinctSets: len(distinct),
+		AnswerBytes:  snap.AnswerBytes,
+		DenseBytes:   int64(len(entries)) * int64(24+8*((tier.DatasetSize+63)/64)),
+		InternHits:   snap.InternHits,
+		InternMisses: snap.InternMisses,
+		CacheBytes:   c.Bytes(),
+	}
+	if r.Entries > 0 {
+		r.BytesPerEntry = float64(r.AnswerBytes) / float64(r.Entries)
+		r.DenseBytesPerEntry = float64(r.DenseBytes) / float64(r.Entries)
+	}
+	if r.DenseBytes > 0 {
+		r.Reduction = 1 - float64(r.AnswerBytes)/float64(r.DenseBytes)
+	}
+	if total := r.InternHits + r.InternMisses; total > 0 {
+		r.InternHitRate = float64(r.InternHits) / float64(total)
+	}
+	return r, nil
+}

@@ -148,8 +148,15 @@ type Cache struct {
 
 	// res tracks cache-wide resident entries/bytes atomically, letting a
 	// turning shard enforce the global capacity and memory budget without
-	// other shards' locks (see residency).
+	// other shards' locks (see residency). res covers static entry bytes
+	// only; the shared answer-set bytes live in pool's account.
 	res residency
+
+	// pool interns answer sets across entries (see intern.go): identical
+	// published sets collapse onto one canonical allocation, charged once.
+	// Its mutex is a leaf — acquired under shard locks, never the reverse —
+	// so it sits outside the checked hierarchy.
+	pool *internPool
 
 	mon Monitor
 }
@@ -182,7 +189,8 @@ func New(method *ftv.Method, cfg Config) (*Cache, error) {
 		policy:  cfg.Policy,
 		costVal: make([]atomic.Uint64, method.DatasetSize()),
 	}
-	c.shards = newShards(cfg.Shards, &c.res)
+	c.pool = newInternPool()
+	c.shards = newShards(cfg.Shards, &c.res, c.pool)
 	c.shardWindow = (cfg.Window + cfg.Shards - 1) / cfg.Shards
 	if c.shardWindow < 1 {
 		c.shardWindow = 1
@@ -242,11 +250,13 @@ func (c *Cache) WindowLen() int {
 	return n
 }
 
-// Bytes returns the estimated resident size of admitted entries, read
-// from the atomic residency account (the same totals the per-shard
-// memBytes fields sum to — asserted by TestResidencyAccountAgreement).
+// Bytes returns the estimated resident size of admitted entries: the
+// static footprints from the atomic residency account (the same totals
+// the per-shard memBytes fields sum to — asserted by
+// TestResidencyAccountAgreement) plus the interned answer sets, each
+// charged once however many entries share it.
 func (c *Cache) Bytes() int {
-	return int(c.res.bytes.Load())
+	return int(c.res.bytes.Load() + c.pool.bytes.Load())
 }
 
 // Stats returns a snapshot of the operational counters, supplemented
@@ -258,13 +268,18 @@ func (c *Cache) Stats() Snapshot {
 	s.FilterInserts = c.method.FilterInserts()
 	s.FilterRebuilds = c.method.FilterRebuilds()
 	s.AdditionLogLen = c.method.AdditionLogLen()
+	s.AnswerBytes = c.pool.bytes.Load()
+	s.InternHits = c.pool.hits.Load()
+	s.InternMisses = c.pool.misses.Load()
 	return s
 }
 
 // ShardStat is one shard's occupancy snapshot: resident entries, pending
 // admissions in the shard's window, per-shard window turns and resident
-// bytes. Turns stays 0 in shared-window mode, where turns are global and
-// counted only by the Monitor's aggregate WindowTurns.
+// bytes. Bytes covers the shard's static entry footprints only — answer
+// bytes are pooled cache-wide (Snapshot.AnswerBytes). Turns stays 0 in
+// shared-window mode, where turns are global and counted only by the
+// Monitor's aggregate WindowTurns.
 type ShardStat struct {
 	Entries   int
 	WindowLen int
@@ -838,7 +853,7 @@ func (c *Cache) turnShard(sh *shard) {
 	if excess := int(c.res.entries.Load()) - c.cfg.Capacity; excess > 0 {
 		c.evictShardLocked(sh, excess, view)
 	}
-	for c.cfg.MemoryBudget > 0 && int(c.res.bytes.Load()) > c.cfg.MemoryBudget && len(sh.entries) > 1 {
+	for c.cfg.MemoryBudget > 0 && int(c.res.bytes.Load()+c.pool.bytes.Load()) > c.cfg.MemoryBudget && len(sh.entries) > 1 {
 		c.evictShardLocked(sh, 1, view)
 	}
 
@@ -888,7 +903,7 @@ func (c *Cache) turnWindowShared() {
 	if excess := len(all) - c.cfg.Capacity; excess > 0 {
 		all = c.evictLocked(all, excess)
 	}
-	for c.cfg.MemoryBudget > 0 && c.memBytesLocked() > c.cfg.MemoryBudget && len(all) > 1 {
+	for c.cfg.MemoryBudget > 0 && c.memBytesLocked()+int(c.pool.bytes.Load()) > c.cfg.MemoryBudget && len(all) > 1 {
 		all = c.evictLocked(all, 1)
 	}
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"graphcache/internal/bitset"
 	"graphcache/internal/ftv"
 	"graphcache/internal/gen"
 	"graphcache/internal/graph"
@@ -349,8 +350,15 @@ func TestResidencyAccountingStaysExact(t *testing.T) {
 		if got, want := int(c.res.entries.Load()), c.Len(); got != want {
 			t.Fatalf("%s: residency account says %d entries, %d resident", at, got, want)
 		}
-		if got, want := int(c.res.bytes.Load()), c.Bytes(); got != want {
-			t.Fatalf("%s: residency account says %d bytes, %d resident", at, got, want)
+		entries, memBytes := shardWalk(c)
+		if entries != c.Len() {
+			t.Fatalf("%s: shard walk %d entries, Len() %d", at, entries, c.Len())
+		}
+		if got := int(c.res.bytes.Load()); got != memBytes {
+			t.Fatalf("%s: residency account says %d bytes, shard walk %d", at, got, memBytes)
+		}
+		if got, want := c.Bytes(), memBytes+internWalk(c); got != want {
+			t.Fatalf("%s: Bytes() %d, shard walk + pool %d", at, got, want)
 		}
 	}
 	for _, shards := range []int{1, 4, 8} {
@@ -746,9 +754,18 @@ func TestBytesAccounting(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Recompute the ledger from scratch: static bytes per entry plus each
+	// distinct answer set once — interning can collapse equal sets across
+	// entries, so summing Entry.Bytes would overcount the shared ones.
 	want := 0
+	seen := make(map[*bitset.Set]bool)
 	for _, e := range c.Entries() {
-		want += e.Bytes()
+		a := e.Answers()
+		want += e.Bytes() - a.Bytes()
+		if !seen[a] {
+			seen[a] = true
+			want += a.Bytes()
+		}
 	}
 	if got := c.Bytes(); got != want {
 		t.Errorf("bytes ledger %d != recomputed %d", got, want)

@@ -53,6 +53,7 @@
 //     pool (internal/iso). Pooled objects are reset — never zero-filled by
 //     reallocation — and anything referencing caller data is nil'd before
 //     Put so the pool never pins graphs alive.
+//
 //   - Bitsets that are mathematically all-zero stay lazy (internal/bitset:
 //     a nil words slice means "all clear"), so the common empty
 //     Excluded/Survivors sets on exact hits cost O(1), not O(dataset).
@@ -60,24 +61,49 @@
 //     clones a candidate set only when a pruning hit actually forces a
 //     divergent copy, and a Result's mathematically-equal fields alias one
 //     set (see Result).
+//
 //   - Iteration over set intersections/differences is word-parallel and
 //     callback-based (ForEachAnd/ForEachAndNot) — no materialized index
 //     slices on the hot path; AppendIndices reuses caller buffers.
+//
 //   - Immutable graphs memoize their derived summaries (label-degree
 //     lists, VF2 visit order, label vector, WL fingerprint) behind atomic
 //     pointers (internal/graph), so repeated probes of the same graph are
 //     allocation-free; racing computations produce identical values and
 //     the loser's copy is garbage, which keeps the memo lock-free.
+//
 //   - What MAY allocate: the Result and its owned sets (they outlive the
 //     call), admission bookkeeping on a miss (the entry, its feature
 //     summary), and slice growth when a candidate set outgrows every
 //     previous query's (the grown scratch is kept by the pool, so growth
 //     amortizes to zero).
 //
+//   - Answer sets are adaptive and shared. internal/bitset picks the
+//     smallest of three containers per set (sorted-uint32 sparse, run
+//     spans, dense words) with automatic migration at container-local
+//     thresholds; the read paths dispatch per container pair through
+//     stack cursor structs, staying //gclint:noalloc. The container
+//     rules: only the OWNER of an unpublished set may mutate or
+//     Compact() it — entryFromSig and RemoveGraph's clone do, right
+//     before publication; a published set is frozen in whatever
+//     container it had (concurrent readers dispatch on its mode tag, so
+//     migration on a shared set is a data race by construction).
+//     Identical published sets are then interned cache-wide (intern.go):
+//     entries acquire a refcounted canonical keyed by content
+//     fingerprint, the residency account charges each canonical once,
+//     and the pool's leaf mutex is the only lock the sharing costs.
+//     Persistence is container-independent: WriteState stores index
+//     lists, ReadState rebuilds each set and Compact()s it at
+//     entryFromSig, so a round-trip re-picks the smallest container
+//     rather than preserving the writer's.
+//
 // The regression fences: BenchmarkExecute* (bench_test.go) report
 // allocs/op for the exact-hit, indexed-miss and sub/super-hit classes,
 // and alloc_test.go pins hard per-path budgets via testing.AllocsPerRun
 // — a returning O(n) clone fails CI, not a profile nobody reads.
+// FuzzBitsetOps (internal/bitset) differentially fuzzes every container
+// mix against a naive reference, and `gcbench -exp memory` tracks
+// bytes/entry against the dense-equivalent baseline.
 //
 // # Machine-checked contracts: the gclint annotation grammar
 //

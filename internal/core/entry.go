@@ -77,11 +77,18 @@ type Entry struct {
 	staticBytes int
 
 	// resBytes is the entry's size as charged to the residency account at
-	// admission. Lazy reconciliation can grow the answer set on the query
-	// path without touching any account; the charge is trued up under the
-	// proper locks at the next window turn or stop-the-world maintenance
-	// pass (rechargeLocked). Guarded by the owning shard's lock.
+	// admission: the static footprint only — answer bytes are charged
+	// once per canonical set by the intern pool, however many entries
+	// share it. Guarded by the owning shard's lock.
 	resBytes int
+
+	// interned is the canonical answer set the intern pool holds one
+	// reference for on this entry's behalf; nil until admission. It can
+	// trail the published set (lazy reconciliation swaps sets on the
+	// query path without touching the pool) and is trued up by
+	// rechargeLocked at window turns and stop-the-world passes. Guarded
+	// by the owning shard's lock, like resBytes.
+	interned *bitset.Set
 
 	// InsertedAt and LastUsed are query ticks (LRU/FIFO state).
 	InsertedAt int64
@@ -120,6 +127,16 @@ func (e *Entry) setAnswers(set *bitset.Set, epoch int64) {
 	e.ans.p.Store(&answerState{set: set, epoch: epoch})
 }
 
+// swapAnswers republishes (set, epoch) only if the entry's answer state
+// is still old, reporting whether the swap landed. The interning true-up
+// swaps a freshly acquired canonical in with it: a plain store could
+// overwrite — and epoch-regress — a state a racing lazy reconciler
+// published after old was read, which would let the entry skip addition
+// records the log has already compacted away.
+func (e *Entry) swapAnswers(old *answerState, set *bitset.Set, epoch int64) bool {
+	return e.ans.p.CompareAndSwap(old, &answerState{set: set, epoch: epoch})
+}
+
 // entryFromSig builds an Entry from a precomputed query signature — the
 // single construction site for cache entries, shared by admission and
 // state restores so the signature-derived fields (fingerprint, vectors,
@@ -142,12 +159,20 @@ func entryFromSig(id int, q *graph.Graph, qt ftv.QueryType, answers *bitset.Set,
 	}
 	e.staticBytes = 224 + // struct (incl. feature summary) + bookkeeping
 		q.Bytes() + 12*len(e.Features) + 8*len(e.LabelVec)
+	// The set is owned here (every caller passes a fresh or cloned set)
+	// and about to be published read-only for the entry's lifetime, so
+	// pay the one-off re-encode into its smallest container now: sparse
+	// for small answer sets, run for near-full ones, dense in between.
+	answers.Compact()
 	e.setAnswers(answers, epoch)
 	return e
 }
 
-// Bytes estimates the entry's resident size for the memory budget: the
-// immutable static part plus the current answer set. O(1).
+// Bytes estimates the entry's logical resident size: the immutable
+// static part plus the current answer set. O(1). This is the entry's
+// standalone footprint; the residency account charges staticBytes per
+// entry plus each interned answer set once (see internPool), so summing
+// Bytes over entries overstates a cache with cross-entry sharing.
 func (e *Entry) Bytes() int {
 	return e.staticBytes + e.Answers().Bytes()
 }

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"graphcache/internal/bitset"
+	"graphcache/internal/ftv"
+	"graphcache/internal/graph"
+)
+
+// TestInternPoolRefcount exercises the pool's lifecycle directly: equal
+// sets collapse onto one canonical charged once, references count down to
+// removal, and nil/unknown releases can never unbalance the account.
+func TestInternPoolRefcount(t *testing.T) {
+	p := newInternPool()
+	mk := func(bits ...int) *bitset.Set {
+		s := bitset.New(100)
+		for _, b := range bits {
+			s.Add(b)
+		}
+		s.Compact()
+		return s
+	}
+	a, b, other := mk(3, 40), mk(3, 40), mk(7)
+
+	if got := p.acquire(a); got != a {
+		t.Fatalf("first acquire returned %p, want the set itself %p", got, a)
+	}
+	if got := p.acquire(b); got != a {
+		t.Fatal("equal-content acquire did not collapse onto the pooled canonical")
+	}
+	if h, m := p.hits.Load(), p.misses.Load(); h != 1 || m != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", h, m)
+	}
+	if got := int(p.bytes.Load()); got != a.Bytes() {
+		t.Fatalf("shared set charged %d bytes, want once = %d", got, a.Bytes())
+	}
+	if got := p.acquire(other); got != other {
+		t.Fatal("distinct set interned onto an unequal canonical")
+	}
+	if got := p.distinctSets(); got != 2 {
+		t.Fatalf("distinctSets = %d, want 2", got)
+	}
+
+	p.release(a) // refs 2→1: stays pooled
+	if got := p.distinctSets(); got != 2 {
+		t.Fatalf("released to 1 ref but distinctSets = %d", got)
+	}
+	p.release(a) // refs 1→0: evicted from the pool
+	if got := p.distinctSets(); got != 1 {
+		t.Fatalf("last release left distinctSets = %d, want 1", got)
+	}
+	if got := int(p.bytes.Load()); got != other.Bytes() {
+		t.Fatalf("account %d bytes after last release, want %d", got, other.Bytes())
+	}
+	p.release(nil) // no-op
+	p.release(a)   // unknown pointer: no-op
+	if got := int(p.bytes.Load()); got != other.Bytes() {
+		t.Fatal("nil/unknown release moved the byte account")
+	}
+	p.release(other)
+	if p.distinctSets() != 0 || p.bytes.Load() != 0 {
+		t.Fatalf("drained pool holds %d sets / %d bytes", p.distinctSets(), p.bytes.Load())
+	}
+}
+
+// TestCacheAnswerInterning drives interning end to end: two structurally
+// different queries with identical (empty) answer sets must end up
+// publishing ONE shared canonical set, visible in the entries, the stats
+// and the byte accounting.
+func TestCacheAnswerInterning(t *testing.T) {
+	dataset := testDataset(91, 12)
+	c := testCache(t, dataset, func(cfg *Config) { cfg.Window = 1 })
+	// Labels 50+ never occur in the molecule dataset (Labels: 6), so both
+	// queries match nothing — equal answer sets from unequal graphs.
+	q1 := graph.NewBuilder(2).SetLabels([]graph.Label{50, 51}).AddEdge(0, 1).MustBuild()
+	q2 := graph.NewBuilder(3).SetLabels([]graph.Label{50, 51, 52}).
+		AddEdge(0, 1).AddEdge(1, 2).MustBuild()
+	for _, q := range []*graph.Graph{q1, q2} {
+		if _, err := c.Execute(q, ftv.Subgraph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := c.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("admitted %d entries, want 2", len(entries))
+	}
+	if entries[0].Answers() != entries[1].Answers() {
+		t.Fatal("equal answer sets were not interned onto one canonical")
+	}
+	snap := c.Stats()
+	if snap.InternHits == 0 {
+		t.Fatal("no intern hit recorded for the shared set")
+	}
+	if snap.AnswerBytes != int64(entries[0].Answers().Bytes()) {
+		t.Fatalf("AnswerBytes %d, want the one canonical's %d",
+			snap.AnswerBytes, entries[0].Answers().Bytes())
+	}
+	// The ledger must charge the shared set once: Bytes() is strictly less
+	// than the sum of standalone entry footprints.
+	sum := 0
+	for _, e := range entries {
+		sum += e.Bytes()
+	}
+	if got := c.Bytes(); got >= sum {
+		t.Fatalf("Bytes() %d did not dedupe the shared set (Σ standalone = %d)", got, sum)
+	}
+}

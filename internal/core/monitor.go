@@ -73,6 +73,13 @@ type Snapshot struct {
 	// (O(graph)) versus full factory rebuilds (O(dataset)). Both read
 	// from the method, so they survive across caches sharing one.
 	FilterInserts, FilterRebuilds int64
+	// AnswerBytes is the intern pool's account: total bytes of the
+	// distinct canonical answer sets, each charged once however many
+	// entries share it. InternHits counts admissions/true-ups that reused
+	// an already-pooled set; InternMisses counts the ones that inserted a
+	// new canonical. All three read from the cache's pool, not the Monitor.
+	AnswerBytes              int64
+	InternHits, InternMisses int64
 	// AdditionLogLen is the method's current addition-log length;
 	// LogCompactions counts the compactions that dropped at least one
 	// record and LogRecordsDropped the records they reclaimed. Together

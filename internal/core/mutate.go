@@ -109,14 +109,18 @@ func (c *Cache) RemoveGraph(gid int) error {
 		if gid < st.set.Len() && st.set.Contains(gid) {
 			s := st.set.Clone()
 			s.Remove(gid)
+			// The clone is owned until published: re-encode it into its
+			// smallest container (removals are where near-full sets shed
+			// dense words for run spans) before it becomes immutable.
+			s.Compact()
 			// The epoch is NOT advanced: entry epochs track the addition
 			// log only (removals apply to every entry right here), so an
 			// unchanged epoch cannot skip a pending addition record.
 			e.setAnswers(s, st.epoch)
 		}
-		// Clearing a bit never changes the set's size, but pending lazy
-		// growth from earlier additions is trued up while the locks are
-		// held anyway.
+		// Every removal-affected entry just published a fresh set; true
+		// up its interning (removal survivors often collapse onto each
+		// other's canonical sets) while the locks are held.
 		c.rechargeLocked(sh, e)
 	})
 	return nil
@@ -272,22 +276,36 @@ func (c *Cache) reconcileEntryLocked(sh *shard, e *Entry, view ftv.DatasetView) 
 	c.rechargeLocked(sh, e)
 }
 
-// rechargeLocked trues up the byte accounts for an entry whose answer set
-// may have been swapped (lazy reconciliation grows sets on the query path
-// without touching any account). O(1) — Entry.Bytes only re-reads the
-// answer set's word count. Caller holds the owning shard's write lock (sh
-// nil for window entries, whose bytes are charged at insertion).
+// rechargeLocked trues up the residency charge for an entry whose answer
+// set may have been swapped since the last pass (lazy reconciliation
+// publishes fresh sets on the query path, where neither the pool nor any
+// account can be touched). Entries charge their static footprint, which
+// never drifts, so truing up means re-interning: acquire a canonical for
+// the currently published set — collapsing it onto an equal pooled set
+// when one exists — and release the previously interned one; the pool's
+// byte account moves with the references. The republish is a CAS so a
+// racing query-path reconciler can never be regressed to an older epoch
+// (which could skip compacted addition records); losing the race keeps
+// the new reference and leaves the swap to the next true-up. Caller
+// holds the owning shard's write lock (sh nil for window entries, which
+// are interned at admission, not before).
 //
 //gclint:requires shard
+//gclint:acquires internMu
 func (c *Cache) rechargeLocked(sh *shard, e *Entry) {
 	if sh == nil {
 		return
 	}
-	if nb := e.Bytes(); nb != e.resBytes {
-		sh.memBytes += nb - e.resBytes
-		c.res.bytes.Add(int64(nb - e.resBytes))
-		e.resBytes = nb
+	st := e.answers()
+	if e.interned == st.set {
+		return
 	}
+	canonical := sh.pool.acquire(st.set)
+	if canonical != st.set {
+		e.swapAnswers(st, canonical, st.epoch)
+	}
+	sh.pool.release(e.interned)
+	e.interned = canonical
 }
 
 // reconciledAnswers returns e's answer set brought to the query view's

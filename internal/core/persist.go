@@ -286,6 +286,9 @@ parse:
 	// entries (a warm-cache restore would otherwise double-count forever).
 	c.res.entries.Store(0)
 	c.res.bytes.Store(0)
+	// The intern pool's references died with the cleared entries; empty it
+	// so the restored entries re-intern from scratch (insertLocked below).
+	c.pool.reset()
 	c.window = c.window[:0]
 	tick := c.tick.Load()
 	for _, e := range entries {

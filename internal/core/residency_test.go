@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"graphcache/internal/bitset"
 	"graphcache/internal/gen"
 )
 
@@ -22,10 +23,32 @@ func shardWalk(c *Cache) (entries, memBytes int) {
 	return entries, memBytes
 }
 
+// internWalk recomputes the intern pool's byte account the slow way: the
+// distinct canonical sets the resident entries hold references on, each
+// counted once. The pool only retains sets with live references, so this
+// walk must reproduce pool.bytes exactly.
+func internWalk(c *Cache) int {
+	seen := make(map[*bitset.Set]bool)
+	b := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if e.interned != nil && !seen[e.interned] {
+				seen[e.interned] = true
+				b += e.interned.Bytes()
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return b
+}
+
 // TestResidencyAccountAgreement asserts that the atomic residency account
-// (now backing Cache.Len and Cache.Bytes) and the per-shard structures
-// agree after window turns, evictions, state save/restore cycles and live
-// dataset mutations in both reconciliation modes.
+// (now backing Cache.Len and, with the intern pool's account, Cache.Bytes)
+// and the per-shard structures agree after window turns, evictions, state
+// save/restore cycles and live dataset mutations in both reconciliation
+// modes — with answer sets migrating containers (Compact at admission,
+// clone-and-compact on removals) and interning across entries throughout.
 func TestResidencyAccountAgreement(t *testing.T) {
 	check := func(t *testing.T, c *Cache, when string) {
 		t.Helper()
@@ -33,8 +56,15 @@ func TestResidencyAccountAgreement(t *testing.T) {
 		if got := c.Len(); got != entries {
 			t.Fatalf("%s: Len() %d, shard walk %d", when, got, entries)
 		}
-		if got := c.Bytes(); got != memBytes {
-			t.Fatalf("%s: Bytes() %d, shard walk %d", when, got, memBytes)
+		if got := int(c.res.bytes.Load()); got != memBytes {
+			t.Fatalf("%s: residency account %d bytes, shard walk %d", when, got, memBytes)
+		}
+		poolBytes := internWalk(c)
+		if got := int(c.pool.bytes.Load()); got != poolBytes {
+			t.Fatalf("%s: pool account %d bytes, distinct interned sets hold %d", when, got, poolBytes)
+		}
+		if got, want := c.Bytes(), memBytes+poolBytes; got != want {
+			t.Fatalf("%s: Bytes() %d, shard walk + pool %d", when, got, want)
 		}
 	}
 	for _, lazy := range []bool{false, true} {
@@ -80,13 +110,22 @@ func TestResidencyAccountAgreement(t *testing.T) {
 				t.Fatal(err)
 			}
 			check(t, c, "after remove")
-			// RemoveGraph recharges every entry under the full hierarchy,
-			// so the accounts must now equal the TRUE resident footprint —
-			// in lazy mode too, where earlier hit-path growth went
-			// uncharged until this pass.
+			// RemoveGraph trues every entry up against the pool under the
+			// full hierarchy, so the accounts must now equal the TRUE
+			// resident footprint — static bytes per entry plus each
+			// distinct published answer set once (summing Entry.Bytes
+			// would double-count sets interning has collapsed) — in lazy
+			// mode too, where earlier hit-path swaps bypassed the pool
+			// until this pass.
 			trueBytes := 0
+			seen := make(map[*bitset.Set]bool)
 			for _, e := range c.Entries() {
-				trueBytes += e.Bytes()
+				a := e.Answers()
+				trueBytes += e.Bytes() - a.Bytes()
+				if !seen[a] {
+					seen[a] = true
+					trueBytes += a.Bytes()
+				}
 			}
 			if got := c.Bytes(); got != trueBytes {
 				t.Fatalf("after remove: Bytes() %d, true footprint %d", got, trueBytes)

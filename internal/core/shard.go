@@ -25,7 +25,9 @@ const DefaultShards = 4
 // shard can enforce the GLOBAL capacity and memory budget while holding
 // only its own lock. Turns serialize on policyMu — the only context that
 // admits or evicts — so the counts a turn reads are exact, not racy
-// approximations.
+// approximations. bytes covers the entries' static footprints only;
+// answer-set bytes live in the intern pool's account, charged once per
+// canonical set (Cache.Bytes sums the two).
 type residency struct {
 	entries atomic.Int64
 	bytes   atomic.Int64
@@ -59,6 +61,12 @@ type shard struct {
 	// res is the cache-wide resident account, shared by every shard.
 	res *residency
 
+	// pool is the cache-wide answer-set intern pool, shared by every
+	// shard: insertLocked acquires a canonical set for each admitted
+	// entry, removeLocked releases it. Its own leaf mutex synchronizes
+	// cross-shard acquire/release under any shard lock.
+	pool *internPool
+
 	// window is this shard's pending-admission buffer (per-shard mode
 	// only). Guarded by mu; staged in ascending-ID order because IDs are
 	// claimed under mu.
@@ -88,10 +96,10 @@ type shard struct {
 	summaries atomic.Pointer[[]indexEntry]
 }
 
-func newShards(n int, res *residency) []*shard {
+func newShards(n int, res *residency, pool *internPool) []*shard {
 	ss := make([]*shard, n)
 	for i := range ss {
-		ss[i] = &shard{byFP: make(map[graph.Fingerprint][]*Entry), res: res}
+		ss[i] = &shard{byFP: make(map[graph.Fingerprint][]*Entry), res: res, pool: pool}
 		ss[i].windowFloor.Store(math.MaxInt64)
 	}
 	return ss
@@ -144,14 +152,25 @@ func (c *Cache) shardFor(fp graph.Fingerprint) *shard {
 // window into a shard), so appending preserves the sorted-by-ID invariant.
 //
 //gclint:requires shard
+//gclint:acquires internMu
 func (sh *shard) insertLocked(e *Entry) {
 	sh.entries = append(sh.entries, e)
 	sh.byFP[e.Fingerprint] = append(sh.byFP[e.Fingerprint], e)
-	// The size charged at admission is remembered on the entry, so the
-	// accounts stay balanced even if the answer set is later swapped for a
-	// bigger one (lazy reconciliation after dataset additions; the
-	// stop-the-world maintenance paths re-charge the accounts explicitly).
-	e.resBytes = e.Bytes()
+	// Intern the answer set: an entry admitting a set another entry
+	// already publishes collapses onto that canonical allocation. The
+	// republish is a CAS because a query that found this entry while it
+	// was window-pending can be lazily reconciling it right now — losing
+	// that race just defers the swap to the next true-up (the pool
+	// reference is held either way).
+	st := e.answers()
+	canonical := sh.pool.acquire(st.set)
+	if canonical != st.set {
+		e.swapAnswers(st, canonical, st.epoch)
+	}
+	e.interned = canonical
+	// The entry's own charge is its static footprint; the shared answer
+	// bytes are charged once by the pool.
+	e.resBytes = e.staticBytes
 	sh.memBytes += e.resBytes
 	sh.res.entries.Add(1)
 	sh.res.bytes.Add(int64(e.resBytes))
@@ -179,6 +198,7 @@ func (sh *shard) containsLocked(e *Entry) bool {
 // engine's.
 //
 //gclint:requires shard
+//gclint:acquires internMu
 func (sh *shard) removeLocked(e *Entry) {
 	i := sort.Search(len(sh.entries), func(i int) bool {
 		return sh.entries[i].ID >= e.ID
@@ -205,6 +225,10 @@ func (sh *shard) removeLocked(e *Entry) {
 	sh.memBytes -= e.resBytes
 	sh.res.entries.Add(-1)
 	sh.res.bytes.Add(int64(-e.resBytes))
+	// Drop this entry's reference to its canonical answer set; the pool
+	// account sheds the set's bytes with the last sharer.
+	sh.pool.release(e.interned)
+	e.interned = nil
 }
 
 // lockAll / unlockAll acquire every shard write lock in index order. Only

@@ -141,6 +141,10 @@ func initialState(dataset []*graph.Graph, filter Filter) *methodState {
 			liveCount++
 		}
 	}
+	// A fully (or mostly) live dataset collapses to a handful of run
+	// spans; the mask is immutable once published, so re-encode it into
+	// its smallest container up front.
+	live.Compact()
 	return &methodState{
 		dataset:   dataset,
 		filter:    filter,

@@ -104,6 +104,57 @@ func badSpawn() {
 	go sink(nil) // want "go statement allocates"
 }
 
+// containerSet mimics the adaptive bitset's mode-tagged containers: one
+// struct, several payloads, a tag selecting the active one.
+type containerSet struct {
+	mode   uint8
+	sparse []uint32
+	words  []uint64
+}
+
+// cursor is the stack-struct iteration state the read paths thread
+// through per-container dispatch.
+type cursor struct {
+	s   *containerSet
+	pos int
+}
+
+// containerDispatch is the conforming container-dispatch shape from the
+// adaptive bitset's read paths: switch on the mode tag, walk the active
+// payload through a stack cursor value — no arm allocates.
+//
+//gclint:noalloc
+func containerDispatch(s *containerSet) int {
+	cur := cursor{s: s}
+	n := 0
+	switch s.mode {
+	case 0:
+		for _, v := range s.sparse {
+			n += int(v)
+			cur.pos++
+		}
+	default:
+		for _, w := range s.words {
+			for ; w != 0; w &= w - 1 {
+				n++
+			}
+			cur.pos++
+		}
+	}
+	return n
+}
+
+// badContainerUpgrade materializes a new container inside a dispatch arm:
+// migration belongs on the mutation path, never under a noalloc read.
+//
+//gclint:noalloc
+func badContainerUpgrade(s *containerSet) {
+	if s.mode == 0 {
+		s.words = make([]uint64, 4) // want "make allocates"
+		s.mode = 1
+	}
+}
+
 // waived documents an accepted allocation with a reason.
 //
 //gclint:noalloc

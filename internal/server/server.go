@@ -153,6 +153,14 @@ type statsResponse struct {
 	FilterRebuilds int64 `json:"filterRebuilds"`
 	AdditionLogLen int   `json:"additionLogLen"`
 	LogCompactions int64 `json:"logCompactions"`
+	// AnswerBytes is the intern pool's account — the distinct canonical
+	// answer sets, each charged once however many entries share it
+	// (cacheBytes = static entry bytes + answerBytes). InternHits and
+	// InternMisses count pool acquisitions that reused vs inserted a
+	// canonical set.
+	AnswerBytes  int64 `json:"answerBytes"`
+	InternHits   int64 `json:"internHits"`
+	InternMisses int64 `json:"internMisses"`
 }
 
 func (s *Server) statsResponse() statsResponse {
@@ -209,6 +217,9 @@ func (s *Server) statsResponse() statsResponse {
 		FilterRebuilds:    snap.FilterRebuilds,
 		AdditionLogLen:    snap.AdditionLogLen,
 		LogCompactions:    snap.LogCompactions,
+		AnswerBytes:       snap.AnswerBytes,
+		InternHits:        snap.InternHits,
+		InternMisses:      snap.InternMisses,
 	}
 }
 
