@@ -51,11 +51,18 @@ fmt-check:
 	fi
 
 # lint runs the repo's own static analyzers (lockorder, cowpublish,
-# leaflock, noalloc) over every package; any finding fails the build.
-# The annotation grammar is documented in internal/lint and
-# internal/core/doc.go.
+# leaflock, noalloc, snapshotonce, determinism, ctxflow) over every
+# package; any finding fails the build. -timings prints the shared
+# load/typecheck cost plus per-analyzer wall time to stderr, so a slow
+# analyzer is visible the moment it lands. The annotation grammar is
+# documented in internal/lint and internal/core/doc.go.
 lint:
-	$(GO) run ./cmd/gclint ./...
+	$(GO) run ./cmd/gclint -timings ./...
+
+# lint-waivers prints the inventory of every //gclint:ignore in the tree
+# with its mandatory reason — the audit surface CI uploads as an artifact.
+lint-waivers:
+	$(GO) run ./cmd/gclint -waivers ./...
 
 # Full-suite coverage with a floor: fails when total statement coverage
 # drops below COVER_BASELINE percent.
@@ -109,6 +116,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^FuzzReadState$$' -fuzz '^FuzzReadState$$' -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^FuzzBitsetOps$$' -fuzz '^FuzzBitsetOps$$' -fuzztime $(FUZZTIME) ./internal/bitset/
+	$(GO) test -run '^FuzzParseAnnotation$$' -fuzz '^FuzzParseAnnotation$$' -fuzztime $(FUZZTIME) ./internal/lint/
 
 # Perf-trajectory artifact: throughput (full GOMAXPROCS worker sweep),
 # large-tier scaling and churn results as JSON, stamped with the runtime

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"os"
@@ -111,6 +112,167 @@ func (k *kernel) scribble() {
 	}
 	if !strings.Contains(out.String(), "cowpublish") || !strings.Contains(out.String(), "write through published copy-on-write value") {
 		t.Fatalf("missing cowpublish finding:\n%s", out.String())
+	}
+}
+
+// TestRunTornSnapshotViolation: loading an annotated snapshot cell twice
+// inside one operation scope must fail the lint run — the seeded version
+// of the detectHits comparator bug (internal/core/processor.go's
+// rankCandidates extraction).
+func TestRunTornSnapshotViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"scratch.go": `package scratch
+
+import "sync/atomic"
+
+type box struct {
+	//gclint:snapshot data
+	data atomic.Pointer[int]
+}
+
+//gclint:pins data
+func torn(b *box) int {
+	a := *b.data.Load()
+	c := *b.data.Load()
+	return a + c
+}
+`,
+	})
+	var out strings.Builder
+	err := run([]string{"-C", dir, "./..."}, &out)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("expected findings, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "snapshotonce") || !strings.Contains(out.String(), "loaded more than once in one operation scope") {
+		t.Fatalf("missing snapshotonce finding:\n%s", out.String())
+	}
+}
+
+// TestRunDeterminismViolation: an unordered map range inside a
+// //gclint:deterministic function must fail the lint run, including when
+// the range sits in a transitively-reached helper.
+func TestRunDeterminismViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"scratch.go": `package scratch
+
+//gclint:deterministic
+func Sum(m map[string]int) int {
+	return helper(m)
+}
+
+func helper(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+`,
+	})
+	var out strings.Builder
+	err := run([]string{"-C", dir, "./..."}, &out)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("expected findings, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "determinism") ||
+		!strings.Contains(out.String(), "range over map (no sorted-key idiom)") ||
+		!strings.Contains(out.String(), "reachable from //gclint:deterministic Sum") {
+		t.Fatalf("missing transitive determinism finding:\n%s", out.String())
+	}
+}
+
+// TestRunContextDropViolation: a function that receives a context and
+// then calls the context-less sibling of a *Context API pair must fail
+// the lint run — the exact shape of the PR 4 batch-streaming bug, where a
+// handler held r.Context() but invoked ExecuteAllStream instead of
+// ExecuteAllStreamContext.
+func TestRunContextDropViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"scratch.go": `package scratch
+
+import "context"
+
+func Fetch(id int) int { return id }
+
+func FetchContext(ctx context.Context, id int) int { return id }
+
+func Handle(ctx context.Context, id int) int {
+	return Fetch(id)
+}
+`,
+	})
+	var out strings.Builder
+	err := run([]string{"-C", dir, "./..."}, &out)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("expected findings, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ctxflow") || !strings.Contains(out.String(), "call to Fetch drops the request context; use FetchContext") {
+		t.Fatalf("missing ctxflow finding:\n%s", out.String())
+	}
+}
+
+// TestRunJSONOutput: -json must emit machine-parseable diagnostics with
+// module-relative paths — the contract the CI annotation step depends on.
+func TestRunJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"scratch.go": `package scratch
+
+import "context"
+
+func Work(ctx context.Context) context.Context {
+	return context.Background()
+}
+`,
+	})
+	var out strings.Builder
+	err := run([]string{"-C", dir, "-json", "./..."}, &out)
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("expected findings, got %v\n%s", err, out.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic, got %d:\n%s", len(diags), out.String())
+	}
+	d := diags[0]
+	if d.Analyzer != "ctxflow" || d.File != "scratch.go" || d.Line == 0 || d.Col == 0 ||
+		!strings.Contains(d.Message, "discards the context.Context Work already receives") {
+		t.Fatalf("unexpected diagnostic %+v", d)
+	}
+}
+
+// TestRunWaiversInventory: -waivers must list every //gclint:ignore with
+// its reason and exit clean.
+func TestRunWaiversInventory(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"scratch.go": `package scratch
+
+import "context"
+
+func Fetch(id int) int { return id }
+
+func FetchContext(ctx context.Context, id int) int { return id }
+
+func Handle(ctx context.Context, id int) int {
+	//gclint:ignore ctxflow -- scratch fixture exercising the waiver inventory
+	return Fetch(id)
+}
+`,
+	})
+	var out strings.Builder
+	if err := run([]string{"-C", dir, "-waivers", "./..."}, &out); err != nil {
+		t.Fatalf("waivers mode should exit clean, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "scratch.go:10: waives [ctxflow] -- scratch fixture exercising the waiver inventory") {
+		t.Fatalf("missing waiver line:\n%s", out.String())
 	}
 }
 

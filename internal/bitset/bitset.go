@@ -475,6 +475,7 @@ func fnv64(h, v uint64) uint64 {
 // Equal, so the hash only needs to be well-distributed, not perfect.
 //
 //gclint:noalloc
+//gclint:deterministic
 func (s *Set) Fingerprint() uint64 {
 	h := fnv64(fnvOffset, uint64(s.n))
 	switch s.mode {

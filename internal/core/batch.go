@@ -46,6 +46,7 @@ type StreamOutcome struct {
 // concurrent submission makes admission order scheduling-dependent.
 // Individual answer sets are exact either way.
 func (c *Cache) ExecuteAllStream(reqs []Request, workers int) <-chan StreamOutcome {
+	//gclint:ignore ctxflow -- compatibility wrapper kept for context-free callers; an uncancellable batch is its documented contract
 	return c.ExecuteAllStreamContext(context.Background(), reqs, workers)
 }
 

@@ -334,6 +334,7 @@ func (c *Cache) Entries() []*Entry {
 // what runs in parallel and what serializes.
 //
 //gclint:acquires serialMu dsMu windowMu policyMu shard
+//gclint:pins dataset
 func (c *Cache) Execute(q *graph.Graph, qt ftv.QueryType) (*Result, error) {
 	if q == nil {
 		return nil, fmt.Errorf("core: nil query graph")

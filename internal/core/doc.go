@@ -126,11 +126,36 @@
 //	//gclint:cow               (type: copy-on-write; published values are immutable)
 //	//gclint:cowview           (func returns a published COW value; callers must not write it)
 //	//gclint:mutates           (method writes its receiver; illegal on published COW values)
+//	//gclint:snapshot answers  (on a field/var: an atomically-published snapshot cell)
+//	//gclint:loads answers [p] (func loads the cell; p names the instance-carrying
+//	                            parameter, defaulting to the method receiver)
+//	//gclint:pins dataset      (func is an operation scope: at most one load per
+//	                            cell instance; loads in loops are torn snapshots)
+//	//gclint:view dataset      (type: values are pinned views of the named cell;
+//	                            functions receiving one must not re-load the cell)
+//	//gclint:deterministic     (func output must be a deterministic function of its
+//	                            inputs, transitively: no unordered map ranges
+//	                            without a sorted-key idiom, no time/rand, no
+//	                            goroutine spawns, no multi-case selects)
+//	//gclint:ctxstrict         (package: context.Background/TODO are diagnostics
+//	                            everywhere in the package)
 //	//gclint:ignore lockorder -- reason   (waive one finding on this or the next line)
 //
-// Four analyzers consume these: lockorder (hierarchy violations, unmet
+// Seven analyzers consume these: lockorder (hierarchy violations, unmet
 // requires, acquisition inside nolocks), cowpublish (writes through
 // cowview/atomic.Pointer-published values, mutates-calls on them),
-// leaflock (any acquisition while a leaf lock is held) and noalloc.
-// Findings are build failures; every waiver needs a reason after `--`.
+// leaflock (any acquisition while a leaf lock is held), noalloc,
+// snapshotonce (torn snapshots: a cell loaded twice, in a loop, or fresh
+// where a caller already pinned a view), determinism (nondeterminism
+// reachable from //gclint:deterministic roots through the call graph) and
+// ctxflow (handlers that receive a context and then discard it, or that
+// call the context-less sibling of a *Context API pair). Findings are
+// build failures; every waiver needs a reason after `--`.
 package core
+
+// The kernel is context-strict: root contexts must not be minted inside
+// this package — every operation that can block or fan out inherits its
+// caller's context, so client disconnects and shutdown deadlines
+// propagate into batch execution (see ExecuteAllStreamContext).
+//
+//gclint:ctxstrict

@@ -30,6 +30,12 @@ type answerState struct {
 // identical states (verification is deterministic), so last-write-wins is
 // benign.
 type answersCell struct {
+	// p publishes the (set, epoch) pair whole. Readers needing both
+	// fields consistent must pin ONE load (the answers accessor), never
+	// pair Answers with DatasetEpoch across two loads (enforced by the
+	// snapshotonce analyzer).
+	//
+	//gclint:snapshot answers
 	p atomic.Pointer[answerState]
 }
 
@@ -108,17 +114,21 @@ type Entry struct {
 // replaces it whole when dataset mutations are reconciled.
 //
 //gclint:cowview
+//gclint:loads answers
 func (e *Entry) Answers() *bitset.Set { return e.ans.p.Load().set }
 
 // DatasetEpoch returns the dataset epoch the entry's answers are exact up
 // to. An entry whose epoch trails the method's is stale only with respect
 // to graphs ADDED since (removals are always applied stop-the-world); the
 // cache verifies exactly that delta before trusting the answers.
+//
+//gclint:loads answers
 func (e *Entry) DatasetEpoch() int64 { return e.ans.p.Load().epoch }
 
 // answers returns the entry's (set, epoch) pair as one consistent load.
 //
 //gclint:cowview
+//gclint:loads answers
 func (e *Entry) answers() *answerState { return e.ans.p.Load() }
 
 // setAnswers publishes a new answer state. The set must not be mutated

@@ -143,6 +143,7 @@ func (v featureVec) bits() uint64 {
 // Both vectors are hash-sorted, so this is a linear merge.
 //
 //gclint:noalloc
+//gclint:deterministic
 func (v featureVec) dominatedBy(o featureVec) bool {
 	j := 0
 	for _, fc := range v {

@@ -47,6 +47,7 @@ type indexEntry struct {
 // unlocking); a point-in-time union under concurrent reads.
 //
 //gclint:nolocks
+//gclint:loads summaries
 func (c *Cache) summariesView() [][]indexEntry {
 	parts := make([][]indexEntry, 0, len(c.shards))
 	for _, sh := range c.shards {
@@ -96,6 +97,7 @@ func (c *Cache) republishAllLocked() {
 // directions without a merge are counted as index-pruned.
 //
 //gclint:nolocks
+//gclint:loads summaries
 func (c *Cache) scanIndex(qt ftv.QueryType, sig querySig) (sub, super []*Entry) {
 	// Iterate the published per-shard slices directly rather than through
 	// summariesView: the hot path then allocates no per-query parts slice.

@@ -292,6 +292,7 @@ func (c *Cache) reconcileEntryLocked(sh *shard, e *Entry, view ftv.DatasetView) 
 //
 //gclint:requires shard
 //gclint:acquires internMu
+//gclint:loads answers e
 func (c *Cache) rechargeLocked(sh *shard, e *Entry) {
 	if sh == nil {
 		return
@@ -320,6 +321,7 @@ func (c *Cache) rechargeLocked(sh *shard, e *Entry) {
 //
 //gclint:requires dsMu
 //gclint:nolocks
+//gclint:loads answers e
 func (c *Cache) reconciledAnswers(e *Entry, view ftv.DatasetView) *bitset.Set {
 	st := e.answers()
 	if st.epoch >= view.Epoch() && st.set.Len() == view.Size() {
@@ -369,6 +371,8 @@ type DatasetInfo struct {
 }
 
 // DatasetInfo reports the current dataset shape.
+//
+//gclint:pins dataset
 func (c *Cache) DatasetInfo() DatasetInfo {
 	v := c.method.View()
 	return DatasetInfo{Size: v.Size(), Live: v.LiveCount(), Epoch: v.Epoch()}

@@ -49,6 +49,8 @@ const stateVersion = 2
 // must be exact at the header's dataset size.
 //
 //gclint:acquires dsMu policyMu shard
+//gclint:pins dataset
+//gclint:deterministic
 func (c *Cache) WriteState(w io.Writer) error {
 	dsTok := c.dsMu.RLock()
 	defer c.dsMu.RUnlock(dsTok)
@@ -99,6 +101,7 @@ func stateError(line int, format string, args ...any) error {
 // index is rebuilt before the locks drop.
 //
 //gclint:acquires dsMu windowMu policyMu shard
+//gclint:pins dataset
 func (c *Cache) ReadState(r io.Reader) error {
 	// The read side of the dataset mutex pins the dataset for the whole
 	// restore (mutations are excluded; concurrent queries are not — they

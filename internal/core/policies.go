@@ -45,6 +45,8 @@ func (p *scorePolicy) UpdateCacheStaInfo(ev *HitEvent) {
 func (p *scorePolicy) OnWindowTurn() {}
 
 // ReplacedContent returns the x lowest-scoring entry positions.
+//
+//gclint:deterministic
 func (p *scorePolicy) ReplacedContent(entries []*Entry, x int) []int {
 	if x >= len(entries) {
 		out := make([]int, len(entries))

@@ -136,23 +136,52 @@ func (c *Cache) detectHits(q *graph.Graph, qt ftv.QueryType, sig querySig) hitSe
 	// SET alone, which keeps detection deterministic even when the index
 	// prunes elements out of the baseline's list.
 	answersDeliverIsSub := qt == ftv.Subgraph
-	rank := func(cands []*Entry, largerFirst bool) {
-		sort.Slice(cands, func(i, j int) bool {
-			ai, aj := cands[i].Answers().Count(), cands[j].Answers().Count()
-			if ai != aj {
-				if largerFirst {
-					return ai > aj
-				}
-				return ai < aj
-			}
-			return cands[i].ID < cands[j].ID
-		})
-	}
-	rank(subCand, answersDeliverIsSub)
-	rank(superCand, !answersDeliverIsSub)
+	rankCandidates(subCand, answersDeliverIsSub)
+	rankCandidates(superCand, !answersDeliverIsSub)
 
 	hs.sub, hs.super, hs.isoTests = c.confirmHits(q, subCand, superCand)
 	return hs
+}
+
+// rankedCandidate pairs a hit candidate with its answer count sampled
+// once, before the sort starts.
+type rankedCandidate struct {
+	e     *Entry
+	count int
+}
+
+// rankCandidates orders a hit-candidate list in place by expected
+// benefit — answer count, largerFirst choosing the direction — with
+// entry-ID tie-breaks. Each entry's answer count is snapshotted exactly
+// once before sorting: a comparator that reloads the answer cell per
+// comparison can observe a concurrent lazy reconciliation mid-sort,
+// making the ordering inconsistent (sort.Slice's result is then
+// unspecified) and breaking the "ranking is a deterministic function of
+// the candidate set" contract — besides costing one O(set) count per
+// comparison instead of per entry.
+//
+//gclint:deterministic
+//gclint:loads answers cands
+func rankCandidates(cands []*Entry, largerFirst bool) {
+	if len(cands) < 2 {
+		return
+	}
+	rs := make([]rankedCandidate, len(cands))
+	for i, e := range cands {
+		rs[i] = rankedCandidate{e: e, count: e.Answers().Count()}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].count != rs[j].count {
+			if largerFirst {
+				return rs[i].count > rs[j].count
+			}
+			return rs[i].count < rs[j].count
+		}
+		return rs[i].e.ID < rs[j].e.ID
+	})
+	for i, r := range rs {
+		cands[i] = r.e
+	}
 }
 
 // scanSnapshot is the IndexOff candidate collector: an ID-ordered

@@ -93,6 +93,8 @@ type shard struct {
 	// runs under policyMu — so a concurrent turn of ANOTHER shard can
 	// fold this shard's latest summaries into the global index without
 	// touching this shard's lock.
+	//
+	//gclint:snapshot summaries
 	summaries atomic.Pointer[[]indexEntry]
 }
 

@@ -69,7 +69,12 @@ type Method struct {
 	// compacts the addition log from inside its window turns).
 	//gclint:lock methodMu
 	//gclint:leaf
-	mu    sync.Mutex
+	mu sync.Mutex
+	// state publishes the dataset snapshot. Operations pin ONE snapshot
+	// (a View) and use it throughout; re-loading mid-operation tears the
+	// epoch (enforced by the snapshotonce analyzer).
+	//
+	//gclint:snapshot dataset
 	state atomic.Pointer[methodState]
 
 	// filterInserts / filterRebuilds split how AddGraph maintained the
@@ -160,29 +165,42 @@ func (m *Method) Name() string { return m.name }
 // any computation that must be internally consistent (candidate sets,
 // sizes, delta reconciliation); the snapshot stays valid — and exact with
 // respect to its own epoch — forever, even after later mutations.
+//
+//gclint:loads dataset
 func (m *Method) View() DatasetView { return DatasetView{s: m.state.Load(), verify: m.verify} }
 
 // Dataset returns the current dataset slice (tombstoned positions are
 // nil). Callers must not modify it.
 //
 //gclint:cowview
+//gclint:loads dataset
 func (m *Method) Dataset() []*graph.Graph { return m.state.Load().dataset }
 
 // DatasetSize returns the dataset's id space — the number of positions,
 // including tombstones, hence the capacity answer bitsets are sized to.
+//
+//gclint:loads dataset
 func (m *Method) DatasetSize() int { return len(m.state.Load().dataset) }
 
 // LiveCount returns the number of non-tombstoned dataset graphs.
+//
+//gclint:loads dataset
 func (m *Method) LiveCount() int { return m.state.Load().liveCount }
 
 // Epoch returns the current dataset epoch: 0 at construction, +1 per
 // mutation (addition or removal).
+//
+//gclint:loads dataset
 func (m *Method) Epoch() int64 { return m.state.Load().epoch }
 
 // Filter returns the method's current filter.
+//
+//gclint:loads dataset
 func (m *Method) Filter() Filter { return m.state.Load().filter }
 
 // Candidates runs the filtering stage, returning the candidate set C_M.
+//
+//gclint:pins dataset
 func (m *Method) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
 	return m.View().Candidates(q, qt)
 }
@@ -190,6 +208,8 @@ func (m *Method) Candidates(q *graph.Graph, qt QueryType) *bitset.Set {
 // VerifyCandidate runs one sub-iso test between the query and dataset
 // graph gid, oriented by query type: pattern=q for subgraph queries,
 // pattern=dataset graph for supergraph queries.
+//
+//gclint:pins dataset
 func (m *Method) VerifyCandidate(q *graph.Graph, gid int, qt QueryType) bool {
 	return m.View().VerifyCandidate(q, gid, qt)
 }
@@ -205,6 +225,7 @@ func (m *Method) VerifyCandidate(q *graph.Graph, gid int, qt QueryType) bool {
 // unavailable.
 //
 //gclint:acquires methodMu
+//gclint:pins dataset
 func (m *Method) AddGraph(g *graph.Graph) (int, error) {
 	if g == nil || g.N() == 0 {
 		return 0, fmt.Errorf("ftv: cannot add an empty graph")
@@ -261,6 +282,8 @@ func (m *Method) FilterMaintainNs() int64 { return m.filterMaintainNs.Load() }
 
 // AdditionLogLen returns the current length of the addition log — the
 // records not yet dropped by CompactAdditions.
+//
+//gclint:loads dataset
 func (m *Method) AdditionLogLen() int { return len(m.state.Load().adds) }
 
 // CompactAdditions drops every addition record with Epoch ≤ floor from
@@ -276,6 +299,7 @@ func (m *Method) AdditionLogLen() int { return len(m.state.Load().adds) }
 // never retroactively change what an already-obtained view reports.
 //
 //gclint:acquires methodMu
+//gclint:pins dataset
 func (m *Method) CompactAdditions(floor int64) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -309,6 +333,7 @@ func (m *Method) CompactAdditions(floor int64) int {
 // making removals O(dataset) copying with no index rebuild.
 //
 //gclint:acquires methodMu
+//gclint:pins dataset
 func (m *Method) RemoveGraph(gid int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -339,6 +364,8 @@ func (m *Method) RemoveGraph(gid int) error {
 // with respect to the same epoch, no matter what mutations land after the
 // view was taken. The zero value is unusable; obtain views from
 // Method.View.
+//
+//gclint:view dataset
 type DatasetView struct {
 	s      *methodState
 	verify VerifierFunc
@@ -420,6 +447,8 @@ func (r *Result) TotalTime() time.Duration { return r.FilterTime + r.VerifyTime 
 
 // Run executes the query with plain filter-then-verify (no cache) over
 // one consistent snapshot of the dataset.
+//
+//gclint:pins dataset
 func (m *Method) Run(q *graph.Graph, qt QueryType) *Result {
 	v := m.View()
 	t0 := time.Now()

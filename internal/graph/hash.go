@@ -41,6 +41,9 @@ func fnvMix64(h, v uint64) uint64 {
 // The fingerprint for the most recently requested round count is memoized
 // on the (immutable) graph, so re-executing a query graph pays the O(n·d)
 // refinement only once.
+//
+//gclint:loads memoFP
+//gclint:deterministic
 func (g *Graph) WLFingerprint(rounds int) Fingerprint {
 	if m := g.memoFP.Load(); m != nil && m.rounds == rounds {
 		return m.fp
@@ -117,6 +120,7 @@ func LabelVectorOf(g *Graph) LabelVector {
 // subgraph-isomorphic to the graph of o.
 //
 //gclint:noalloc
+//gclint:deterministic
 func (v LabelVector) DominatedBy(o LabelVector) bool {
 	j := 0
 	for _, lc := range v {

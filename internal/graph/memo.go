@@ -25,6 +25,8 @@ import (
 // LabelDegrees returns vertex degrees grouped by label, each list sorted
 // descending. The result is memoized on the graph; callers must not
 // modify it.
+//
+//gclint:loads memoLabelDeg
 func (g *Graph) LabelDegrees() map[Label][]int32 {
 	if m := g.memoLabelDeg.Load(); m != nil {
 		return *m
@@ -47,6 +49,8 @@ func (g *Graph) LabelDegrees() map[Label][]int32 {
 // for robustness on disconnected graphs). This is the pattern-side search
 // order used by the isomorphism matchers. The result is memoized on the
 // graph; callers must not modify it.
+//
+//gclint:loads memoVisit
 func (g *Graph) VisitOrder() []int {
 	if o := g.memoVisit.Load(); o != nil {
 		return *o
@@ -94,6 +98,8 @@ func (g *Graph) VisitOrder() []int {
 }
 
 // labelVector returns the memoized LabelVector (see LabelVectorOf).
+//
+//gclint:loads memoLabelVec
 func (g *Graph) labelVector() LabelVector {
 	if v := g.memoLabelVec.Load(); v != nil {
 		return *v
@@ -113,10 +119,14 @@ func (g *Graph) labelVector() LabelVector {
 // atomic values must not be copied, so WithID re-shares the already
 // computed pointers instead of copying the struct.
 type memoSet struct {
+	//gclint:snapshot memoLabelDeg
 	memoLabelDeg atomic.Pointer[map[Label][]int32]
-	memoVisit    atomic.Pointer[[]int]
+	//gclint:snapshot memoVisit
+	memoVisit atomic.Pointer[[]int]
+	//gclint:snapshot memoLabelVec
 	memoLabelVec atomic.Pointer[LabelVector]
-	memoFP       atomic.Pointer[fpMemo]
+	//gclint:snapshot memoFP
+	memoFP atomic.Pointer[fpMemo]
 }
 
 // fpMemo caches the WL fingerprint for one round count — the cache keeps
@@ -130,6 +140,11 @@ type fpMemo struct {
 // shareFrom copies the memoized summary pointers from src. Sound only
 // when the receiver describes the same structure as src (labels and
 // adjacency shared), as in WithID.
+//
+//gclint:loads memoLabelDeg src
+//gclint:loads memoVisit src
+//gclint:loads memoLabelVec src
+//gclint:loads memoFP src
 func (m *memoSet) shareFrom(src *memoSet) {
 	m.memoLabelDeg.Store(src.memoLabelDeg.Load())
 	m.memoVisit.Store(src.memoVisit.Load())

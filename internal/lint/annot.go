@@ -17,6 +17,36 @@ type LockInfo struct {
 	Leaf bool
 }
 
+// SnapshotInfo describes one //gclint:snapshot declaration: an atomic
+// cell publishing copy-on-write state that operations must load exactly
+// once per scope (the snapshotonce analyzer).
+type SnapshotInfo struct {
+	// Name is the annotation name of the cell.
+	Name string
+}
+
+// LoadFact is one //gclint:loads record on a function: calling it loads
+// the named snapshot cell. Param optionally names the parameter that
+// carries the cell's owner (e.g. the entry whose answer cell is read);
+// empty means the method receiver owns the cell.
+type LoadFact struct {
+	Cell  string
+	Param string
+}
+
+// Waiver is one //gclint:ignore directive with its mandatory reason —
+// the unit of the `gclint -waivers` inventory.
+type Waiver struct {
+	// File and Line locate the directive (the waiver covers that line
+	// and the one below).
+	File string
+	Line int
+	// Analyzers are the waived analyzer names.
+	Analyzers []string
+	// Reason is the text after "--".
+	Reason string
+}
+
 // Annotations is the program-wide fact base collected from //gclint:
 // comments. Maps are keyed by types.Object, which the shared-importer
 // loader keeps identical across packages.
@@ -48,6 +78,30 @@ type Annotations struct {
 	CowView map[types.Object]bool
 	Mutates map[types.Object]bool
 
+	// Snapshots maps an atomic-cell field/var object to its
+	// //gclint:snapshot declaration; snapshotNames is every declared
+	// cell name (reference validation).
+	Snapshots     map[types.Object]*SnapshotInfo
+	snapshotNames map[string]bool
+	// Loads maps function objects to the snapshot cells a call loads;
+	// Pins marks operation-scope functions that must pin ONE snapshot of
+	// the named cells (snapshotonce analyzer).
+	Loads map[types.Object][]LoadFact
+	Pins  map[types.Object][]string
+	// Views maps a type object to the snapshot cell it is the pinned
+	// view of: a function holding a parameter of that type must not
+	// re-load the cell.
+	Views map[types.Object]string
+	// Deterministic marks functions whose output must be a deterministic
+	// function of their inputs, transitively (determinism analyzer).
+	Deterministic map[types.Object]bool
+	// CtxStrict is the set of package paths declaring //gclint:ctxstrict:
+	// context.Background/TODO are diagnostics there (ctxflow analyzer).
+	CtxStrict map[string]bool
+
+	// Waivers inventories every //gclint:ignore with its reason.
+	Waivers []Waiver
+
 	// ignores maps filename -> line -> analyzer names waived there.
 	ignores map[string]map[int][]string
 }
@@ -68,6 +122,15 @@ func (a *Annotations) LockByName(name string) *LockInfo {
 		}
 	}
 	return nil
+}
+
+// SnapshotCell returns the SnapshotInfo of the cell declared on obj, or
+// nil when obj is not an annotated snapshot cell.
+func (a *Annotations) SnapshotCell(obj types.Object) *SnapshotInfo {
+	if obj == nil {
+		return nil
+	}
+	return a.Snapshots[obj]
 }
 
 // ignored reports whether d is waived by a //gclint:ignore directive on
@@ -99,6 +162,8 @@ var knownDirectives = map[string]bool{
 	"releases": true, "nolocks": true,
 	"noalloc": true, "cow": true, "cowview": true,
 	"mutates": true, "ignore": true,
+	"snapshot": true, "loads": true, "pins": true, "view": true,
+	"deterministic": true, "ctxstrict": true,
 }
 
 // directive is one parsed //gclint: comment line.
@@ -108,6 +173,49 @@ type directive struct {
 	args string
 }
 
+// parseDirectiveText parses one raw comment text ("//gclint:name args")
+// into a directive, reporting whether the text carries the gclint
+// prefix at all. This is the grammar's single tokenization point — the
+// FuzzParseAnnotation target drives it directly.
+func parseDirectiveText(text string) (name, args string, ok bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return "", "", false
+	}
+	name, args, _ = strings.Cut(rest, " ")
+	return name, strings.TrimSpace(args), true
+}
+
+// parseIgnoreArgs splits a //gclint:ignore payload into the waived
+// analyzer names and the mandatory reason. err is non-nil when the
+// reason separator or the names are missing.
+func parseIgnoreArgs(args string) (names []string, reason string, err error) {
+	before, after, found := strings.Cut(args, "--")
+	reason = strings.TrimSpace(after)
+	if !found || reason == "" {
+		return nil, "", fmt.Errorf("//gclint:ignore needs a reason: //gclint:ignore <analyzer> -- <why>")
+	}
+	names = strings.FieldsFunc(before, func(r rune) bool { return r == ',' || r == ' ' })
+	if len(names) == 0 {
+		return nil, "", fmt.Errorf("//gclint:ignore needs at least one analyzer name")
+	}
+	return names, reason, nil
+}
+
+// parseLoadsArgs splits a //gclint:loads payload into the cell name and
+// the optional instance-carrying parameter name.
+func parseLoadsArgs(args string) (cell, param string, err error) {
+	fields := strings.Fields(args)
+	switch len(fields) {
+	case 1:
+		return fields[0], "", nil
+	case 2:
+		return fields[0], fields[1], nil
+	default:
+		return "", "", fmt.Errorf("//gclint:loads needs a cell name and at most one parameter name")
+	}
+}
+
 // parseDirectives extracts the //gclint: lines from a comment group.
 func parseDirectives(cg *ast.CommentGroup) []directive {
 	if cg == nil {
@@ -115,12 +223,11 @@ func parseDirectives(cg *ast.CommentGroup) []directive {
 	}
 	var out []directive
 	for _, c := range cg.List {
-		text, ok := strings.CutPrefix(c.Text, directivePrefix)
+		name, args, ok := parseDirectiveText(c.Text)
 		if !ok {
 			continue
 		}
-		name, args, _ := strings.Cut(text, " ")
-		out = append(out, directive{pos: c.Pos(), name: name, args: strings.TrimSpace(args)})
+		out = append(out, directive{pos: c.Pos(), name: name, args: args})
 	}
 	return out
 }
@@ -130,19 +237,26 @@ func parseDirectives(cg *ast.CommentGroup) []directive {
 // analyzer "gclint".
 func CollectAnnotations(prog *Program) (*Annotations, []Diagnostic) {
 	a := &Annotations{
-		rank:      map[string]int{},
-		Locks:     map[types.Object]*LockInfo{},
-		lockNames: map[string]bool{},
-		Acquires:  map[types.Object][]string{},
-		Requires:  map[types.Object][]string{},
-		Holds:     map[types.Object][]string{},
-		Releases:  map[types.Object][]string{},
-		NoLocks:   map[types.Object]bool{},
-		NoAlloc:   map[types.Object]bool{},
-		Cow:       map[types.Object]bool{},
-		CowView:   map[types.Object]bool{},
-		Mutates:   map[types.Object]bool{},
-		ignores:   map[string]map[int][]string{},
+		rank:          map[string]int{},
+		Locks:         map[types.Object]*LockInfo{},
+		lockNames:     map[string]bool{},
+		Acquires:      map[types.Object][]string{},
+		Requires:      map[types.Object][]string{},
+		Holds:         map[types.Object][]string{},
+		Releases:      map[types.Object][]string{},
+		NoLocks:       map[types.Object]bool{},
+		NoAlloc:       map[types.Object]bool{},
+		Cow:           map[types.Object]bool{},
+		CowView:       map[types.Object]bool{},
+		Mutates:       map[types.Object]bool{},
+		Snapshots:     map[types.Object]*SnapshotInfo{},
+		snapshotNames: map[string]bool{},
+		Loads:         map[types.Object][]LoadFact{},
+		Pins:          map[types.Object][]string{},
+		Views:         map[types.Object]string{},
+		Deterministic: map[types.Object]bool{},
+		CtxStrict:     map[string]bool{},
+		ignores:       map[string]map[int][]string{},
 	}
 	var diags []Diagnostic
 	errf := func(pos token.Pos, format string, args ...any) {
@@ -151,7 +265,7 @@ func CollectAnnotations(prog *Program) (*Annotations, []Diagnostic) {
 
 	for _, pkg := range prog.Packages {
 		for _, f := range pkg.Files {
-			a.collectFile(prog, f, errf)
+			a.collectFile(prog, pkg.Path, f, errf)
 		}
 	}
 	a.validate(errf)
@@ -159,9 +273,9 @@ func CollectAnnotations(prog *Program) (*Annotations, []Diagnostic) {
 }
 
 // collectFile gathers every directive in one file: declaration-attached
-// ones are resolved to their objects, ignore/hierarchy directives can
-// appear in any comment group.
-func (a *Annotations) collectFile(prog *Program, f *ast.File, errf func(token.Pos, string, ...any)) {
+// ones are resolved to their objects; ignore/hierarchy/ctxstrict
+// directives can appear in any comment group.
+func (a *Annotations) collectFile(prog *Program, pkgPath string, f *ast.File, errf func(token.Pos, string, ...any)) {
 	info := prog.Info
 
 	// Attached directives: function declarations and lock declarations
@@ -224,14 +338,9 @@ func (a *Annotations) collectFile(prog *Program, f *ast.File, errf func(token.Po
 					a.rank[n] = i
 				}
 			case "ignore":
-				before, reason, found := strings.Cut(dir.args, "--")
-				names := strings.FieldsFunc(before, func(r rune) bool { return r == ',' || r == ' ' })
-				if !found || strings.TrimSpace(reason) == "" {
-					errf(dir.pos, "//gclint:ignore needs a reason: //gclint:ignore <analyzer> -- <why>")
-					continue
-				}
-				if len(names) == 0 {
-					errf(dir.pos, "//gclint:ignore needs at least one analyzer name")
+				names, reason, err := parseIgnoreArgs(dir.args)
+				if err != nil {
+					errf(dir.pos, "%s", err)
 					continue
 				}
 				pos := prog.Position(dir.pos)
@@ -241,7 +350,20 @@ func (a *Annotations) collectFile(prog *Program, f *ast.File, errf func(token.Po
 					a.ignores[pos.Filename] = byLine
 				}
 				byLine[pos.Line] = append(byLine[pos.Line], names...)
-			case "lock", "leaf", "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cow", "cowview", "mutates":
+				a.Waivers = append(a.Waivers, Waiver{
+					File:      pos.Filename,
+					Line:      pos.Line,
+					Analyzers: names,
+					Reason:    reason,
+				})
+			case "ctxstrict":
+				if dir.args != "" {
+					errf(dir.pos, "//gclint:ctxstrict takes no arguments")
+					continue
+				}
+				a.CtxStrict[pkgPath] = true
+			case "lock", "leaf", "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cow", "cowview", "mutates",
+				"snapshot", "loads", "pins", "view", "deterministic":
 				// Attached directives are handled in the declaration pass
 				// above; one that floats free of any declaration is dead
 				// annotation and gets flagged here.
@@ -275,7 +397,7 @@ func (a *Annotations) applyFuncDirectives(obj types.Object, dirs []directive, er
 			case "releases":
 				a.Releases[obj] = append(a.Releases[obj], names...)
 			}
-		case "nolocks", "noalloc", "cowview", "mutates":
+		case "nolocks", "noalloc", "cowview", "mutates", "deterministic":
 			if obj == nil {
 				errf(dir.pos, "//gclint:%s must be attached to a function declaration", dir.name)
 				continue
@@ -289,8 +411,32 @@ func (a *Annotations) applyFuncDirectives(obj types.Object, dirs []directive, er
 				a.CowView[obj] = true
 			case "mutates":
 				a.Mutates[obj] = true
+			case "deterministic":
+				a.Deterministic[obj] = true
 			}
-		case "lock", "leaf", "cow":
+		case "loads":
+			cell, param, err := parseLoadsArgs(dir.args)
+			if obj == nil || err != nil || cell == "" {
+				if err != nil {
+					errf(dir.pos, "%s", err)
+				} else {
+					errf(dir.pos, "//gclint:loads needs a cell name and a function declaration")
+				}
+				continue
+			}
+			if param != "" && !hasParam(obj, param) {
+				errf(dir.pos, "//gclint:loads parameter %q is not a parameter of %s", param, obj.Name())
+				continue
+			}
+			a.Loads[obj] = append(a.Loads[obj], LoadFact{Cell: cell, Param: param})
+		case "pins":
+			names := strings.Fields(dir.args)
+			if obj == nil || len(names) == 0 {
+				errf(dir.pos, "//gclint:pins needs cell names and a function declaration")
+				continue
+			}
+			a.Pins[obj] = append(a.Pins[obj], names...)
+		case "lock", "leaf", "cow", "snapshot", "view":
 			errf(dir.pos, "//gclint:%s cannot be attached to a function", dir.name)
 		default:
 			// hierarchy/ignore and unknown directives are handled by the
@@ -309,7 +455,15 @@ func (a *Annotations) applyTypeDirectives(obj types.Object, dirs []directive, er
 				continue
 			}
 			a.Cow[obj] = true
-		case "lock", "leaf", "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cowview", "mutates":
+		case "view":
+			cell := strings.TrimSpace(dir.args)
+			if obj == nil || cell == "" {
+				errf(dir.pos, "//gclint:view needs a cell name and a type declaration")
+				continue
+			}
+			a.Views[obj] = cell
+		case "lock", "leaf", "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cowview", "mutates",
+			"snapshot", "loads", "pins", "deterministic":
 			errf(dir.pos, "//gclint:%s cannot be attached to a type", dir.name)
 		default:
 			// Handled by the whole-file comments pass.
@@ -343,7 +497,21 @@ func (a *Annotations) applyLockDirectives(info *types.Info, names []*ast.Ident, 
 				continue
 			}
 			li.Leaf = true
-		case "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cow", "cowview", "mutates":
+		case "snapshot":
+			name := strings.TrimSpace(dir.args)
+			if name == "" || len(names) != 1 {
+				errf(dir.pos, "//gclint:snapshot needs a name and a single-identifier declaration")
+				continue
+			}
+			obj := info.Defs[names[0]]
+			if obj == nil {
+				errf(dir.pos, "//gclint:snapshot target did not resolve")
+				continue
+			}
+			a.Snapshots[obj] = &SnapshotInfo{Name: name}
+			a.snapshotNames[name] = true
+		case "acquires", "requires", "holds", "releases", "nolocks", "noalloc", "cow", "cowview", "mutates",
+			"loads", "pins", "view", "deterministic":
 			errf(dir.pos, "//gclint:%s cannot be attached to a lock declaration", dir.name)
 		default:
 			// Handled by the whole-file comments pass.
@@ -381,4 +549,43 @@ func (a *Annotations) validate(errf func(token.Pos, string, ...any)) {
 	check(a.Requires, "requires")
 	check(a.Holds, "holds")
 	check(a.Releases, "releases")
+
+	for obj, facts := range a.Loads {
+		for _, f := range facts {
+			if !a.snapshotNames[f.Cell] {
+				errf(obj.Pos(), "//gclint:loads references undeclared snapshot cell %q", f.Cell)
+			}
+		}
+	}
+	for obj, cells := range a.Pins {
+		for _, c := range cells {
+			if !a.snapshotNames[c] {
+				errf(obj.Pos(), "//gclint:pins references undeclared snapshot cell %q", c)
+			}
+		}
+	}
+	for obj, cell := range a.Views {
+		if !a.snapshotNames[cell] {
+			errf(obj.Pos(), "//gclint:view references undeclared snapshot cell %q", cell)
+		}
+	}
+}
+
+// hasParam reports whether obj (a function) declares a parameter named
+// param.
+func hasParam(obj types.Object, param string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == param {
+			return true
+		}
+	}
+	return false
 }

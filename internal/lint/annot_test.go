@@ -23,6 +23,12 @@ func TestGrammarErrors(t *testing.T) {
 		`//gclint:acquires references undeclared lock "delta"`,
 		"//gclint:ignore needs a reason",
 		"//gclint:requires is not attached to a declaration",
+		"//gclint:snapshot needs a name and a single-identifier declaration",
+		`//gclint:loads references undeclared snapshot cell "ghost"`,
+		`//gclint:loads parameter "missing" is not a parameter of loadsBadParam`,
+		`//gclint:pins references undeclared snapshot cell "phantom"`,
+		`//gclint:view references undeclared snapshot cell "specter"`,
+		"//gclint:ctxstrict takes no arguments",
 	}
 	for _, want := range wantSubstrings {
 		found := false

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// The cross-package call-graph fact store. PR 7's analyzers walked call
+// sites per function, source-ordered within one package; the snapshot-
+// coherence and determinism checks need whole-program reachability (a
+// //gclint:deterministic ranking function in internal/core calling a
+// helper in internal/graph must drag the helper into the checked set).
+// The graph is built once per Program and shared by every analyzer that
+// asks, alongside the generic Fact cache for derived data such as
+// determinism's transitive closure.
+
+// CallEdge is one resolved call site: Caller's body invokes Callee at
+// Pos. Indirect calls (function values, interface methods) and builtins
+// do not resolve and carry no edge.
+type CallEdge struct {
+	Callee types.Object
+	Pos    token.Pos
+}
+
+// CallGraph maps every function declared in the program to its resolved
+// call sites, in source order. Calls inside function literals are
+// attributed to the enclosing declaration: the literal runs with the
+// declaration's obligations as far as the whole-program analyzers are
+// concerned.
+type CallGraph struct {
+	// Callees lists the resolved out-edges per declared function.
+	Callees map[types.Object][]CallEdge
+	// Decls maps each declared function to its syntax, so analyzers can
+	// scan the bodies of functions the closure reached.
+	Decls map[types.Object]*ast.FuncDecl
+	// DeclPkg maps each declared function to its Package, so a
+	// whole-program consumer can report in the right file context.
+	DeclPkg map[types.Object]*Package
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+// The build walks every declaration exactly once; all analyzers share
+// the one result.
+func (prog *Program) CallGraph() *CallGraph {
+	prog.cgOnce.Do(func() {
+		cg := &CallGraph{
+			Callees: map[types.Object][]CallEdge{},
+			Decls:   map[types.Object]*ast.FuncDecl{},
+			DeclPkg: map[types.Object]*Package{},
+		}
+		for _, pkg := range prog.Packages {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					obj := prog.Info.Defs[fd.Name]
+					if obj == nil {
+						continue
+					}
+					cg.Decls[obj] = fd
+					cg.DeclPkg[obj] = pkg
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if callee := CalleeObject(prog.Info, call); callee != nil {
+							cg.Callees[obj] = append(cg.Callees[obj], CallEdge{Callee: callee, Pos: call.Pos()})
+						}
+						return true
+					})
+				}
+			}
+		}
+		prog.cg = cg
+	})
+	return prog.cg
+}
+
+// Fact returns the cached value under key, computing it with build on
+// first use. Analyzers use it to share whole-program derived data (the
+// determinism closure, view-type tables) across their per-package
+// passes instead of recomputing per Pass.
+func (prog *Program) Fact(key string, build func() any) any {
+	prog.factMu.Lock()
+	defer prog.factMu.Unlock()
+	if prog.facts == nil {
+		prog.facts = map[string]any{}
+	}
+	if v, ok := prog.facts[key]; ok {
+		return v
+	}
+	v := build()
+	prog.facts[key] = v
+	return v
+}
+
+// factState carries the lazily built whole-program caches embedded in
+// Program.
+type factState struct {
+	cgOnce sync.Once
+	cg     *CallGraph
+
+	factMu sync.Mutex
+	facts  map[string]any
+}

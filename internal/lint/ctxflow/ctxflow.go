@@ -1,0 +1,191 @@
+// Package ctxflow enforces request-context propagation, pinning the
+// NDJSON-streaming cancellation fix (a handler that dispatched batch
+// work with context.Background() kept burning CPU after the client
+// hung up) as a build-time invariant:
+//
+//   - a function that receives a context.Context (or an *http.Request,
+//     which carries one) must not manufacture a root context with
+//     context.Background() or context.TODO() — that discards the
+//     caller's cancellation and deadline;
+//   - such a function must also not call a callee F when a sibling
+//     FContext accepting a context exists (the ExecuteAllStream /
+//     ExecuteAllStreamContext shape): calling the context-less variant
+//     silently drops the request context at the API seam;
+//   - in packages declaring //gclint:ctxstrict, Background()/TODO()
+//     are diagnostics in ANY function — kernel and server code never
+//     originates root contexts; only edges (main, tests, public
+//     compatibility wrappers with a waiver) may.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"graphcache/internal/lint"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid discarding a received context.Context via " +
+		"context.Background/TODO or a context-less sibling callee, and " +
+		"forbid root contexts entirely in //gclint:ctxstrict packages",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.Prog.Info
+	strict := pass.Ann.CtxStrict[pass.Pkg.Path]
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			carrier := contextCarrier(obj)
+			if carrier == "" && !strict {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := lint.CalleeObject(info, call)
+				if callee == nil {
+					return true
+				}
+				if name, root := rootContextCall(callee); root {
+					switch {
+					case carrier != "":
+						pass.Reportf(call.Pos(), "context.%s discards the %s %s already receives; thread it through", name, carrier, fd.Name.Name)
+					case strict:
+						pass.Reportf(call.Pos(), "context.%s in //gclint:ctxstrict package %s; accept a caller context instead", name, pass.Pkg.Path)
+					}
+					return true
+				}
+				if carrier != "" {
+					if sib := contextSibling(callee); sib != "" {
+						pass.Reportf(call.Pos(), "call to %s drops the request context; use %s", callee.Name(), sib)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// contextCarrier names what hands obj a request context: a
+// context.Context parameter, an *http.Request parameter, or "" for
+// neither.
+func contextCarrier(obj types.Object) string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		switch t := sig.Params().At(i).Type(); {
+		case isContextType(t):
+			return "context.Context"
+		case isHTTPRequest(t):
+			return "*http.Request"
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isHTTPRequest reports whether t is *net/http.Request.
+func isHTTPRequest(t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// rootContextCall recognizes context.Background/context.TODO.
+func rootContextCall(callee types.Object) (string, bool) {
+	fn, ok := callee.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// contextSibling returns the name of callee's context-accepting sibling
+// — the function or method named callee.Name()+"Context" in the same
+// scope — or "" when callee already takes a context or no such sibling
+// exists.
+func contextSibling(callee types.Object) string {
+	fn, ok := callee.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || signatureTakesContext(sig) {
+		return ""
+	}
+	target := fn.Name() + "Context"
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := types.Unalias(t).(*types.Named)
+		if !ok {
+			return ""
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if m.Name() == target && signatureTakesContext(m.Type().(*types.Signature)) {
+				return named.Obj().Name() + "." + target
+			}
+		}
+		return ""
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	sib, ok := fn.Pkg().Scope().Lookup(target).(*types.Func)
+	if !ok {
+		return ""
+	}
+	if sibSig, ok := sib.Type().(*types.Signature); ok && signatureTakesContext(sibSig) {
+		return target
+	}
+	return ""
+}
+
+// signatureTakesContext reports whether sig has a context.Context
+// parameter.
+func signatureTakesContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

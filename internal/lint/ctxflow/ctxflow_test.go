@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"graphcache/internal/lint"
+	"graphcache/internal/lint/ctxflow"
+	"graphcache/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{ctxflow.Analyzer}, "ctx")
+}

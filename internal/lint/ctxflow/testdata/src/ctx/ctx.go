@@ -1,0 +1,63 @@
+// Package ctx exercises the ctxflow analyzer in a non-strict package:
+// only functions that already receive a request context are checked.
+package ctx
+
+import (
+	"context"
+	"net/http"
+
+	_ "graphcache/internal/lint/ctxflow/testdata/src/ctx/strictpkg"
+)
+
+type client struct{}
+
+// Run is the context-less compatibility entry point.
+func (c *client) Run(q string) error { return nil }
+
+// RunContext is its cancellable sibling.
+func (c *client) RunContext(ctx context.Context, q string) error { return ctx.Err() }
+
+// Fetch / FetchContext are the package-level pair.
+func Fetch(q string) error                             { return nil }
+func FetchContext(ctx context.Context, q string) error { return ctx.Err() }
+
+// forward is the conforming shape: the received context reaches every
+// context-accepting callee.
+func forward(ctx context.Context, c *client, q string) error {
+	if err := c.RunContext(ctx, q); err != nil {
+		return err
+	}
+	return FetchContext(ctx, q)
+}
+
+// reroot discards the caller's cancellation.
+func reroot(ctx context.Context, c *client, q string) error {
+	return c.RunContext(context.Background(), q) // want "context.Background discards the context.Context reroot already receives"
+}
+
+// todoRoot is the same bug via TODO.
+func todoRoot(ctx context.Context) context.Context {
+	return context.TODO() // want "context.TODO discards the context.Context todoRoot already receives"
+}
+
+// handler receives the context through *http.Request.
+func handler(w http.ResponseWriter, r *http.Request) {
+	_ = context.Background() // want "context.Background discards the \\*http.Request handler already receives"
+}
+
+// dropsViaSibling calls the context-less variant of a method that has
+// a Context sibling.
+func dropsViaSibling(ctx context.Context, c *client, q string) error {
+	return c.Run(q) // want "call to Run drops the request context; use client.RunContext"
+}
+
+// dropsViaFunc is the package-level version of the same shape.
+func dropsViaFunc(ctx context.Context, q string) error {
+	return Fetch(q) // want "call to Fetch drops the request context; use FetchContext"
+}
+
+// noCtx receives no context: manufacturing a root here is fine outside
+// //gclint:ctxstrict packages.
+func noCtx(c *client, q string) error {
+	return c.RunContext(context.Background(), q)
+}

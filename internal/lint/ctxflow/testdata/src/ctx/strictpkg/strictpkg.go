@@ -1,0 +1,24 @@
+// Package strictpkg exercises //gclint:ctxstrict: root contexts are
+// banned everywhere, context parameter or not.
+package strictpkg
+
+//gclint:ctxstrict
+
+import "context"
+
+// launch has no context parameter, but the package contract says root
+// contexts only enter at the edges.
+func launch() context.Context {
+	return context.Background() // want "context.Background in //gclint:ctxstrict package graphcache/internal/lint/ctxflow/testdata/src/ctx/strictpkg"
+}
+
+// waivedLaunch is the documented compatibility edge.
+func waivedLaunch() context.Context {
+	//gclint:ignore ctxflow -- harness check: waivers must suppress the line below
+	return context.Background()
+}
+
+// forward stays clean by accepting its context.
+func forward(ctx context.Context) error {
+	return ctx.Err()
+}

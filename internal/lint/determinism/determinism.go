@@ -1,0 +1,233 @@
+// Package determinism enforces //gclint:deterministic: the annotated
+// function's output must be a pure function of its inputs, transitively
+// through every statically resolvable callee. Benefit ranking, eviction
+// ordering, dominance merges, fingerprints, and state serialization all
+// carry the exactness guarantee — two replicas ranking the same
+// candidate set must agree byte for byte, so iteration-order and
+// wall-clock effects are build errors:
+//
+//   - `range` over a map, unless it is the sorted-key idiom (the loop
+//     body is a single append into a slice and the next statement sorts
+//     it);
+//   - calls to time.Now / time.Since, or anything in math/rand or
+//     math/rand/v2;
+//   - goroutine spawns (scheduling order leaks into output order);
+//   - select with more than one case (case choice is runtime-random).
+//
+// The check is whole-program: the closure is computed once over the
+// shared Program call graph (callgraph.go) and walks every declared
+// function reachable from an annotated root. Indirect calls — function
+// values, interface methods — do not resolve and bound the closure;
+// injecting nondeterminism through an unannotated callback remains the
+// caller's responsibility.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"graphcache/internal/lint"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &lint.Analyzer{
+	Name: "determinism",
+	Doc: "forbid unordered map ranges, wall-clock and math/rand calls, " +
+		"goroutine spawns, and multi-case selects in functions reachable " +
+		"from a //gclint:deterministic root",
+	Run: run,
+}
+
+// finding is one violation, pinned to the package that declares the
+// offending function so each per-package pass reports only its own.
+type finding struct {
+	pkg string
+	pos token.Pos
+	msg string
+}
+
+func run(pass *lint.Pass) error {
+	findings := pass.Prog.Fact("determinism.findings", func() any {
+		return compute(pass.Prog, pass.Ann)
+	}).([]finding)
+	for _, f := range findings {
+		if f.pkg == pass.Pkg.Path {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// compute walks the deterministic closure once for the whole program.
+func compute(prog *lint.Program, ann *lint.Annotations) []finding {
+	cg := prog.CallGraph()
+
+	// Roots in source order, so multi-root attribution is stable.
+	var roots []types.Object
+	for obj := range ann.Deterministic {
+		roots = append(roots, obj)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+
+	// BFS; every root owns itself, and the first root to reach a
+	// non-root function owns its attribution.
+	rootOf := map[types.Object]types.Object{}
+	for _, r := range roots {
+		rootOf[r] = r
+	}
+	var order []types.Object
+	for _, r := range roots {
+		queue := []types.Object{r}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			order = append(order, fn)
+			for _, edge := range cg.Callees[fn] {
+				if _, seen := rootOf[edge.Callee]; seen {
+					continue
+				}
+				if _, declared := cg.Decls[edge.Callee]; !declared {
+					continue
+				}
+				rootOf[edge.Callee] = r
+				queue = append(queue, edge.Callee)
+			}
+		}
+	}
+
+	var out []finding
+	for _, fn := range order {
+		fd, pkg := cg.Decls[fn], cg.DeclPkg[fn]
+		if fd == nil || fd.Body == nil || pkg == nil {
+			continue
+		}
+		out = append(out, scanBody(prog.Info, fd, pkg.Path, fn, rootOf[fn])...)
+	}
+	return out
+}
+
+// scanBody flags the nondeterministic constructs in one function body.
+func scanBody(info *types.Info, fd *ast.FuncDecl, pkgPath string, fn, root types.Object) []finding {
+	var out []finding
+	report := func(pos token.Pos, what string) {
+		msg := "nondeterministic " + what + " in //gclint:deterministic function " + fn.Name()
+		if root != fn {
+			msg = "nondeterministic " + what + " in " + fn.Name() + ", reachable from //gclint:deterministic " + root.Name()
+		}
+		out = append(out, finding{pkg: pkgPath, pos: pos, msg: msg})
+	}
+	next := nextStmts(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(info.TypeOf(n.X)) && !sortedKeyIdiom(info, n, next) {
+				report(n.Pos(), "range over map (no sorted-key idiom)")
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "goroutine spawn")
+		case *ast.SelectStmt:
+			if n.Body != nil && len(n.Body.List) > 1 {
+				report(n.Pos(), "multi-case select")
+			}
+		case *ast.CallExpr:
+			if what := impureCall(info, n); what != "" {
+				report(n.Pos(), "call to "+what)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// impureCall names the wall-clock or PRNG callee, or returns "".
+func impureCall(info *types.Info, call *ast.CallExpr) string {
+	callee := lint.CalleeObject(info, call)
+	fn, ok := callee.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return ""
+}
+
+// nextStmts maps each statement to its next sibling across every
+// statement list in body — the sorted-key idiom needs one statement of
+// lookahead.
+func nextStmts(body *ast.BlockStmt) map[ast.Stmt]ast.Stmt {
+	next := map[ast.Stmt]ast.Stmt{}
+	link := func(list []ast.Stmt) {
+		for i := 0; i+1 < len(list); i++ {
+			next[list[i]] = list[i+1]
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			link(n.List)
+		case *ast.CaseClause:
+			link(n.Body)
+		case *ast.CommClause:
+			link(n.Body)
+		}
+		return true
+	})
+	return next
+}
+
+// sortedKeyIdiom recognizes the one permitted map range:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)   // or any sort./slices. call
+//
+// — collect the keys, then impose a total order before use.
+func sortedKeyIdiom(info *types.Info, rs *ast.RangeStmt, next map[ast.Stmt]ast.Stmt) bool {
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	} else if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+		return false
+	}
+	es, ok := next[ast.Stmt(rs)].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := lint.CalleeObject(info, sortCall).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices"
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"graphcache/internal/lint"
+	"graphcache/internal/lint/determinism"
+	"graphcache/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{determinism.Analyzer}, "det")
+}

@@ -1,0 +1,126 @@
+// Package det exercises the determinism analyzer: //gclint:deterministic
+// functions and everything statically reachable from them must not
+// depend on map iteration order, wall clocks, PRNGs, scheduling, or
+// select-case choice.
+package det
+
+import (
+	"sort"
+	"time"
+
+	"graphcache/internal/lint/determinism/testdata/src/det/impure"
+)
+
+// rankGood uses the sorted-key idiom: collect, then order.
+//
+//gclint:deterministic
+func rankGood(scores map[string]int) []string {
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rankBad emits in map iteration order.
+//
+//gclint:deterministic
+func rankBad(scores map[string]int) []string {
+	var keys []string
+	for k := range scores { // want "nondeterministic range over map \\(no sorted-key idiom\\) in //gclint:deterministic function rankBad"
+		keys = append(keys, k)
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// stamped mixes wall-clock time into its output.
+//
+//gclint:deterministic
+func stamped(x int) int64 {
+	return int64(x) + time.Now().UnixNano() // want "nondeterministic call to time.Now in //gclint:deterministic function stamped"
+}
+
+// helper is unannotated but reachable from viaHelper below; its map
+// range is charged to the root.
+func helper(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want "nondeterministic range over map \\(no sorted-key idiom\\) in helper, reachable from //gclint:deterministic viaHelper"
+		total += v
+	}
+	return total
+}
+
+// viaHelper is clean itself; the violation lives two hops down.
+//
+//gclint:deterministic
+func viaHelper(m map[int]int) int {
+	return helper(m)
+}
+
+// crossPkg drags a helper from another package into the closure.
+//
+//gclint:deterministic
+func crossPkg(xs []int) {
+	impure.Shuffle(xs)
+}
+
+// spawned forks output ordering onto the scheduler.
+//
+//gclint:deterministic
+func spawned(ch chan int) {
+	go func() { ch <- 1 }() // want "nondeterministic goroutine spawn in //gclint:deterministic function spawned"
+}
+
+// racySelect lets the runtime pick a ready case.
+//
+//gclint:deterministic
+func racySelect(a, b chan int) int {
+	select { // want "nondeterministic multi-case select in //gclint:deterministic function racySelect"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// singleSelect has exactly one case and stays deterministic.
+//
+//gclint:deterministic
+func singleSelect(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// unchecked is not annotated and not reachable from any root: map
+// order is its caller's problem.
+func unchecked(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// indirect takes the nondeterminism as a callback; function values do
+// not resolve, so the closure stops here by design.
+//
+//gclint:deterministic
+func indirect(m map[string]int, f func(map[string]int) int) int {
+	return f(m)
+}
+
+// waived documents an accepted map range with a reason.
+//
+//gclint:deterministic
+func waived(m map[string]int) int {
+	total := 0
+	//gclint:ignore determinism -- harness check: waivers must suppress the line below
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

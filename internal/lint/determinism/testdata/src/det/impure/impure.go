@@ -1,0 +1,13 @@
+// Package impure hosts a cross-package helper for the determinism
+// suite: the violation is here, the //gclint:deterministic root is in
+// package det.
+package impure
+
+import "math/rand"
+
+// Shuffle permutes xs with the global PRNG.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "nondeterministic call to math/rand.Shuffle in Shuffle, reachable from //gclint:deterministic crossPkg"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}

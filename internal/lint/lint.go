@@ -77,6 +77,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one named check over a loaded Program.
@@ -121,11 +122,15 @@ type Diagnostic struct {
 }
 
 // Program is a fully type-checked set of module-local packages sharing
-// one FileSet and one merged types.Info, in dependency order.
+// one FileSet and one merged types.Info, in dependency order. It also
+// owns the lazily built whole-program caches (call graph, analyzer
+// facts) so one load serves every analyzer — see callgraph.go.
 type Program struct {
 	Fset     *token.FileSet
 	Info     *types.Info
 	Packages []*Package
+
+	factState
 }
 
 // Package is one parsed, type-checked module-local package.
@@ -140,22 +145,43 @@ func (prog *Program) Position(pos token.Pos) token.Position {
 	return prog.Fset.Position(pos)
 }
 
+// AnalyzerTiming is one analyzer's wall-clock cost over the whole
+// program — the per-analyzer budget `gclint` prints so CI regressions
+// in lint cost are visible, not just lint findings.
+type AnalyzerTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Run collects annotations, runs every analyzer over every package, and
 // returns the surviving findings (waivers applied) sorted by position.
 // Annotation-grammar errors (unknown directives, reasonless ignores,
 // undeclared lock names) are returned as diagnostics of the pseudo
 // analyzer "gclint" and are never waivable.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, _, err := RunTimed(prog, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run, additionally returning the program-wide annotation
+// fact base (waiver inventory included) and per-analyzer wall times.
+// The program is loaded and annotated exactly once; every analyzer
+// works off the shared Program, its types.Info, and its lazily built
+// call graph.
+func RunTimed(prog *Program, analyzers []*Analyzer) ([]Diagnostic, *Annotations, []AnalyzerTiming, error) {
 	ann, annDiags := CollectAnnotations(prog)
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
 	for _, a := range analyzers {
+		start := time.Now()
 		for _, pkg := range prog.Packages {
 			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Ann: ann, report: collect}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Duration: time.Since(start)})
 	}
 	kept := annDiags
 	for _, d := range diags {
@@ -173,5 +199,5 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return kept[i].Message < kept[j].Message
 	})
-	return kept, nil
+	return kept, ann, timings, nil
 }

@@ -1,0 +1,13 @@
+package snapshotonce_test
+
+import (
+	"testing"
+
+	"graphcache/internal/lint"
+	"graphcache/internal/lint/linttest"
+	"graphcache/internal/lint/snapshotonce"
+)
+
+func TestSnapshotOnce(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{snapshotonce.Analyzer}, "s")
+}

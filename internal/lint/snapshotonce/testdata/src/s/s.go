@@ -1,0 +1,179 @@
+// Package s exercises the snapshotonce analyzer: //gclint:snapshot
+// cells may be loaded at most once per annotated operation scope, never
+// inside loops (unless the instance varies with the loop variable), and
+// never when the caller already passed a pinned //gclint:view.
+package s
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// data is a published dataset snapshot.
+type data struct {
+	epoch uint64
+	vals  []int
+}
+
+// view is the pinned read-side handle over one dataset snapshot.
+//
+//gclint:view dataset
+type view struct {
+	d *data
+}
+
+func (v view) epoch() uint64 { return v.d.epoch }
+
+// ans is one entry's compressed answer state.
+type ans struct {
+	epoch uint64
+	ids   []uint32
+}
+
+type entry struct {
+	// p publishes the entry's reconciled answers.
+	//
+	//gclint:snapshot answers
+	p atomic.Pointer[ans]
+}
+
+// answers pins the entry's current answer state.
+//
+//gclint:loads answers
+func (e *entry) answers() *ans {
+	return e.p.Load()
+}
+
+type shard struct {
+	// sum publishes the shard's summary vector.
+	//
+	//gclint:snapshot summaries
+	sum atomic.Pointer[data]
+}
+
+type method struct {
+	// state publishes the dataset.
+	//
+	//gclint:snapshot dataset
+	state atomic.Pointer[data]
+
+	shards  []*shard
+	entries []*entry
+}
+
+// View pins one dataset snapshot.
+//
+//gclint:loads dataset
+func (m *method) View() view {
+	return view{d: m.state.Load()}
+}
+
+// reconciled reads one entry's answers under the pinned view.
+//
+//gclint:loads answers e
+func reconciled(e *entry, v view) *ans {
+	st := e.answers()
+	if st.epoch == v.epoch() {
+		return st
+	}
+	return &ans{epoch: v.epoch(), ids: st.ids}
+}
+
+// global is a package-level published cell.
+//
+//gclint:snapshot config
+var global atomic.Pointer[data]
+
+// execute is the conforming operation shape: one View, per-entry and
+// per-shard loads keyed by the loop variable.
+//
+//gclint:pins dataset
+func (m *method) execute() int {
+	v := m.View()
+	total := 0
+	for _, e := range m.entries {
+		total += len(reconciled(e, v).ids)
+	}
+	for _, sh := range m.shards {
+		total += len(sh.sum.Load().vals)
+	}
+	return total
+}
+
+// doubleView loads the dataset cell twice in one scope.
+//
+//gclint:pins dataset
+func (m *method) doubleView() uint64 {
+	a := m.View()
+	b := m.View() // want "snapshot cell \"dataset\" \\(instance m\\) loaded more than once"
+	return a.epoch() + b.epoch()
+}
+
+// doubleDirect mixes an annotated accessor with a direct Load of the
+// same instance.
+//
+//gclint:pins dataset
+func (m *method) doubleDirect() uint64 {
+	v := m.View()
+	d := m.state.Load() // want "snapshot cell \"dataset\" \\(instance m\\) loaded more than once"
+	return v.epoch() + d.epoch
+}
+
+// loopLoad re-derives the dataset once per iteration.
+//
+//gclint:pins dataset
+func (m *method) loopLoad() uint64 {
+	var last uint64
+	for i := 0; i < 3; i++ {
+		last = m.state.Load().epoch // want "snapshot cell \"dataset\" \\(instance m\\) loaded inside a loop"
+	}
+	return last
+}
+
+// comparatorLoad reloads entry answers from inside a sort comparator —
+// the comparator runs O(n log n) times and each call may observe a
+// different published state.
+//
+//gclint:pins dataset
+func (m *method) comparatorLoad() {
+	es := append([]*entry(nil), m.entries...)
+	sort.Slice(es, func(i, j int) bool {
+		return len(es[i].answers().ids) < len(es[j].answers().ids) // want "snapshot cell \"answers\" \\(instance es\\[i\\]\\) loaded inside a loop" "snapshot cell \"answers\" \\(instance es\\[j\\]\\) loaded inside a loop"
+	})
+}
+
+// globalTwice loads a package-level cell twice.
+//
+//gclint:pins config
+func globalTwice() int {
+	a := global.Load()
+	b := global.Load() // want "snapshot cell \"config\" \\(instance <global>\\) loaded more than once"
+	return len(a.vals) + len(b.vals)
+}
+
+// freshUnderView loads the dataset even though the caller pinned a
+// view; the rule applies with or without a pins annotation.
+func (m *method) freshUnderView(v view) bool {
+	return m.state.Load().epoch == v.epoch() // want "fresh load of snapshot cell \"dataset\" despite caller-pinned view parameter \"v\""
+}
+
+// freshViaAccessor drops to the accessor under a pinned view.
+func (m *method) freshViaAccessor(v view) bool {
+	return m.View().epoch() == v.epoch() // want "fresh load of snapshot cell \"dataset\" despite caller-pinned view parameter \"v\""
+}
+
+// unscoped is not an operation scope: double loads are the caller's
+// concern unless annotated.
+func (m *method) unscoped() uint64 {
+	return m.state.Load().epoch + m.state.Load().epoch
+}
+
+// waived documents an accepted re-load with a reason.
+//
+//gclint:pins dataset
+func (m *method) waived() uint64 {
+	v := m.View()
+	//gclint:ignore snapshotonce -- harness check: waivers must suppress the line below
+	d := m.state.Load()
+	return v.epoch() + d.epoch
+}

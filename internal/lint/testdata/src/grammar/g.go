@@ -35,3 +35,40 @@ func bare() {
 
 // stray above: the requires floats free of any declaration.
 func stray() {}
+
+// cell is a declared snapshot cell the valid directives below refer to.
+type cell struct {
+	//gclint:snapshot real
+	p int
+}
+
+// nameless snapshot: the directive needs a cell name.
+type nameless struct {
+	//gclint:snapshot
+	q int
+}
+
+// loadsGhost references a cell nobody declared.
+//
+//gclint:loads ghost
+func loadsGhost() {}
+
+// loadsBadParam names a parameter the function does not have.
+//
+//gclint:loads real missing
+func loadsBadParam(c *cell) {}
+
+// pinsGhost pins a cell nobody declared.
+//
+//gclint:pins phantom
+func pinsGhost() {}
+
+// viewGhost claims to view a cell nobody declared.
+//
+//gclint:view specter
+type viewGhost struct{}
+
+//gclint:ctxstrict with args
+
+// argful above: ctxstrict takes no arguments.
+func argful() {}

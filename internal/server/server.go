@@ -6,6 +6,12 @@
 // visualizations — as a JSON API plus a minimal HTML status page.
 package server
 
+// The server is context-strict: handlers thread r.Context() into the
+// kernel so a disconnected client cancels its own batch; minting a root
+// context here would detach that work from the request lifetime.
+//
+//gclint:ctxstrict
+
 import (
 	"encoding/json"
 	"errors"
