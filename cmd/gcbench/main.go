@@ -52,7 +52,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gcbench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | sweeps | churn | memory | scaling | all (scaling is excluded from all — it runs minutes by design; memory covers only the default tier under all, both tiers when selected explicitly)")
+		exp        = fs.String("exp", "all", "experiment: fig3 | workloadrun | fig2c | policies | overhead | headline | sweeps | churn | memory | persist | scaling | all (scaling is excluded from all — it runs minutes by design; memory and persist cover only the default tier under all, both tiers when selected explicitly)")
 		seed       = fs.Int64("seed", 2018, "random seed (all experiments are deterministic per seed)")
 		queries    = fs.Int("queries", 1000, "workload size for policies/overhead/headline/churn (overrides the scaling tier's when set)")
 		dataset    = fs.Int("dataset", 400, "dataset size for overhead/headline/churn (overrides the scaling tier's when set)")
@@ -68,7 +68,7 @@ func run(args []string, stdout io.Writer) error {
 	known := map[string]bool{
 		"fig3": true, "workloadrun": true, "fig2c": true, "policies": true,
 		"overhead": true, "headline": true, "sweeps": true, "churn": true,
-		"memory": true, "scaling": true, "all": true,
+		"memory": true, "persist": true, "scaling": true, "all": true,
 	}
 	if !known[*exp] {
 		return fmt.Errorf("unknown experiment %q", *exp)
@@ -139,6 +139,7 @@ func run(args []string, stdout io.Writer) error {
 		{"sweeps", func() error { return runSweeps(stdout, *seed, *queries) }},
 		{"churn", func() error { return runChurn(stdout, *seed, *dataset, *queries, *mutations) }},
 		{"memory", func() error { return runMemory(stdout, *seed, *exp == "memory") }},
+		{"persist", func() error { return runPersist(stdout, *seed, *exp == "persist") }},
 	} {
 		if err := runExp(step.name, step.fn); err != nil {
 			return err
@@ -211,6 +212,33 @@ func runMemory(stdout io.Writer, seed int64, full bool) error {
 	}
 	t.Render(stdout)
 	fmt.Fprintln(stdout, "reduction = 1 − answer/dense bytes; dense = one private ⌈|D|/64⌉-word set per entry.")
+	return nil
+}
+
+// runPersist reports EXP-PERSIST: snapshot save/restore wall time and
+// on-disk bytes of the binary GCS3 format against the v2 text format,
+// eager and lazy. Under -exp all only the default tier runs; -exp
+// persist also measures the large scaling tier.
+func runPersist(stdout io.Writer, seed int64, full bool) error {
+	tiers := []bench.ThroughputTier{bench.DefaultTier()}
+	if full {
+		tiers = append(tiers, bench.LargeTier())
+	}
+	t := stats.NewTable("EXP-PERSIST · Snapshot persistence: binary GCS3 (v3) vs text (v2)",
+		"tier", "entries", "v2 bytes", "v3 bytes", "v2 save", "v3 save", "v2 restore", "v3 restore", "v3 lazy", "restore speedup", "lazy speedup")
+	for _, tier := range tiers {
+		r, err := bench.RunPersist(seed, tier)
+		if err != nil {
+			return err
+		}
+		t.AddRow(r.Tier, r.Entries, stats.FormatBytes(r.V2Bytes), stats.FormatBytes(r.V3Bytes),
+			fmt.Sprintf("%.2fms", r.V2SaveMs), fmt.Sprintf("%.2fms", r.V3SaveMs),
+			fmt.Sprintf("%.2fms", r.V2RestoreMs), fmt.Sprintf("%.2fms", r.V3RestoreMs),
+			fmt.Sprintf("%.2fms", r.V3LazyRestoreMs),
+			fmt.Sprintf("%.2f×", r.RestoreSpeedup), fmt.Sprintf("%.2f×", r.LazySpeedup))
+	}
+	t.Render(stdout)
+	fmt.Fprintln(stdout, "restore speedup = v2/v3 eager; lazy = RestoreStateLazy to first-query readiness (answer bodies still on disk).")
 	return nil
 }
 

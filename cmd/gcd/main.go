@@ -9,6 +9,7 @@
 //	POST /api/query/batch       execute a batch: {"queries": [...], "workers": 8}
 //	                            (?stream=1 streams NDJSON outcomes as they finish)
 //	GET  /api/dataset/{id}      dataset graph as text, ?format=dot / ascii
+//	POST /api/state/save        persist the cache to the -state file
 //	GET  /debug/pprof/          live CPU/heap/goroutine profiles (only with -pprof)
 //
 // Requests are served concurrently: net/http spawns a goroutine per
@@ -16,9 +17,15 @@
 // in parallel. SIGINT/SIGTERM trigger a graceful shutdown that drains
 // in-flight requests before exiting.
 //
+// With -state <path> the cache is persistent: a snapshot at that path is
+// restored lazily at boot (a missing file is a cold start; a corrupt file
+// is logged and skipped, the daemon starts with an empty cache) and the
+// cache is saved back — atomically, via temp file + rename — on graceful
+// shutdown or on demand through POST /api/state/save.
+//
 // Usage:
 //
-//	gcd -addr :8081 -dataset aids.txt
+//	gcd -addr :8081 -dataset aids.txt -state aids.gcstate
 //	gcd -addr :8081 -generate 1000 -policy hd -capacity 100 -shards 8
 package main
 
@@ -34,6 +41,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -83,6 +91,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		sharedWin  = fs.Bool("shared-window", false, "use one global admission window instead of per-shard windows (pre-decentralization baseline)")
 		lazyRec    = fs.Bool("lazy-reconcile", false, "reconcile cached answers lazily after dataset additions (per-entry epochs) instead of eagerly at mutation time")
 		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof profiling at /debug/pprof/ (off by default: profiles leak internals, enable only on trusted networks)")
+		statePath  = fs.String("state", "", "cache state file: restored (lazily) at boot, saved on graceful shutdown and POST /api/state/save")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -129,6 +138,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// Restore persisted state before accepting traffic. Lazy mode: the
+	// snapshot's index and graphs load now, answer bodies fault in from the
+	// (mmapped) file as queries touch them — so the handle must stay open
+	// for the cache's lifetime. A missing file is a cold start; a corrupt
+	// or mismatched file must never take the daemon down, it just starts
+	// empty.
+	var stateHandle io.Closer
+	if *statePath != "" {
+		switch closer, err := cache.RestoreStateLazy(*statePath); {
+		case err == nil:
+			stateHandle = closer
+			fmt.Fprintf(stdout, "gcd: restored %d cached queries from %s (lazy)\n", cache.Len(), *statePath)
+		case os.IsNotExist(err):
+			fmt.Fprintf(stdout, "gcd: no state file at %s, starting cold\n", *statePath)
+		default:
+			// Not a v3 snapshot (or a damaged one). Fall back to an eager
+			// restore, which also reads the legacy v2 text format; if that
+			// fails too, the file is corrupt — start empty, never crash.
+			if v2err := restoreEager(cache, *statePath); v2err == nil {
+				fmt.Fprintf(stdout, "gcd: restored %d cached queries from %s\n", cache.Len(), *statePath)
+			} else {
+				fmt.Fprintf(stdout, "gcd: ignoring state file %s: %v\n", *statePath, err)
+			}
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -137,7 +172,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		len(dataset), method.Name(), p.Name(), *capacity, *window, cache.Shards())
 	fmt.Fprintf(stdout, "gcd: listening on %s\n", ln.Addr())
 
-	var handler http.Handler = server.New(cache)
+	api := server.New(cache)
+	if *statePath != "" {
+		api.SetStateSaver(func() error { return saveState(cache, *statePath) })
+	}
+	var handler http.Handler = api
 	if *pprofOn {
 		// The profiling handlers are mounted on a wrapper mux rather than
 		// the blank-import DefaultServeMux route, so they exist ONLY when
@@ -170,8 +209,55 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		// Save AFTER the drain (no in-flight mutations) and BEFORE closing
+		// the restore handle: serializing a lazily restored cache faults the
+		// remaining answer bodies in from the old snapshot file.
+		if *statePath != "" {
+			if err := saveState(cache, *statePath); err != nil {
+				return fmt.Errorf("saving state: %w", err)
+			}
+			fmt.Fprintf(stdout, "gcd: saved %d cached queries to %s\n", cache.Len(), *statePath)
+		}
+		if stateHandle != nil {
+			if err := stateHandle.Close(); err != nil {
+				return fmt.Errorf("closing state file: %w", err)
+			}
+		}
 		snap := cache.Stats()
 		fmt.Fprintf(stdout, "gcd: served %d queries (%d exact hits), bye\n", snap.Queries, snap.ExactHits)
 		return nil
 	}
+}
+
+// saveState persists the cache atomically: serialize to a temp file in the
+// destination directory, then rename over the target — a crash mid-save
+// leaves the previous snapshot intact, and a reader never sees a partial
+// file. Concurrent saves (shutdown racing POST /api/state/save) are safe:
+// each writes its own temp file and the cache serializes the snapshots.
+// restoreEager reads a state file through the format-sniffing eager path
+// (v3 binary or legacy v2 text).
+func restoreEager(c *core.Cache, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.ReadState(f)
+}
+
+func saveState(c *core.Cache, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".gcstate-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.WriteState(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

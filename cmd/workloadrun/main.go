@@ -276,6 +276,13 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, tier bench.Throughp
 		}
 		memory = append(memory, m)
 	}
+	// The persist section tracks snapshot save/restore wall time and bytes
+	// (binary GCS3 vs text v2, eager and lazy restore) on the throughput
+	// tier — the ISSUE-10 acceptance surface (v3 restore < v2).
+	persist, err := bench.RunPersist(seed, tier)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
 	report := struct {
 		Seed       int64                       `json:"seed"`
 		Env        bench.Environment           `json:"env"`
@@ -284,7 +291,8 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, tier bench.Throughp
 		Scaling    *bench.ThroughputComparison `json:"scaling"`
 		Churn      *bench.ChurnComparison      `json:"churn"`
 		Memory     []*bench.MemoryResult       `json:"memory"`
-	}{seed, bench.CaptureEnvironment(), workers, tp, scaling, churn, memory}
+		Persist    *bench.PersistResult        `json:"persist"`
+	}{seed, bench.CaptureEnvironment(), workers, tp, scaling, churn, memory, persist}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -292,10 +300,11 @@ func runBenchJSON(stdout io.Writer, path string, seed int64, tier bench.Throughp
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "wrote throughput (%d worker counts), %s-tier scaling (%d graphs / %d queries), churn (%d queries, %d mutations, %.1f%% test reduction) and memory (%.1f%% answer-byte reduction on the %s tier) results to %s\n",
+	fmt.Fprintf(stdout, "wrote throughput (%d worker counts), %s-tier scaling (%d graphs / %d queries), churn (%d queries, %d mutations, %.1f%% test reduction), memory (%.1f%% answer-byte reduction on the %s tier) and persist (v3 restore %.2f× faster than v2, lazy %.2f×) results to %s\n",
 		len(workers), scaling.Tier, scaling.DatasetSize, scaling.Queries,
 		churn.Queries, churn.Mutations, 100*churn.TestReduction(),
-		100*memory[len(memory)-1].Reduction, memory[len(memory)-1].Tier, path)
+		100*memory[len(memory)-1].Reduction, memory[len(memory)-1].Tier,
+		persist.RestoreSpeedup, persist.LazySpeedup, path)
 	if assertChurn && !churn.MaintainedWins() {
 		return fmt.Errorf("churn assertion failed: maintained %d total tests vs rebuild %d",
 			churn.Maintained.TotalTests(), churn.Rebuild.TotalTests())

@@ -92,10 +92,11 @@
 //     entries acquire a refcounted canonical keyed by content
 //     fingerprint, the residency account charges each canonical once,
 //     and the pool's leaf mutex is the only lock the sharing costs.
-//     Persistence is container-independent: WriteState stores index
-//     lists, ReadState rebuilds each set and Compact()s it at
-//     entryFromSig, so a round-trip re-picks the smallest container
-//     rather than preserving the writer's.
+//     Persistence round-trips compact: the binary v3 snapshot stores
+//     each set's native container encoding verbatim (bitset
+//     AppendBinary/FromBinary), while the legacy v2 text format stores
+//     index lists and re-picks the smallest container at entryFromSig —
+//     either way a restored set is Compact()ed before publication.
 //
 // The regression fences: BenchmarkExecute* (bench_test.go) report
 // allocs/op for the exact-hit, indexed-miss and sub/super-hit classes,
@@ -104,6 +105,78 @@
 // FuzzBitsetOps (internal/bitset) differentially fuzzes every container
 // mix against a naive reference, and `gcbench -exp memory` tracks
 // bytes/entry against the dense-equivalent baseline.
+//
+// # Snapshot persistence: the GCS3 binary format
+//
+// WriteState serializes the cache in state format v3 ("GCS3"), a binary,
+// mmap-friendly layout; ReadState sniffs the magic and dispatches to the
+// v3 reader or falls through to the legacy v2 text parser (WriteStateV2
+// still produces v2). All integers are little-endian; every checksum is
+// FNV-1a 64. The layout (offsets in bytes):
+//
+//	header, 64 B:  magic "GCS3" [0,4)   version=3 u32 [4,8)
+//	               dsSize u64 [8,16)    dsEpoch i64 [16,24) (diagnostic)
+//	               entryCount u64 [24,32)
+//	               bodyOff u64 [32,40) = 64 + 136*entryCount
+//	               fileSize u64 [40,48) indexSum u64 [48,56)
+//	               headerSum u64 [56,64) over bytes [0,56)
+//	index, 136 B/entry (fixed size, so record i is addressable without
+//	parsing records 0..i-1):
+//	               fp u64, queryType u32, baseCandidates u32,
+//	               feature vector 56 B (ftv FV codec), hits i64,
+//	               savedTests f64, savedCostNs f64,
+//	               bodyOff u64, graphLen u64, ansLen u64,
+//	               graphSum u64, ansSum u64
+//	body:          per entry, contiguous and in index order: the graph
+//	               in the text codec (graph.WriteGraph), then the answer
+//	               set in its native bitset container encoding
+//	               (bitset.AppendBinary — mode tag + capacity + count +
+//	               sparse/dense/run payload, so a restore preserves the
+//	               writer's container instead of re-deriving it).
+//
+// Validation is all-or-nothing and covers every byte: headerSum gates
+// the header, indexSum gates the whole index section, per-entry
+// graphSum/ansSum gate each body segment, and the records must tile the
+// body exactly (record i's bodyOff equals the running offset; the final
+// offset equals fileSize). Like v2, signatures and feature vectors are
+// rebuilt from the parsed graphs and cross-checked against the index —
+// never trusted from disk. A snapshot from a differently-sized dataset
+// is refused (dsSize must equal the current view's id-space size).
+//
+// # Lazy restore
+//
+// RestoreStateLazy mmaps the file (internal/mmap; ReadAt fallback where
+// unsupported) and restores eagerly EXCEPT the answer bodies: the
+// header, index and graph segments are read and fully validated up
+// front, so admission, the feature index, and exact/sub/super hit
+// detection work immediately, while each entry's answer set faults in
+// on its first Answers() call. The rules that keep this exact:
+//
+//   - An unfaulted entry's answer cell holds a pending answerState whose
+//     lazyBody records (source, offset, length, checksum, capacity) plus
+//     a drops list — the ids tombstoned since the snapshot was written
+//     (dsSize equality proves no ADDS happened; ids are never reused).
+//     Fault-in reads the segment, verifies ansSum, decodes, applies
+//     drops, Compact()s, and publishes by CAS — fully lock-free, with
+//     cross-entry dedup via the source's checksum-keyed map (interning
+//     refcounts true up at the owning shard's next rechargeLocked).
+//   - Restored entries are stamped with the CURRENT dataset epoch
+//     (sound for the addition log by the dsSize check, exactly as in
+//     v2); a pending entry's epoch holds the log-compaction floor down
+//     until it faults or is evicted.
+//   - RemoveGraph on a pending entry appends to the drops list via a
+//     COW lazyBody clone published under the full lock hierarchy; a
+//     racing lock-free fault loses the CAS and retries against the new
+//     body. Eviction of a pending entry just drops the cell — no I/O.
+//   - Body corruption discovered at fault time PANICS (the restore
+//     validated the index, so a failing ansSum means the file changed
+//     underneath the mapping — there is no caller to return an error
+//     to, and serving wrong answers would violate the SelfCheck
+//     contract). Whole-file corruption is still rejected error-wise at
+//     restore time, all-or-nothing.
+//   - The returned io.Closer owns the mapping: Close() after the cache
+//     is done faulting (for gcd: save first, then close). Monitor
+//     counter StateBodyFaults observes fault-in traffic (/api/stats).
 //
 // # Machine-checked contracts: the gclint annotation grammar
 //

@@ -106,6 +106,19 @@ func (c *Cache) RemoveGraph(gid int) error {
 	c.mon.datasetRemoves.Add(1)
 	c.withAllEntriesLocked(func(sh *shard, e *Entry) {
 		st := e.answers()
+		if st.body != nil {
+			// Lazily restored entry whose bits still live in the snapshot
+			// file: record the tombstone in the fault-in drop list instead
+			// of reading the body just to clear one bit. A NEW pending
+			// state is published (the old one is immutable), so a fault-in
+			// racing this pass — they take no locks — fails its CAS against
+			// the superseded state and retries against this one, applying
+			// the drop.
+			if gid < st.body.cap {
+				e.ans.p.Store(&answerState{epoch: st.epoch, body: st.body.withDrop(gid)})
+			}
+			return
+		}
 		if gid < st.set.Len() && st.set.Contains(gid) {
 			s := st.set.Clone()
 			s.Remove(gid)
@@ -268,6 +281,14 @@ func (c *Cache) compactTo(floor int64) {
 //gclint:requires shard
 func (c *Cache) reconcileEntryLocked(sh *shard, e *Entry, view ftv.DatasetView) {
 	st := e.answers()
+	if st.body != nil {
+		// Pending lazy body: leave it on disk at its old epoch. The entry
+		// reconciles like any lazily-maintained one — the read path patches
+		// the faulted set from the addition log — and the unchanged epoch
+		// keeps the needed records alive (compaction floors read
+		// DatasetEpoch, which never faults).
+		return
+	}
 	if st.epoch >= view.Epoch() && st.set.Len() == view.Size() {
 		return
 	}
@@ -298,6 +319,13 @@ func (c *Cache) rechargeLocked(sh *shard, e *Entry) {
 		return
 	}
 	st := e.answers()
+	if st.body != nil {
+		// Pending lazy body: nothing resident to intern yet. The fault-in
+		// path shares decoded sets through the snapshot source's dedup
+		// registry; pool references catch up here on the first true-up
+		// after the fault.
+		return
+	}
 	if e.interned == st.set {
 		return
 	}
@@ -323,7 +351,7 @@ func (c *Cache) rechargeLocked(sh *shard, e *Entry) {
 //gclint:nolocks
 //gclint:loads answers e
 func (c *Cache) reconciledAnswers(e *Entry, view ftv.DatasetView) *bitset.Set {
-	st := e.answers()
+	st := e.loadAnswers()
 	if st.epoch >= view.Epoch() && st.set.Len() == view.Size() {
 		return st.set
 	}

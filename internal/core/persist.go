@@ -19,7 +19,16 @@ import (
 // ReadState restores them into a cache built over the SAME dataset, since
 // answer sets are stored as dataset positions.
 //
-// Format (line-oriented, versioned):
+// Two formats exist. WriteState writes the current binary v3 format
+// ("GCS3", persist_v3.go): fixed header, fixed-size per-entry index
+// records, checksummed variable bodies holding each graph plus its
+// answer set in the set's native container encoding — and restores can
+// be LAZY, faulting answer bodies in on first use (RestoreStateLazy).
+// WriteStateV2 keeps the line-oriented text format below; ReadState
+// sniffs the leading magic and accepts either, so v2 files keep
+// restoring.
+//
+// Format v2 (line-oriented, versioned):
 //
 //	gcstate 2 <dataset-size> <entry-count>
 //	entry <type> <vertices> <edges> <baseCandidates> <hits> <savedTests> <savedCostNs>
@@ -31,27 +40,31 @@ import (
 // Version 2 makes corruption detectable everywhere a version-1 file could
 // be silently truncated: the header carries the entry count, each entry
 // line carries the graph's vertex/edge counts (validated against the
-// parsed graph), each answers line carries its id count, and the stream
-// must close with an "end" trailer. Recency/insertion ticks are reset on
-// load (the new process has its own clock); utility counters survive.
-// Feature vectors, fingerprints and the hit index are rebuilt from the
-// parsed graphs, never trusted from disk.
+// parsed graph), each answers line carries its id count (ids must be
+// strictly increasing — the writer emits sorted Indices(), so any other
+// order is corruption), and the stream must close with an "end" trailer.
+// Recency/insertion ticks are reset on load (the new process has its own
+// clock); utility counters survive. Feature vectors, fingerprints and the
+// hit index are rebuilt from the parsed graphs, never trusted from disk.
 
-const stateVersion = 2
+const stateVersionV2 = 2
 
-// WriteState serializes the cache's admitted entries to w. It takes the
-// read side of the dataset mutex (the recorded answer ids must belong to
-// one dataset snapshot) plus policyMu (the utility fields it records are
-// mutated under it) plus every shard lock, so the written state is one
-// consistent snapshot even under concurrent queries. Entries stale with
-// respect to dataset additions (LazyReconcile) are reconciled before
-// serialization — the on-disk format carries no epochs, so what it stores
-// must be exact at the header's dataset size.
+// WriteStateV2 serializes the cache's admitted entries to w in the
+// legacy text format. It takes the read side of the dataset mutex (the
+// recorded answer ids must belong to one dataset snapshot) plus policyMu
+// (the utility fields it records are mutated under it) plus every shard
+// lock, so the written state is one consistent snapshot even under
+// concurrent queries. Entries stale with respect to dataset additions
+// (LazyReconcile) are reconciled before serialization — the on-disk
+// format carries no epochs, so what it stores must be exact at the
+// header's dataset size. Every write is error-checked, and the graph
+// codec writes through the same buffered writer as the state lines —
+// exactly one writer touches w, so no flush ordering can interleave.
 //
 //gclint:acquires dsMu policyMu shard
 //gclint:pins dataset
 //gclint:deterministic
-func (c *Cache) WriteState(w io.Writer) error {
+func (c *Cache) WriteStateV2(w io.Writer) error {
 	dsTok := c.dsMu.RLock()
 	defer c.dsMu.RUnlock(dsTok)
 	view := c.method.View()
@@ -62,24 +75,33 @@ func (c *Cache) WriteState(w io.Writer) error {
 
 	all := c.gatherLocked()
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "gcstate %d %d %d\n", stateVersion, view.Size(), len(all))
+	if _, err := fmt.Fprintf(bw, "gcstate %d %d %d\n", stateVersionV2, view.Size(), len(all)); err != nil {
+		return err
+	}
 	for _, e := range all {
-		fmt.Fprintf(bw, "entry %d %d %d %d %d %g %g\n",
-			e.Type, e.Graph.N(), e.Graph.M(), e.BaseCandidates, e.Hits, e.SavedTests, e.SavedCostNs)
-		ids := c.reconciledAnswers(e, view).Indices()
-		fmt.Fprintf(bw, "answers %d", len(ids))
-		for _, id := range ids {
-			fmt.Fprintf(bw, " %d", id)
-		}
-		fmt.Fprintln(bw)
-		if err := bw.Flush(); err != nil {
+		if _, err := fmt.Fprintf(bw, "entry %d %d %d %d %d %g %g\n",
+			e.Type, e.Graph.N(), e.Graph.M(), e.BaseCandidates, e.Hits, e.SavedTests, e.SavedCostNs); err != nil {
 			return err
 		}
-		if err := graph.WriteGraph(w, e.Graph); err != nil {
+		ids := c.reconciledAnswers(e, view).Indices()
+		if _, err := fmt.Fprintf(bw, "answers %d", len(ids)); err != nil {
+			return err
+		}
+		for _, id := range ids {
+			if _, err := fmt.Fprintf(bw, " %d", id); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+		if err := graph.WriteGraph(bw, e.Graph); err != nil {
 			return err
 		}
 	}
-	fmt.Fprintln(bw, "end")
+	if _, err := fmt.Fprintln(bw, "end"); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
@@ -88,45 +110,72 @@ func stateError(line int, format string, args ...any) error {
 	return fmt.Errorf("core: state line %d: %s", line, fmt.Sprintf(format, args...))
 }
 
-// ReadState restores entries serialized by WriteState into the cache,
-// replacing its current contents. The cache's dataset size must match the
-// recorded one; anything else indicates the state belongs to a different
-// deployment.
+// ReadState restores entries serialized by WriteState (binary v3) or
+// WriteStateV2 (text) into the cache, replacing its current contents; the
+// leading magic selects the parser. The cache's dataset size must match
+// the recorded one; anything else indicates the state belongs to a
+// different deployment.
 //
 // Restores are all-or-nothing: the entire stream is parsed and validated —
-// entry counts, per-graph vertex/edge counts, answer-id ranges, the end
-// trailer — before the first lock is taken, so a truncated or corrupt
-// state file fails with a line-numbered error and leaves the cache exactly
-// as it was (empty, when the load happens at boot). On success the feature
-// index is rebuilt before the locks drop.
+// entry counts, per-graph vertex/edge counts, answer-id ranges and
+// ordering, checksums and section bounds in v3, the end trailer in v2 —
+// before the first lock is taken, so a truncated or corrupt state file
+// fails with a descriptive error and leaves the cache exactly as it was
+// (empty, when the load happens at boot). On success the feature index is
+// rebuilt before the locks drop.
+func (c *Cache) ReadState(r io.Reader) error {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(stateMagicV3)); err == nil && string(magic) == stateMagicV3 {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return fmt.Errorf("core: reading state: %w", err)
+		}
+		return c.readStateV3(newMemStateSource(data), false)
+	}
+	return c.readStateV2(br)
+}
+
+// readStateV2 parses and restores the v2 text format.
 //
 //gclint:acquires dsMu windowMu policyMu shard
 //gclint:pins dataset
-func (c *Cache) ReadState(r io.Reader) error {
+func (c *Cache) readStateV2(br *bufio.Reader) error {
 	// The read side of the dataset mutex pins the dataset for the whole
 	// restore (mutations are excluded; concurrent queries are not — they
 	// are fenced by the lock hierarchy below, exactly like before).
 	dsTok := c.dsMu.RLock()
 	defer c.dsMu.RUnlock(dsTok)
 	view := c.method.View()
-	br := bufio.NewReader(r)
 	lineNo := 1
 	header, err := br.ReadString('\n')
 	if err != nil && header == "" {
 		return stateError(lineNo, "reading header: %v", err)
 	}
-	// The version is scanned on its own first, so a file written by a
+	// The version is checked on its own first, so a file written by a
 	// different format version gets the actionable "unsupported version"
 	// error rather than a generic header complaint (v1 headers have fewer
-	// fields and would fail a full v2 scan outright).
-	var version, dsSize, entryCount int
-	if _, err := fmt.Sscanf(header, "gcstate %d", &version); err != nil {
+	// fields and would fail the full field-count check outright). The
+	// header must then consist of EXACTLY the four expected fields —
+	// fmt.Sscanf would silently accept trailing junk after the entry
+	// count, hiding corruption on the one line that authenticates the
+	// rest of the stream.
+	hfields := strings.Fields(strings.TrimSpace(header))
+	if len(hfields) < 2 || hfields[0] != "gcstate" {
 		return stateError(lineNo, "bad header %q", strings.TrimSpace(header))
 	}
-	if version != stateVersion {
-		return stateError(lineNo, "unsupported state version %d (want %d)", version, stateVersion)
+	version, err := strconv.Atoi(hfields[1])
+	if err != nil {
+		return stateError(lineNo, "bad header %q", strings.TrimSpace(header))
 	}
-	if _, err := fmt.Sscanf(header, "gcstate %d %d %d", &version, &dsSize, &entryCount); err != nil {
+	if version != stateVersionV2 {
+		return stateError(lineNo, "unsupported state version %d (want %d)", version, stateVersionV2)
+	}
+	if len(hfields) != 4 {
+		return stateError(lineNo, "bad header %q: want 4 fields, got %d", strings.TrimSpace(header), len(hfields))
+	}
+	dsSize, err1 := strconv.Atoi(hfields[2])
+	entryCount, err2 := strconv.Atoi(hfields[3])
+	if err1 != nil || err2 != nil {
 		return stateError(lineNo, "bad header %q", strings.TrimSpace(header))
 	}
 	if dsSize != view.Size() {
@@ -216,11 +265,21 @@ parse:
 			if got := len(fields) - 2; got != count {
 				return stateError(lineNo, "answers line truncated: declared %d ids, found %d", count, got)
 			}
+			// Ids must be strictly increasing: the writer emits sorted
+			// Indices(), so any duplicate or out-of-order id is corruption.
+			// Without this check a duplicated id ("answers 2 5 5") passes
+			// the declared count yet silently collapses to one bit in
+			// FromIndices below.
+			prev := -1
 			for _, f := range fields[2:] {
 				id, err := strconv.Atoi(f)
 				if err != nil || id < 0 || id >= dsSize {
 					return stateError(lineNo, "bad answer id %q", f)
 				}
+				if id <= prev {
+					return stateError(lineNo, "answer ids not strictly increasing at %q", f)
+				}
+				prev = id
 				cur.answers = append(cur.answers, id)
 			}
 		default:
@@ -269,9 +328,20 @@ parse:
 		entries = append(entries, e)
 	}
 
-	// Restores are stop-the-world: the full hierarchy windowMu → policyMu
-	// → every shard write lock, so no query observes a half-replaced
-	// cache and both window engines' pending buffers are cleared.
+	c.replaceEntries(entries)
+	return nil
+}
+
+// replaceEntries installs entries as the cache's entire content — the
+// shared commit phase of every restore. Stop-the-world: the full
+// hierarchy windowMu → policyMu → every shard write lock, so no query
+// observes a half-replaced cache and both window engines' pending buffers
+// are cleared. Caller holds the read side of dsMu (the entries' answer
+// sets must stay exact for the pinned dataset snapshot through the
+// install).
+//
+//gclint:acquires windowMu policyMu shard
+func (c *Cache) replaceEntries(entries []*Entry) {
 	c.windowMu.Lock()
 	defer c.windowMu.Unlock()
 	c.policyMu.Lock()
@@ -311,5 +381,4 @@ parse:
 	// nothing), which usually lifts the compaction floor: a restore is a
 	// stop-the-world pass like any other.
 	c.compactAdditionsLocked()
-	return nil
 }

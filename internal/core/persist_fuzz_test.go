@@ -51,7 +51,7 @@ func validFuzzState(tb testing.TB) []byte {
 		}
 	}
 	var buf bytes.Buffer
-	if err := c.WriteState(&buf); err != nil {
+	if err := c.WriteStateV2(&buf); err != nil {
 		tb.Fatal(err)
 	}
 	return buf.Bytes()

@@ -153,7 +153,7 @@ func validState(t *testing.T, seed int64) (string, *Cache) {
 		t.Fatalf("only %d admitted entries; corruption sweep needs more", c.Len())
 	}
 	var buf bytes.Buffer
-	if err := c.WriteState(&buf); err != nil {
+	if err := c.WriteStateV2(&buf); err != nil {
 		t.Fatal(err)
 	}
 	return buf.String(), c

@@ -165,11 +165,16 @@ func (sh *shard) insertLocked(e *Entry) {
 	// that race just defers the swap to the next true-up (the pool
 	// reference is held either way).
 	st := e.answers()
-	canonical := sh.pool.acquire(st.set)
-	if canonical != st.set {
-		e.swapAnswers(st, canonical, st.epoch)
+	if st.body == nil {
+		canonical := sh.pool.acquire(st.set)
+		if canonical != st.set {
+			e.swapAnswers(st, canonical, st.epoch)
+		}
+		e.interned = canonical
 	}
-	e.interned = canonical
+	// A pending lazy body (state restore, persist.go) has nothing resident
+	// to intern: e.interned stays nil (released as a no-op on eviction) and
+	// the pool reference catches up at the first true-up after fault-in.
 	// The entry's own charge is its static footprint; the shared answer
 	// bytes are charged once by the pool.
 	e.resBytes = e.staticBytes

@@ -1,0 +1,57 @@
+package ftv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Fixed binary codec for FeatureVector, used by the GCS3 snapshot format's
+// per-entry index records (internal/core/persist.go). The layout is fixed
+// at BinaryLen bytes (all integers little-endian) so index records stay
+// constant-size and seekable:
+//
+//	bytes  0..4    Vertices (int32)
+//	bytes  4..8    Edges (int32)
+//	bytes  8..16   LabelBits (uint64)
+//	bytes 16..24   LabelDegBits (uint64)
+//	bytes 24..56   DegreeTail ([DegreeTailLen]int32)
+
+// BinaryLen is the fixed encoded size of a FeatureVector.
+const BinaryLen = 4 + 4 + 8 + 8 + 4*DegreeTailLen
+
+// AppendBinary appends v's fixed-size encoding to buf.
+func (v FeatureVector) AppendBinary(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Vertices))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Edges))
+	buf = binary.LittleEndian.AppendUint64(buf, v.LabelBits)
+	buf = binary.LittleEndian.AppendUint64(buf, v.LabelDegBits)
+	for _, d := range v.DegreeTail {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	return buf
+}
+
+// FeatureVectorFromBinary decodes the fixed-size encoding from the front
+// of data. Counts are validated non-negative — a corrupted record must
+// fail here, not poison containment filtering later.
+func FeatureVectorFromBinary(data []byte) (FeatureVector, error) {
+	var v FeatureVector
+	if len(data) < BinaryLen {
+		return v, fmt.Errorf("ftv: feature vector truncated: %d bytes, want %d", len(data), BinaryLen)
+	}
+	v.Vertices = int32(binary.LittleEndian.Uint32(data[0:]))
+	v.Edges = int32(binary.LittleEndian.Uint32(data[4:]))
+	v.LabelBits = binary.LittleEndian.Uint64(data[8:])
+	v.LabelDegBits = binary.LittleEndian.Uint64(data[16:])
+	if v.Vertices < 0 || v.Edges < 0 {
+		return FeatureVector{}, fmt.Errorf("ftv: negative graph size %d/%d", v.Vertices, v.Edges)
+	}
+	for i := range v.DegreeTail {
+		d := int32(binary.LittleEndian.Uint32(data[24+4*i:]))
+		if d < 0 || d > v.Vertices {
+			return FeatureVector{}, fmt.Errorf("ftv: degree-tail count %d out of range at threshold %d", d, i+1)
+		}
+		v.DegreeTail[i] = d
+	}
+	return v, nil
+}

@@ -1,0 +1,48 @@
+package ftv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFeatureVectorBinaryRoundTrip(t *testing.T) {
+	v := FeatureVector{
+		Vertices:     12,
+		Edges:        30,
+		LabelBits:    0xDEADBEEF,
+		LabelDegBits: 0x0123456789ABCDEF,
+		DegreeTail:   [DegreeTailLen]int32{4, 3, 2, 1, 0, 0, 1, 1},
+	}
+	buf := v.AppendBinary(nil)
+	if len(buf) != BinaryLen {
+		t.Fatalf("encoded %d bytes, want %d", len(buf), BinaryLen)
+	}
+	got, err := FeatureVectorFromBinary(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != v {
+		t.Fatalf("round trip changed vector: %+v != %+v", got, v)
+	}
+}
+
+func TestFeatureVectorBinaryRejectsInvalid(t *testing.T) {
+	valid := FeatureVector{Vertices: 5, Edges: 4, DegreeTail: [DegreeTailLen]int32{2, 2, 1}}
+	buf := valid.AppendBinary(nil)
+
+	if _, err := FeatureVectorFromBinary(buf[:BinaryLen-1]); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("short input: got %v, want truncation error", err)
+	}
+
+	neg := append([]byte(nil), buf...)
+	neg[3] = 0x80 // Vertices sign bit
+	if _, err := FeatureVectorFromBinary(neg); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative vertices: got %v", err)
+	}
+
+	bad := append([]byte(nil), buf...)
+	bad[24] = 0xFF // DegreeTail[0] = 255 > Vertices
+	if _, err := FeatureVectorFromBinary(bad); err == nil || !strings.Contains(err.Error(), "degree-tail") {
+		t.Fatalf("oversized degree tail: got %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+// Package mmap is a minimal read-only memory-mapping shim for the lazy
+// snapshot-restore path (internal/core). On Unix platforms Open maps the
+// file with mmap(2), so faulting in one entry's answer body touches only
+// that body's pages; elsewhere (and for empty files, or when the mapping
+// fails) it degrades to plain pread-style os.File.ReadAt with identical
+// semantics. Callers see one API either way: ReadAt + Size + Close.
+package mmap
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is a read-only random-access view of a file, backed by a memory
+// mapping when the platform supports it and by the open file otherwise.
+type File struct {
+	f    *os.File
+	data []byte // non-nil when memory-mapped
+	size int64
+}
+
+var _ io.ReaderAt = (*File)(nil)
+
+// Open opens path for random-access reads, memory-mapping it when
+// possible.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	mf := &File{f: f, size: st.Size()}
+	if mf.size > 0 {
+		// A failed map is not an error: fall back to ReadAt on the fd.
+		if data, err := mapFile(f, mf.size); err == nil {
+			mf.data = data
+		}
+	}
+	return mf, nil
+}
+
+// Mapped reports whether the file is served from a memory mapping.
+func (f *File) Mapped() bool { return f.data != nil }
+
+// Size returns the file's length at Open time.
+func (f *File) Size() int64 { return f.size }
+
+// ReadAt implements io.ReaderAt over the mapping or the underlying file.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if f.data == nil {
+		return f.f.ReadAt(p, off)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("mmap: negative offset %d", off)
+	}
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Close unmaps (when mapped) and closes the file. Outstanding ReadAt
+// calls must have completed.
+func (f *File) Close() error {
+	var err error
+	if f.data != nil {
+		err = unmapFile(f.data)
+		f.data = nil
+	}
+	if cerr := f.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package mmap
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile always fails on platforms without mmap support; Open falls back
+// to serving ReadAt from the file descriptor.
+func mapFile(*os.File, int64) ([]byte, error) {
+	return nil, errors.New("mmap: unsupported platform")
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,61 @@
+package mmap
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenReadAt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	content := bytes.Repeat([]byte("0123456789"), 100)
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != int64(len(content)) {
+		t.Fatalf("Size %d, want %d", f.Size(), len(content))
+	}
+
+	got := make([]byte, 10)
+	if _, err := f.ReadAt(got, 500); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, content[500:510]) {
+		t.Fatalf("ReadAt returned %q", got)
+	}
+
+	// A read crossing EOF returns the short count and io.EOF, matching
+	// io.ReaderAt semantics in both the mapped and fallback paths.
+	n, err := f.ReadAt(make([]byte, 20), int64(len(content))-5)
+	if n != 5 || err != io.EOF {
+		t.Fatalf("tail read: n=%d err=%v, want 5, io.EOF", n, err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), int64(len(content))); err != io.EOF {
+		t.Fatalf("past-EOF read: %v, want io.EOF", err)
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != 0 || f.Mapped() {
+		t.Fatalf("empty file: size=%d mapped=%v", f.Size(), f.Mapped())
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != io.EOF {
+		t.Fatalf("read of empty file: %v, want io.EOF", err)
+	}
+}

@@ -51,6 +51,11 @@ type Server struct {
 	// logf records server-side failures (JSON encode errors and the like);
 	// defaults to log.Printf, overridable for tests.
 	logf func(format string, args ...any)
+	// stateSaver persists the cache when POST /api/state/save asks for it.
+	// The daemon owns the state path (and the temp-file-plus-rename dance),
+	// so it injects the closure via SetStateSaver; while nil the endpoint
+	// answers 503.
+	stateSaver func() error
 }
 
 // New builds the handler over the cache (whose method owns the live
@@ -65,8 +70,15 @@ func New(cache *core.Cache) *Server {
 	s.mux.HandleFunc("/api/dataset/graphs", s.handleDatasetGraphs)
 	s.mux.HandleFunc("/api/dataset/graphs/", s.handleDatasetGraphByID)
 	s.mux.HandleFunc("/api/dataset/", s.handleDataset)
+	s.mux.HandleFunc("/api/state/save", s.handleStateSave)
 	return s
 }
+
+// SetStateSaver wires the POST /api/state/save implementation: fn must
+// atomically persist the cache's state (the daemon passes a closure over
+// its -state path). Call before serving; a nil saver leaves the endpoint
+// answering 503.
+func (s *Server) SetStateSaver(fn func() error) { s.stateSaver = fn }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -167,6 +179,10 @@ type statsResponse struct {
 	AnswerBytes  int64 `json:"answerBytes"`
 	InternHits   int64 `json:"internHits"`
 	InternMisses int64 `json:"internMisses"`
+	// StateBodyFaults counts answer bodies faulted in from the snapshot
+	// file after a lazy state restore (0 when the cache booted cold or
+	// restored eagerly).
+	StateBodyFaults int64 `json:"stateBodyFaults"`
 }
 
 func (s *Server) statsResponse() statsResponse {
@@ -226,6 +242,7 @@ func (s *Server) statsResponse() statsResponse {
 		AnswerBytes:       snap.AnswerBytes,
 		InternHits:        snap.InternHits,
 		InternMisses:      snap.InternMisses,
+		StateBodyFaults:   snap.StateBodyFaults,
 	}
 }
 
@@ -602,6 +619,31 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// stateSaveResponse reports one successful POST /api/state/save.
+type stateSaveResponse struct {
+	// Entries is the number of cached queries the snapshot captured.
+	Entries int `json:"entries"`
+}
+
+// handleStateSave serves POST /api/state/save: persist the cache's state
+// through the daemon-injected saver. 503 when the daemon was started
+// without a state path.
+func (s *Server) handleStateSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.stateSaver == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "state persistence not configured (start the daemon with -state)")
+		return
+	}
+	if err := s.stateSaver(); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "saving state: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, stateSaveResponse{Entries: s.cache.Len()})
+}
+
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 <html><head><title>GraphCache</title></head><body>
 <h1>GraphCache</h1>
@@ -624,7 +666,8 @@ var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
 · GET /api/dataset/{id}?format=dot|ascii|text
 · POST /api/dataset/graphs (append a graph to the live dataset)
 · DELETE /api/dataset/graphs/{id} (tombstone a graph; cached answers are
-maintained exactly)</p>
+maintained exactly)
+· POST /api/state/save (persist the cache to the daemon's -state file)</p>
 </body></html>`))
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
